@@ -1,0 +1,31 @@
+package ccomm
+
+import (
+	"repro/internal/benes"
+)
+
+// BenesPlan is a compiled-communication plan on a Beneš rearrangeable
+// network: one switch configuration per TDM slot, provably using the
+// minimum number of slots (the injection/ejection port bound) for any
+// pattern.
+type BenesPlan = benes.Plan
+
+// BenesSchedule compiles a pattern for an n-terminal Beneš network
+// (n a power of two). Unlike the torus schedulers, the result is optimal
+// for every pattern: the request set is partitioned into port-bound many
+// partial permutations by bipartite edge coloring, and each permutation is
+// realized in one slot by the looping algorithm.
+func BenesSchedule(n int, reqs RequestSet) (*BenesPlan, error) {
+	net, err := benes.New(n)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := net.Schedule(reqs)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Verify(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

@@ -1,0 +1,162 @@
+package ccomm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	ccomm "repro"
+)
+
+func TestCompileRingOnTorus(t *testing.T) {
+	comp := ccomm.Compiler{Topology: ccomm.NewTorus8x8(), Algorithm: ccomm.Combined}
+	phase, err := comp.Compile(ccomm.RingPattern(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase.Degree() != 2 {
+		t.Errorf("ring degree = %d, want 2 (Table 3 combined)", phase.Degree())
+	}
+	if phase.Program == nil {
+		t.Fatal("no switch program")
+	}
+}
+
+func TestAllAlgorithms(t *testing.T) {
+	torus := ccomm.NewTorus8x8()
+	set, err := ccomm.HypercubePattern(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []ccomm.Algorithm{ccomm.Greedy, ccomm.Coloring, ccomm.AAPC, ccomm.Combined} {
+		deg, err := ccomm.MultiplexingDegree(torus, set, a)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if deg < 6 || deg > 12 {
+			t.Errorf("%s: hypercube degree %d out of plausible range", a, deg)
+		}
+	}
+	if _, err := ccomm.MultiplexingDegree(torus, set, ccomm.Algorithm("nope")); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestDefaultAlgorithmIsCombined(t *testing.T) {
+	comp := ccomm.Compiler{Topology: ccomm.NewTorus8x8()}
+	phase, err := comp.Compile(ccomm.AllToAllPattern(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase.Degree() != 64 {
+		t.Errorf("default compile of all-to-all = %d, want 64", phase.Degree())
+	}
+}
+
+func TestCompilerNilTopology(t *testing.T) {
+	if _, err := (ccomm.Compiler{}).Compile(ccomm.RingPattern(8)); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestCompileDedupsRequests(t *testing.T) {
+	comp := ccomm.Compiler{Topology: ccomm.NewTorus8x8()}
+	set := ccomm.RequestSet{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}}
+	phase, err := comp.Compile(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase.Degree() != 1 {
+		t.Errorf("duplicate requests not deduplicated: degree %d", phase.Degree())
+	}
+}
+
+func TestSimulateCompiledVsDynamic(t *testing.T) {
+	torus := ccomm.NewTorus8x8()
+	comp := ccomm.Compiler{Topology: torus}
+	set := ccomm.RingPattern(64)
+	phase, err := comp.Compile(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]ccomm.Message, len(set))
+	for i, r := range set {
+		msgs[i] = ccomm.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: 16}
+	}
+	compiled, err := phase.Simulate(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynamic, err := ccomm.SimulateDynamic(torus, msgs, ccomm.DefaultSimParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Time >= dynamic.Time {
+		t.Errorf("compiled (%d) not faster than dynamic (%d)", compiled.Time, dynamic.Time)
+	}
+}
+
+func TestExactAlgorithmOnFig3(t *testing.T) {
+	lin := ccomm.NewLinear(5)
+	set := ccomm.RequestSet{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 3, Dst: 4}, {Src: 2, Dst: 4}}
+	deg, err := ccomm.MultiplexingDegree(lin, set, ccomm.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg != 2 {
+		t.Errorf("exact degree = %d, want 2", deg)
+	}
+}
+
+func TestRandomPatternHelper(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	set, err := ccomm.RandomPattern(rng, 64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 100 {
+		t.Fatalf("got %d requests", len(set))
+	}
+}
+
+func TestRedistributeHelper(t *testing.T) {
+	from, err := ccomm.BlockCyclic(4, 16, 4, 16, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := ccomm.BlockCyclic(1, 64, 1, 64, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := ccomm.Redistribute([3]int{64, 64, 64}, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pat.Reqs) == 0 {
+		t.Error("redistribution produced no communication")
+	}
+	comp := ccomm.Compiler{Topology: ccomm.NewTorus8x8()}
+	phase, err := comp.Compile(pat.Reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phase.Degree() < 1 {
+		t.Error("degree must be positive")
+	}
+}
+
+func TestBenesScheduleFacade(t *testing.T) {
+	set, err := ccomm.HypercubePattern(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ccomm.BenesSchedule(64, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Degree() != 6 {
+		t.Errorf("hypercube on Benes = %d slots, want the port bound 6", plan.Degree())
+	}
+	if _, err := ccomm.BenesSchedule(48, set); err == nil {
+		t.Error("non-power-of-two size accepted")
+	}
+}

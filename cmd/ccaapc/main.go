@@ -1,0 +1,130 @@
+// Command ccaapc inspects the all-to-all (AAPC) decomposition of a torus:
+// the contention-free phase set that bounds the ordered-AAPC scheduler and
+// serves as the predetermined configuration set for dynamic patterns. It
+// verifies the decomposition, reports phase statistics against the paper's
+// N^3/8 bound, and can print the per-dimension ring Latin square the tight
+// construction is built from.
+//
+// Usage:
+//
+//	ccaapc                 # the paper's 8x8 torus
+//	ccaapc -w 4 -h 4
+//	ccaapc -latin          # also print the ring Latin square
+//	ccaapc -phases         # also print every phase
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/aapc"
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+var (
+	wFlag      = flag.Int("w", 8, "torus width")
+	hFlag      = flag.Int("h", 8, "torus height")
+	latinFlag  = flag.Bool("latin", false, "print the ring Latin squares")
+	phasesFlag = flag.Bool("phases", false, "print every phase's connections")
+)
+
+func main() {
+	flag.Parse()
+	torus := topology.NewTorus(*wFlag, *hFlag)
+	set, err := aapc.Decompose(torus)
+	check(err)
+	check(set.Validate())
+
+	n := torus.NumNodes()
+	pairs := n * (n - 1)
+	linkBound := linkLoadBound(torus)
+	paperBound := *wFlag * *hFlag * maxInt(*wFlag, *hFlag) / 8
+
+	fmt.Printf("topology:        %s (%d PEs, %d directed links)\n", torus.Name(), n, torus.NumLinks())
+	fmt.Printf("all-to-all:      %d connections\n", pairs)
+	fmt.Printf("phases:          %d\n", set.NumPhases())
+	fmt.Printf("link-load bound: %d   paper bound N^3/8: %d\n", linkBound, paperBound)
+
+	min, max, sum := pairs, 0, 0
+	for _, ph := range set.Phases {
+		if len(ph) < min {
+			min = len(ph)
+		}
+		if len(ph) > max {
+			max = len(ph)
+		}
+		sum += len(ph)
+	}
+	fmt.Printf("phase size:      min %d, max %d, mean %.1f\n", min, max, float64(sum)/float64(set.NumPhases()))
+
+	if *latinFlag {
+		printLatin(*wFlag, "width")
+		if *hFlag != *wFlag {
+			printLatin(*hFlag, "height")
+		}
+	}
+	if *phasesFlag {
+		for k, ph := range set.Phases {
+			fmt.Printf("phase %2d (%3d):", k, len(ph))
+			for _, r := range ph {
+				fmt.Printf(" %v", r)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// linkLoadBound computes the max per-link load of the all-to-all under the
+// torus's routing — the hard floor for the number of phases.
+func linkLoadBound(t *topology.Torus) int {
+	load := make([]int, t.NumLinks())
+	bound := 0
+	n := t.NumNodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p, err := t.Route(network.NodeID(s), network.NodeID(d))
+			check(err)
+			for _, l := range p.Links {
+				load[l]++
+				if load[l] > bound {
+					bound = load[l]
+				}
+			}
+		}
+	}
+	return bound
+}
+
+func printLatin(n int, label string) {
+	sq, ok := aapc.RingLatin(n)
+	if !ok {
+		fmt.Printf("ring Latin square (%s, order %d): none — first-fit fallback in use\n", label, n)
+		return
+	}
+	fmt.Printf("ring Latin square (%s, order %d): L[a][b] = slot of ring pair (a, b)\n", label, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			fmt.Printf(" %2d", sq[a][b])
+		}
+		fmt.Println()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccaapc:", err)
+		os.Exit(1)
+	}
+}

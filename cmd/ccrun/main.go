@@ -1,0 +1,161 @@
+// Command ccrun compiles and simulates a communication trace: a JSON
+// program description (see internal/trace) is compiled phase by phase —
+// minimal multiplexing degree, switch programs, AAPC fallback for phases
+// marked dynamic — and run under compiled communication and, optionally,
+// the dynamic-control baseline.
+//
+// Usage:
+//
+//	ccrun -trace prog.json
+//	ccrun -trace prog.json -degrees 1,5 -iterations 10
+//	ccrun -emit gs256 > gs.json      # export a built-in workload as a trace
+//
+// Built-in workloads for -emit: gs64, gs128, gs256, tscf, fft, p3m32, p3m64.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+var (
+	traceFlag   = flag.String("trace", "", "trace file to compile and run")
+	emitFlag    = flag.String("emit", "", "emit a built-in workload as a trace: gs64, gs128, gs256, tscf, fft, p3m32, p3m64")
+	degreesFlag = flag.String("degrees", "", "also simulate dynamic control at these fixed degrees (comma separated)")
+	itersFlag   = flag.Int("iterations", 1, "program main-loop iterations for the total-time estimate")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *emitFlag != "":
+		emit(*emitFlag)
+	case *traceFlag != "":
+		run(*traceFlag)
+	default:
+		fmt.Fprintln(os.Stderr, "ccrun: need -trace FILE or -emit WORKLOAD")
+		os.Exit(2)
+	}
+}
+
+func emit(name string) {
+	var prog core.Program
+	add := func(ph apps.Phase, err error) {
+		check(err)
+		prog.Phases = append(prog.Phases, core.Phase{Name: ph.Name, Messages: ph.Messages})
+	}
+	switch name {
+	case "gs64":
+		prog.Name = "gs-64"
+		add(apps.GS(64, 64))
+	case "gs128":
+		prog.Name = "gs-128"
+		add(apps.GS(128, 64))
+	case "gs256":
+		prog.Name = "gs-256"
+		add(apps.GS(256, 64))
+	case "tscf":
+		prog.Name = "tscf"
+		add(apps.TSCF(64))
+	case "fft":
+		prog.Name = "fft-4096"
+		phases, err := apps.FFT(4096, 64)
+		check(err)
+		for _, ph := range phases {
+			add(ph, nil)
+		}
+	case "p3m32", "p3m64":
+		n := 32
+		if name == "p3m64" {
+			n = 64
+		}
+		prog.Name = fmt.Sprintf("p3m-%d", n)
+		phases, err := apps.P3M(n)
+		check(err)
+		for _, ph := range phases {
+			add(ph, nil)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ccrun: unknown workload %q\n", name)
+		os.Exit(2)
+	}
+	check(trace.Write(os.Stdout, trace.FromProgram(prog, 64)))
+}
+
+func run(path string) {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	doc, err := trace.Read(f)
+	check(err)
+	prog, err := doc.Program()
+	check(err)
+
+	var fixed []int
+	if *degreesFlag != "" {
+		for _, part := range strings.Split(*degreesFlag, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			check(err)
+			fixed = append(fixed, k)
+		}
+	}
+
+	// The 8x8 torus hosts 64 PEs; reject traces for other machine sizes.
+	if doc.PEs != 64 {
+		fmt.Fprintf(os.Stderr, "ccrun: trace targets %d PEs; this build simulates the paper's 64-PE torus\n", doc.PEs)
+		os.Exit(2)
+	}
+	torus := topology.NewTorus(8, 8)
+	cp, err := core.Compiler{Topology: torus}.Compile(prog)
+	check(err)
+
+	fmt.Printf("program %q: %d phases on %s\n\n", prog.Name, len(cp.Phases), torus.Name())
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "phase\tkind\tconns\tdegree\tcompiled\t")
+	for _, k := range fixed {
+		fmt.Fprintf(w, "dyn K=%d\t", k)
+	}
+	fmt.Fprintln(w)
+	for i := range cp.Phases {
+		ph := &cp.Phases[i]
+		kind := "static"
+		if ph.UsedFallback {
+			kind = "dynamic"
+		}
+		out, err := sim.RunCompiled(ph.Schedule, ph.Phase.Messages)
+		check(err)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t", ph.Phase.Name, kind, len(ph.Phase.Messages), ph.Degree(), out.Time)
+		for _, k := range fixed {
+			dyn, err := sim.Dynamic{Topology: torus, Params: sim.DefaultParams(k)}.Run(ph.Phase.Messages)
+			check(err)
+			if dyn.TimedOut {
+				fmt.Fprintf(w, "timeout\t")
+			} else {
+				fmt.Fprintf(w, "%d\t", dyn.Time)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	check(w.Flush())
+
+	total, err := cp.ProgramTime(*itersFlag, core.DefaultReconfigCost)
+	check(err)
+	fmt.Printf("\ntotal for %d iteration(s) incl. reconfiguration: %d slots\n", *itersFlag, total)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccrun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,180 @@
+// Command ccsched compiles a single communication pattern for a topology:
+// it runs a connection-scheduling algorithm, reports the multiplexing
+// degree and per-slot configurations, and optionally dumps the compiled
+// switch shift-register programs.
+//
+// Usage:
+//
+//	ccsched -pattern ring                        # ring on the 8x8 torus
+//	ccsched -pattern alltoall -alg aapc
+//	ccsched -pattern random -n 500 -seed 7
+//	ccsched -topology torus -w 4 -h 4 -pattern transpose -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/switchprog"
+	"repro/internal/topology"
+)
+
+var (
+	topoFlag    = flag.String("topology", "torus", "topology: torus, torus3d, mesh, ring, linear, hypercube")
+	wFlag       = flag.Int("w", 8, "torus/mesh width")
+	hFlag       = flag.Int("h", 8, "torus/mesh height")
+	nodesFlag   = flag.Int("nodes", 0, "node count for ring/linear/hypercube-dim (default: w*h)")
+	patternFlag = flag.String("pattern", "ring", "pattern: ring, nn2d, nn3d, hypercube, shuffle, alltoall, transpose, bitrev, random")
+	nFlag       = flag.Int("n", 100, "connection count for -pattern random")
+	seedFlag    = flag.Int64("seed", 1996, "seed for -pattern random")
+	algFlag     = flag.String("alg", "combined", "algorithm: greedy, coloring, aapc, combined, exact")
+	dumpFlag    = flag.Bool("dump", false, "dump the compiled switch programs")
+	slotsFlag   = flag.Bool("slots", false, "print the per-slot configurations")
+)
+
+func main() {
+	flag.Parse()
+	topo := buildTopology()
+	pes := topo.NumNodes()
+	if o, ok := topo.(*topology.Omega); ok {
+		pes = o.N // patterns address PEs, not internal MIN switches
+	}
+	set := buildPattern(pes)
+	sched := buildScheduler()
+
+	res, err := sched.Schedule(topo, set)
+	check(err)
+	check(res.Validate(set))
+	lb, err := schedule.LowerBound(topo, set)
+	check(err)
+
+	fmt.Printf("topology:            %s\n", topo.Name())
+	fmt.Printf("pattern:             %s (%d connections)\n", *patternFlag, len(set))
+	fmt.Printf("algorithm:           %s\n", res.Algorithm)
+	fmt.Printf("multiplexing degree: %d (lower bound %d)\n", res.Degree(), lb)
+
+	if *slotsFlag {
+		for k, cfg := range res.Configs {
+			fmt.Printf("slot %2d (%3d connections):", k, len(cfg))
+			for _, r := range cfg {
+				fmt.Printf(" %v", r)
+			}
+			fmt.Println()
+		}
+	}
+	if *dumpFlag {
+		prog, err := switchprog.Compile(res)
+		check(err)
+		fmt.Print(prog.Dump())
+	}
+}
+
+func buildTopology() network.Topology {
+	nodes := *nodesFlag
+	if nodes == 0 {
+		nodes = *wFlag * *hFlag
+	}
+	switch *topoFlag {
+	case "torus":
+		return topology.NewTorus(*wFlag, *hFlag)
+	case "torus3d":
+		side := 1
+		for side*side*side < nodes {
+			side++
+		}
+		return topology.NewTorus3D(side, side, side)
+	case "mesh":
+		return topology.NewMesh(*wFlag, *hFlag)
+	case "omega":
+		return topology.NewOmega(nodes)
+	case "ring":
+		return topology.NewRing(nodes)
+	case "linear":
+		return topology.NewLinear(nodes)
+	case "hypercube":
+		dim := 0
+		for 1<<dim < nodes {
+			dim++
+		}
+		return topology.NewHypercube(dim)
+	default:
+		fmt.Fprintf(os.Stderr, "ccsched: unknown topology %q\n", *topoFlag)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func buildPattern(nodes int) request.Set {
+	switch *patternFlag {
+	case "ring":
+		return patterns.Ring(nodes)
+	case "nn2d":
+		return patterns.NearestNeighbor2D(*wFlag, *hFlag)
+	case "nn3d":
+		side := 1
+		for side*side*side < nodes {
+			side++
+		}
+		return patterns.NearestNeighbor3D(side, side, side)
+	case "hypercube":
+		set, err := patterns.Hypercube(nodes)
+		check(err)
+		return set
+	case "shuffle":
+		set, err := patterns.ShuffleExchange(nodes)
+		check(err)
+		return set
+	case "alltoall":
+		return patterns.AllToAll(nodes)
+	case "transpose":
+		side := 1
+		for side*side < nodes {
+			side++
+		}
+		return patterns.Transpose(side)
+	case "bitrev":
+		set, err := patterns.BitReversal(nodes)
+		check(err)
+		return set
+	case "random":
+		set, err := patterns.Random(rand.New(rand.NewSource(*seedFlag)), nodes, *nFlag)
+		check(err)
+		return set
+	default:
+		fmt.Fprintf(os.Stderr, "ccsched: unknown pattern %q\n", *patternFlag)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func buildScheduler() schedule.Scheduler {
+	switch *algFlag {
+	case "greedy":
+		return schedule.Greedy{}
+	case "coloring":
+		return schedule.Coloring{}
+	case "aapc":
+		return schedule.OrderedAAPC{}
+	case "combined":
+		return schedule.Combined{}
+	case "exact":
+		return schedule.Exact{}
+	default:
+		fmt.Fprintf(os.Stderr, "ccsched: unknown algorithm %q\n", *algFlag)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsched:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command ccsim regenerates Table 5 of the paper: communication time of the
+// static application patterns (GS, TSCF, P3M 1-5) under compiled
+// communication versus dynamically controlled communication at fixed
+// multiplexing degrees, on a slot-level simulator of the 8x8 time-
+// multiplexed torus. The data comes from internal/experiments; this command
+// only renders it.
+//
+// Usage:
+//
+//	ccsim                     # the full Table 5
+//	ccsim -degrees 1,2,4      # different fixed degrees for dynamic control
+//	ccsim -hopdelay 8 -backoff 16 -queued -backward
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+var (
+	degreesFlag  = flag.String("degrees", "1,2,5,10", "fixed multiplexing degrees for dynamic control")
+	hopFlag      = flag.Int("hopdelay", 8, "control packet per-hop delay (slots)")
+	backoffFlag  = flag.Int("backoff", 16, "reservation retry backoff base (slots)")
+	queuedFlag   = flag.Bool("queued", false, "model contention on the electronic shadow network")
+	backwardFlag = flag.Bool("backward", false, "use the observe-then-lock (backward) reservation variant")
+)
+
+func main() {
+	flag.Parse()
+	var fixed []int
+	for _, part := range strings.Split(*degreesFlag, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		check(err)
+		fixed = append(fixed, k)
+	}
+	params := func(k int) sim.Params {
+		p := sim.DefaultParams(k)
+		p.CtlHopDelay = *hopFlag
+		p.RetryBackoff = *backoffFlag
+		p.ShadowQueuing = *queuedFlag
+		if *backwardFlag {
+			p.Reservation = sim.LockBackward
+		}
+		return p
+	}
+
+	torus := topology.NewTorus(8, 8)
+	rows, err := experiments.Table5(torus, experiments.Table5Config{
+		FixedDegrees: fixed,
+		Params:       params,
+	})
+	check(err)
+
+	fmt.Println("Table 5: communication time for static patterns (slots, 8x8 torus)")
+	fmt.Printf("control hop delay %d slots, retry backoff %d slots, shadow queuing %v, scheme %s\n",
+		*hopFlag, *backoffFlag, *queuedFlag, params(1).Reservation)
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "pattern\tsize\tdegree\tcompiled\t")
+	for _, k := range fixed {
+		fmt.Fprintf(w, "dyn K=%d\t", k)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t", r.Pattern, r.Size, r.Degree, r.Compiled)
+		for _, k := range fixed {
+			if t, ok := r.Dynamic[k]; ok {
+				fmt.Fprintf(w, "%d\t", t)
+			} else {
+				fmt.Fprintf(w, "timeout\t")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	check(w.Flush())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+// Command cctables regenerates the scheduling-quality tables of the paper
+// (Tables 1-4): multiplexing degrees of the greedy, coloring, ordered-AAPC
+// and combined algorithms on random patterns, random data-redistribution
+// patterns, and the frequently used patterns, plus the application pattern
+// inventory. The data comes from internal/experiments; this command only
+// renders it.
+//
+// Usage:
+//
+//	cctables -table 1 [-trials 100] [-seed 1996]
+//	cctables -table 2 [-redists 500] [-seed 1996]
+//	cctables -table 3
+//	cctables -table 4
+//	cctables -table all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+	"repro/internal/topology"
+)
+
+var (
+	tableFlag   = flag.String("table", "all", "table to regenerate: 1, 2, 3, 4 or all")
+	trialsFlag  = flag.Int("trials", 100, "random patterns per row in Table 1")
+	redistsFlag = flag.Int("redists", 500, "random redistributions in Table 2")
+	seedFlag    = flag.Int64("seed", 1996, "random seed")
+	spreadFlag  = flag.Bool("spread", false, "show mean±stddev in Table 1")
+)
+
+func main() {
+	flag.Parse()
+	torus := topology.NewTorus(8, 8)
+	switch *tableFlag {
+	case "1":
+		table1(torus)
+	case "2":
+		table2(torus)
+	case "3":
+		table3(torus)
+	case "4":
+		table4()
+	case "all":
+		table1(torus)
+		fmt.Println()
+		table2(torus)
+		fmt.Println()
+		table3(torus)
+		fmt.Println()
+		table4()
+	default:
+		fmt.Fprintf(os.Stderr, "cctables: unknown table %q\n", *tableFlag)
+		os.Exit(2)
+	}
+}
+
+func header(w *tabwriter.Writer, first ...string) {
+	for _, f := range first {
+		fmt.Fprintf(w, "%s\t", f)
+	}
+	for _, name := range experiments.AlgorithmNames() {
+		fmt.Fprintf(w, "%s\t", name)
+	}
+	fmt.Fprintln(w, "improvement\t")
+}
+
+func table1(torus *topology.Torus) {
+	fmt.Printf("Table 1: multiplexing degree for random patterns (8x8 torus, %d patterns per row)\n", *trialsFlag)
+	rows, err := experiments.Table1(torus, experiments.Table1Config{Trials: *trialsFlag, Seed: *seedFlag})
+	check(err)
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	header(w, "conns")
+	for _, r := range rows {
+		if *spreadFlag {
+			fmt.Fprintf(w, "%d\t%.1f±%.1f\t%.1f±%.1f\t%.1f±%.1f\t%.1f±%.1f\t%.1f%%\t\n",
+				r.Conns,
+				r.Spread[0].Mean, r.Spread[0].StdDev,
+				r.Spread[1].Mean, r.Spread[1].StdDev,
+				r.Spread[2].Mean, r.Spread[2].StdDev,
+				r.Spread[3].Mean, r.Spread[3].StdDev,
+				r.Improvement)
+			continue
+		}
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f%%\t\n",
+			r.Conns, r.Degrees[0], r.Degrees[1], r.Degrees[2], r.Degrees[3], r.Improvement)
+	}
+	check(w.Flush())
+}
+
+func table2(torus *topology.Torus) {
+	fmt.Println("Table 2: multiplexing degree for random data redistribution patterns")
+	fmt.Printf("(64^3 array over 64 PEs, %d random redistributions)\n", *redistsFlag)
+	rows, err := experiments.Table2(torus, experiments.Table2Config{Redistributions: *redistsFlag, Seed: *seedFlag})
+	check(err)
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	header(w, "conns", "patterns")
+	for _, r := range rows {
+		label := fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+		if r.Lo == r.Hi {
+			label = fmt.Sprintf("%d", r.Lo)
+		}
+		if r.Patterns == 0 {
+			fmt.Fprintf(w, "%s\t0\t-\t-\t-\t-\t-\t\n", label)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f%%\t\n",
+			label, r.Patterns, r.Degrees[0], r.Degrees[1], r.Degrees[2], r.Degrees[3], r.Improvement)
+	}
+	check(w.Flush())
+}
+
+func table3(torus *topology.Torus) {
+	fmt.Println("Table 3: multiplexing degree for frequently used patterns (8x8 torus)")
+	rows, err := experiments.Table3(torus)
+	check(err)
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	header(w, "pattern", "conns")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f%%\t\n",
+			r.Name, r.Conns, r.Degrees[0], r.Degrees[1], r.Degrees[2], r.Degrees[3], r.Improvement)
+	}
+	check(w.Flush())
+}
+
+func table4() {
+	fmt.Println("Table 4: application communication patterns")
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "pattern\ttype\tconns\tdescription\t")
+	gs, err := apps.GS(64, 64)
+	check(err)
+	fmt.Fprintf(w, "GS\tshared array ref.\t%d\t%s\t\n", len(gs.Messages), gs.Description)
+	tscf, err := apps.TSCF(64)
+	check(err)
+	fmt.Fprintf(w, "TSCF\texplicit send/recv\t%d\t%s\t\n", len(tscf.Messages), tscf.Description)
+	p3m, err := apps.P3M(32)
+	check(err)
+	kinds := []string{"data distrib.", "data distrib.", "data distrib.", "data distrib.", "shared array ref."}
+	for i, ph := range p3m {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t\n", ph.Name, kinds[i], len(ph.Messages), ph.Description)
+	}
+	check(w.Flush())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cctables:", err)
+		os.Exit(1)
+	}
+}

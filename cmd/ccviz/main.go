@@ -1,0 +1,182 @@
+// Command ccviz renders a compiled schedule as text: per-slot occupancy
+// bars, a per-slot map of the torus showing which switches carry circuits,
+// and the schedule's utilization metrics. Useful for eyeballing what the
+// heuristics actually produce.
+//
+// Usage:
+//
+//	ccviz -pattern hypercube
+//	ccviz -pattern random -n 300 -alg coloring -slots 0,1,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+var (
+	patternFlag = flag.String("pattern", "hypercube", "pattern: ring, nn2d, hypercube, shuffle, alltoall, random")
+	nFlag       = flag.Int("n", 200, "connections for -pattern random")
+	seedFlag    = flag.Int64("seed", 1996, "seed for -pattern random")
+	algFlag     = flag.String("alg", "combined", "algorithm: greedy, coloring, aapc, combined")
+	slotsFlag   = flag.String("slots", "", "comma-separated slot indices to map on the torus (default: first 2)")
+)
+
+func main() {
+	flag.Parse()
+	torus := topology.NewTorus(8, 8)
+	set := buildPattern()
+	sched := buildScheduler()
+	res, err := sched.Schedule(torus, set)
+	check(err)
+	m, err := schedule.ComputeMetrics(res)
+	check(err)
+
+	fmt.Printf("%s on %s via %s\n", *patternFlag, torus.Name(), res.Algorithm)
+	fmt.Println(m)
+	fmt.Println()
+
+	// Occupancy bars, widest slot = 60 chars.
+	max := 0
+	for _, o := range m.SlotOccupancy {
+		if o > max {
+			max = o
+		}
+	}
+	fmt.Println("slot occupancy (connections per TDM slot):")
+	for k, o := range m.SlotOccupancy {
+		bar := strings.Repeat("#", o*60/maxi(max, 1))
+		fmt.Printf("  %2d |%-60s| %d\n", k, bar, o)
+	}
+
+	// Torus maps for the selected slots.
+	var slots []int
+	if *slotsFlag == "" {
+		slots = []int{0}
+		if res.Degree() > 1 {
+			slots = append(slots, 1)
+		}
+	} else {
+		for _, part := range strings.Split(*slotsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			check(err)
+			if v < 0 || v >= res.Degree() {
+				fmt.Fprintf(os.Stderr, "ccviz: slot %d outside degree %d\n", v, res.Degree())
+				os.Exit(2)
+			}
+			slots = append(slots, v)
+		}
+	}
+	for _, k := range slots {
+		fmt.Printf("\nslot %d: S = circuit source, D = destination, * = both, + = transit only, . = idle\n", k)
+		printSlotMap(torus, res, k)
+	}
+}
+
+// printSlotMap draws the 8x8 grid annotating each switch's role in the
+// slot's configuration.
+func printSlotMap(torus *topology.Torus, res *schedule.Result, slot int) {
+	role := map[network.NodeID]byte{}
+	mark := func(n network.NodeID, r byte) {
+		cur, ok := role[n]
+		switch {
+		case !ok:
+			role[n] = r
+		case cur != r && (r == 'S' || r == 'D') && (cur == 'S' || cur == 'D'):
+			role[n] = '*'
+		case cur == '+' && (r == 'S' || r == 'D'):
+			role[n] = r
+		}
+	}
+	for _, req := range res.Configs[slot] {
+		p, err := torus.Route(req.Src, req.Dst)
+		check(err)
+		mark(req.Src, 'S')
+		mark(req.Dst, 'D')
+		for _, l := range p.Links {
+			li := torus.Link(l)
+			if li.To != req.Dst {
+				mark(li.To, '+')
+			}
+		}
+	}
+	for r := 0; r < torus.H; r++ {
+		fmt.Print("  ")
+		for c := 0; c < torus.W; c++ {
+			ch, ok := role[torus.Node(r, c)]
+			if !ok {
+				ch = '.'
+			}
+			fmt.Printf("%c ", ch)
+		}
+		fmt.Println()
+	}
+}
+
+func buildPattern() request.Set {
+	switch *patternFlag {
+	case "ring":
+		return patterns.Ring(64)
+	case "nn2d":
+		return patterns.NearestNeighbor2D(8, 8)
+	case "hypercube":
+		set, err := patterns.Hypercube(64)
+		check(err)
+		return set
+	case "shuffle":
+		set, err := patterns.ShuffleExchange(64)
+		check(err)
+		return set
+	case "alltoall":
+		return patterns.AllToAll(64)
+	case "random":
+		set, err := patterns.Random(rand.New(rand.NewSource(*seedFlag)), 64, *nFlag)
+		check(err)
+		return set
+	default:
+		fmt.Fprintf(os.Stderr, "ccviz: unknown pattern %q\n", *patternFlag)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func buildScheduler() schedule.Scheduler {
+	switch *algFlag {
+	case "greedy":
+		return schedule.Greedy{}
+	case "coloring":
+		return schedule.Coloring{}
+	case "aapc":
+		return schedule.OrderedAAPC{}
+	case "combined":
+		return schedule.Combined{}
+	default:
+		fmt.Fprintf(os.Stderr, "ccviz: unknown algorithm %q\n", *algFlag)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccviz:", err)
+		os.Exit(1)
+	}
+}

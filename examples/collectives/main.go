@@ -1,0 +1,57 @@
+// Collectives: broadcast, scatter and all-reduce built as sequences of
+// compiled communication rounds. Each round is a static pattern the
+// compiler schedules at its own minimal multiplexing degree; the whole
+// operation becomes a multi-phase program whose cost — including the
+// register reloads between rounds — the simulator prices exactly.
+//
+// Run with: go run ./examples/collectives
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	torus := topology.NewTorus(8, 8)
+	compiler := core.Compiler{Topology: torus}
+
+	ops := []func() (collective.Collective, error){
+		func() (collective.Collective, error) { return collective.Broadcast(0, 64, 256) },
+		func() (collective.Collective, error) { return collective.Scatter(0, 64, 64) },
+		func() (collective.Collective, error) { return collective.Gather(0, 64, 64) },
+		func() (collective.Collective, error) { return collective.AllGather(64, 16) },
+		func() (collective.Collective, error) { return collective.AllReduce(64, 256) },
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "operation\trounds\tmax degree\tone shot (slots)\t")
+	for _, build := range ops {
+		c, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp, err := compiler.Compile(c.Program(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+		total, _, err := cp.IterationTime(core.DefaultReconfigCost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t\n", c.Name, c.NumRounds(), cp.MaxDegree(), total)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nEvery round is a sparse tree or exchange pattern, so each compiles")
+	fmt.Println("to a small multiplexing degree; the compiler pays one register reload")
+	fmt.Println("per round instead of per-message control.")
+}

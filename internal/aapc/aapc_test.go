@@ -1,0 +1,22 @@
+package aapc
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestDecomposeTorus8x8(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set, err := Decompose(torus)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	t.Logf("8x8 torus AAPC phases: %d (paper bound N^3/8 = 64, link-load lower bound 63)", set.NumPhases())
+	if set.NumPhases() > 70 {
+		t.Errorf("decomposition uses %d phases, want close to 64", set.NumPhases())
+	}
+}

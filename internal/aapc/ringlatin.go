@@ -1,0 +1,150 @@
+package aapc
+
+import (
+	"sort"
+	"sync"
+)
+
+// Ring Latin squares.
+//
+// The tight torus decomposition builds the AAPC phase of a connection from
+// per-dimension ring schedules: phase((r,c)->(r',c')) = Lw[c][c']*H' +
+// Lh[r][r'], where L is a Latin square of order n with the property that for
+// every slot u the pairs {(a,b) : L[a][b] = u} form a permutation whose
+// shortest-path ring arcs are link-disjoint in each direction (self pairs
+// occupy no links).
+//
+// Row/column uniqueness of the Latin square makes every PE source and
+// destination of at most one connection per torus phase; arc disjointness
+// per slot makes the x-arcs (which share a row) and y-arcs (which share a
+// column) of a phase link-disjoint. For n = 8 the + arcs of each slot must
+// tile the 8 clockwise links exactly (total demand 64 hops over 8 slots of
+// capacity 8), which is why naive packings cannot reach the bound and a
+// search is used. The resulting 8x8 torus decomposition has exactly
+// 64 = N^3/8 phases, the paper's bound.
+
+// ringArcs returns the + and - direction link masks of the shortest-path
+// arc from a to b on a ring of size n with balanced tie-breaking (ties go
+// clockwise from even sources). +link i is i->i+1; -link i is i->i-1.
+func ringArcs(a, b, n int) (plus, minus uint64) {
+	d := ((b-a)%n + n) % n
+	if d == 0 {
+		return 0, 0
+	}
+	up := 2*d < n || (2*d == n && a%2 == 0)
+	if up {
+		for k := 0; k < d; k++ {
+			plus |= 1 << uint((a+k)%n)
+		}
+		return plus, 0
+	}
+	down := n - d
+	for k := 0; k < down; k++ {
+		minus |= 1 << uint((a-k+n)%n)
+	}
+	return 0, minus
+}
+
+// ringSlotState tracks one slot's resource usage during the search.
+type ringSlotState struct {
+	srcUsed, dstUsed uint64
+	plus, minus      uint64
+}
+
+// findRingLatin searches for a Latin square of order n whose slots have
+// link-disjoint arcs. It returns (square, true) on success; the search is
+// only attempted for n <= 8, beyond which per-slot link capacity is
+// provably insufficient (total clockwise demand exceeds n hops per slot).
+func findRingLatin(n int) ([][]int, bool) {
+	if n < 2 || n > 8 {
+		return nil, false
+	}
+	type cell struct {
+		a, b        int
+		plus, minus uint64
+		hops        int
+	}
+	cells := make([]cell, 0, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			p, m := ringArcs(a, b, n)
+			cells = append(cells, cell{a, b, p, m, popcount(p) + popcount(m)})
+		}
+	}
+	// Longest arcs first: they are the hardest to place, and deciding them
+	// early keeps backtracking shallow.
+	sort.SliceStable(cells, func(i, j int) bool { return cells[i].hops > cells[j].hops })
+
+	L := make([][]int, n)
+	for i := range L {
+		L[i] = make([]int, n)
+		for j := range L[i] {
+			L[i][j] = -1
+		}
+	}
+	slots := make([]ringSlotState, n)
+
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if i == len(cells) {
+			return true
+		}
+		c := cells[i]
+		for u := 0; u < n; u++ {
+			s := &slots[u]
+			if s.srcUsed&(1<<uint(c.a)) != 0 || s.dstUsed&(1<<uint(c.b)) != 0 {
+				continue
+			}
+			if s.plus&c.plus != 0 || s.minus&c.minus != 0 {
+				continue
+			}
+			s.srcUsed |= 1 << uint(c.a)
+			s.dstUsed |= 1 << uint(c.b)
+			s.plus |= c.plus
+			s.minus |= c.minus
+			L[c.a][c.b] = u
+			if dfs(i + 1) {
+				return true
+			}
+			s.srcUsed &^= 1 << uint(c.a)
+			s.dstUsed &^= 1 << uint(c.b)
+			s.plus &^= c.plus
+			s.minus &^= c.minus
+			L[c.a][c.b] = -1
+		}
+		return false
+	}
+	if !dfs(0) {
+		return nil, false
+	}
+	return L, true
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// ringLatinCache memoizes squares per order.
+var ringLatinCache sync.Map // map[int]ringLatinResult
+
+type ringLatinResult struct {
+	square [][]int
+	ok     bool
+}
+
+// RingLatin returns the memoized ring Latin square of order n, if one
+// exists.
+func RingLatin(n int) ([][]int, bool) {
+	if v, ok := ringLatinCache.Load(n); ok {
+		r := v.(ringLatinResult)
+		return r.square, r.ok
+	}
+	sq, ok := findRingLatin(n)
+	ringLatinCache.Store(n, ringLatinResult{sq, ok})
+	return sq, ok
+}

@@ -1,0 +1,129 @@
+package aapc
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRingArcsShape(t *testing.T) {
+	// +1 arc from 3 on an 8-ring uses +link 3 only.
+	plus, minus := ringArcs(3, 4, 8)
+	if plus != 1<<3 || minus != 0 {
+		t.Errorf("arc 3->4: plus=%b minus=%b", plus, minus)
+	}
+	// -2 arc from 1 to 7 uses -links 1 and 0.
+	plus, minus = ringArcs(1, 7, 8)
+	if plus != 0 || minus != (1<<1|1<<0) {
+		t.Errorf("arc 1->7: plus=%b minus=%b", plus, minus)
+	}
+	// Tie distance 4: even source goes clockwise, odd counterclockwise.
+	plus, minus = ringArcs(2, 6, 8)
+	if minus != 0 || popcount(plus) != 4 {
+		t.Errorf("tie arc from even source should go +: plus=%b minus=%b", plus, minus)
+	}
+	plus, minus = ringArcs(3, 7, 8)
+	if plus != 0 || popcount(minus) != 4 {
+		t.Errorf("tie arc from odd source should go -: plus=%b minus=%b", plus, minus)
+	}
+	// Self pair has no arcs.
+	plus, minus = ringArcs(5, 5, 8)
+	if plus != 0 || minus != 0 {
+		t.Error("self pair must occupy no links")
+	}
+}
+
+// TestRingArcsMatchTorusRouting pins the ringArcs tie rule to the torus
+// router's TieBalanced rule; the product decomposition is only sound if the
+// two agree.
+func TestRingArcsMatchTorusRouting(t *testing.T) {
+	tr := topology.NewTorus(8, 8)
+	for c := 0; c < 8; c++ {
+		for cd := 0; cd < 8; cd++ {
+			if c == cd {
+				continue
+			}
+			// Row 0 connection (0,c) -> (0,cd): pure X route.
+			p, err := tr.Route(tr.Node(0, c), tr.Node(0, cd))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plus, minus := ringArcs(c, cd, 8)
+			if p.Len() != popcount(plus)+popcount(minus) {
+				t.Fatalf("col %d->%d: route %d hops, arcs %d", c, cd, p.Len(), popcount(plus)+popcount(minus))
+			}
+			// Direction check via first link's port.
+			li := tr.Link(p.Links[0])
+			if plus != 0 && li.OutPort != topology.PortXPlus {
+				t.Fatalf("col %d->%d: arcs say +, route goes port %d", c, cd, li.OutPort)
+			}
+			if minus != 0 && li.OutPort != topology.PortXMinus {
+				t.Fatalf("col %d->%d: arcs say -, route goes port %d", c, cd, li.OutPort)
+			}
+		}
+	}
+}
+
+func TestFindRingLatinProperties(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8} {
+		sq, ok := findRingLatin(n)
+		if !ok {
+			t.Fatalf("n=%d: no ring Latin square found", n)
+		}
+		// Latin square: each slot exactly once per row and per column.
+		for a := 0; a < n; a++ {
+			rowSeen := make([]bool, n)
+			colSeen := make([]bool, n)
+			for b := 0; b < n; b++ {
+				if sq[a][b] < 0 || sq[a][b] >= n {
+					t.Fatalf("n=%d: slot %d out of range", n, sq[a][b])
+				}
+				if rowSeen[sq[a][b]] {
+					t.Fatalf("n=%d: row %d repeats slot %d", n, a, sq[a][b])
+				}
+				rowSeen[sq[a][b]] = true
+				if colSeen[sq[b][a]] {
+					t.Fatalf("n=%d: column %d repeats slot %d", n, a, sq[b][a])
+				}
+				colSeen[sq[b][a]] = true
+			}
+		}
+		// Arc disjointness per slot.
+		for u := 0; u < n; u++ {
+			var plus, minus uint64
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if sq[a][b] != u {
+						continue
+					}
+					p, m := ringArcs(a, b, n)
+					if plus&p != 0 || minus&m != 0 {
+						t.Fatalf("n=%d slot %d: overlapping arcs", n, u)
+					}
+					plus |= p
+					minus |= m
+				}
+			}
+		}
+	}
+}
+
+func TestFindRingLatinRefusesLargeOrders(t *testing.T) {
+	if _, ok := findRingLatin(9); ok {
+		t.Error("order 9 should be refused (insufficient per-slot link capacity)")
+	}
+	if _, ok := findRingLatin(1); ok {
+		t.Error("order 1 should be refused")
+	}
+}
+
+func TestRingLatinCached(t *testing.T) {
+	a, ok1 := RingLatin(8)
+	b, ok2 := RingLatin(8)
+	if !ok1 || !ok2 {
+		t.Fatal("RingLatin(8) failed")
+	}
+	if &a[0] != &b[0] {
+		t.Error("RingLatin not cached")
+	}
+}

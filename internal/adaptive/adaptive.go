@@ -1,0 +1,202 @@
+// Package adaptive explores a compiler freedom the fixed-routing schedulers
+// leave on the table: route choice. The paper's network model routes every
+// connection dimension-order X-then-Y; but the compiler writes the switch
+// registers, so nothing stops it from routing one circuit X-then-Y and
+// another Y-then-X when that avoids a conflict. This package schedules with
+// both orientations available per connection, and — because route choice
+// is exactly what fault avoidance needs — also supports compiling around
+// failed links.
+//
+// The plan type is self-contained (it carries the chosen path per
+// connection) because the rest of the system assumes one deterministic
+// route per (src, dst).
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/topology"
+)
+
+// Assignment is one scheduled circuit: the request plus the concrete path
+// chosen for it.
+type Assignment struct {
+	Req  request.Request
+	Path network.Path
+}
+
+// Plan is a schedule with per-connection route choices.
+type Plan struct {
+	Topology *topology.Torus
+	Configs  [][]Assignment
+}
+
+// Degree returns the plan's multiplexing degree.
+func (p *Plan) Degree() int { return len(p.Configs) }
+
+// Validate re-checks every configuration for conflicts and every path for
+// structural soundness and fault avoidance.
+func (p *Plan) Validate(reqs request.Set, failed map[network.LinkID]bool) error {
+	want := make(map[request.Request]int, len(reqs))
+	for _, r := range reqs {
+		want[r]++
+	}
+	got := make(map[request.Request]int)
+	for k, cfg := range p.Configs {
+		occ := network.NewOccupancy()
+		for _, a := range cfg {
+			if err := network.Validate(p.Topology, a.Path); err != nil {
+				return fmt.Errorf("adaptive: config %d: %w", k, err)
+			}
+			if a.Path.Src != a.Req.Src || a.Path.Dst != a.Req.Dst {
+				return fmt.Errorf("adaptive: config %d: path endpoints do not match %v", k, a.Req)
+			}
+			for _, l := range a.Path.Links {
+				if failed[l] {
+					return fmt.Errorf("adaptive: config %d: %v routed over failed link %d", k, a.Req, l)
+				}
+			}
+			if !occ.CanAdd(a.Path) {
+				return fmt.Errorf("adaptive: config %d: conflict at %v", k, a.Req)
+			}
+			occ.Add(a.Path)
+			got[a.Req]++
+		}
+	}
+	for r, n := range want {
+		if got[r] != n {
+			return fmt.Errorf("adaptive: request %v scheduled %d times, want %d", r, got[r], n)
+		}
+	}
+	for r, n := range got {
+		if want[r] != n {
+			return fmt.Errorf("adaptive: extraneous request %v (%d times)", r, n)
+		}
+	}
+	return nil
+}
+
+// routeYX mirrors the torus's X-then-Y route with the opposite dimension
+// order.
+func routeYX(t *topology.Torus, src, dst network.NodeID) (network.Path, error) {
+	dx, dy := t.Offsets(src, dst)
+	links := make([]network.LinkID, 0, absi(dx)+absi(dy))
+	row, col := t.Coord(src)
+	for step := 0; step < absi(dy); step++ {
+		n := t.Node(row, col)
+		if dy > 0 {
+			links = append(links, linkID(n, topology.PortYPlus))
+			row++
+		} else {
+			links = append(links, linkID(n, topology.PortYMinus))
+			row--
+		}
+	}
+	for step := 0; step < absi(dx); step++ {
+		n := t.Node(row, col)
+		if dx > 0 {
+			links = append(links, linkID(n, topology.PortXPlus))
+			col++
+		} else {
+			links = append(links, linkID(n, topology.PortXMinus))
+			col--
+		}
+	}
+	return network.Path{Src: src, Dst: dst, Links: links}, nil
+}
+
+// linkID mirrors the torus's outgoing-link numbering (node*4 + port - 1).
+func linkID(n network.NodeID, port int) network.LinkID {
+	return network.LinkID(int(n)*4 + port - 1)
+}
+
+// candidates returns the usable routes for a request: XY and YX, minus any
+// that crosses a failed link. Pure-row or pure-column routes have a single
+// candidate.
+func candidates(t *topology.Torus, r request.Request, failed map[network.LinkID]bool) ([]network.Path, error) {
+	xy, err := t.Route(r.Src, r.Dst)
+	if err != nil {
+		return nil, err
+	}
+	paths := []network.Path{xy}
+	yx, err := routeYX(t, r.Src, r.Dst)
+	if err != nil {
+		return nil, err
+	}
+	if !samePath(xy, yx) {
+		paths = append(paths, yx)
+	}
+	var ok []network.Path
+	for _, p := range paths {
+		usable := true
+		for _, l := range p.Links {
+			if failed[l] {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			ok = append(ok, p)
+		}
+	}
+	if len(ok) == 0 {
+		return nil, fmt.Errorf("adaptive: request %v unroutable around failed links", r)
+	}
+	return ok, nil
+}
+
+func samePath(a, b network.Path) bool {
+	if len(a.Links) != len(b.Links) {
+		return false
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Schedule first-fit packs the requests, trying each candidate route in
+// each existing configuration before opening a new one. failed may be nil.
+func Schedule(t *topology.Torus, reqs request.Set, failed map[network.LinkID]bool) (*Plan, error) {
+	if err := reqs.Validate(t); err != nil {
+		return nil, err
+	}
+	plan := &Plan{Topology: t}
+	var occs []*network.Occupancy
+	for _, r := range reqs {
+		cands, err := candidates(t, r, failed)
+		if err != nil {
+			return nil, err
+		}
+		placed := false
+	search:
+		for k := range plan.Configs {
+			for _, p := range cands {
+				if occs[k].CanAdd(p) {
+					occs[k].Add(p)
+					plan.Configs[k] = append(plan.Configs[k], Assignment{Req: r, Path: p})
+					placed = true
+					break search
+				}
+			}
+		}
+		if !placed {
+			occ := network.NewOccupancy()
+			occ.Add(cands[0])
+			occs = append(occs, occ)
+			plan.Configs = append(plan.Configs, []Assignment{{Req: r, Path: cands[0]}})
+		}
+	}
+	return plan, nil
+}
+
+func absi(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,177 @@
+package adaptive_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func TestScheduleValidOnPatterns(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	hyper, err := patterns.Hypercube(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := []request.Set{
+		patterns.Ring(64),
+		patterns.NearestNeighbor2D(8, 8),
+		hyper,
+		patterns.Transpose(8),
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3; i++ {
+		set, err := patterns.Random(rng, 64, 300+400*i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, set)
+	}
+	for si, set := range sets {
+		plan, err := adaptive.Schedule(torus, set, nil)
+		if err != nil {
+			t.Fatalf("set %d: %v", si, err)
+		}
+		if err := plan.Validate(set, nil); err != nil {
+			t.Fatalf("set %d: %v", si, err)
+		}
+	}
+}
+
+// TestAdaptiveRoutingNeverWorseOnAverage: with both orientations available,
+// first-fit should beat fixed-XY first-fit on average over random patterns.
+func TestAdaptiveRoutingBeatsFixedGreedy(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(77))
+	sumFixed, sumAdaptive := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		set, err := patterns.Random(rng, 64, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed, err := schedule.Greedy{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := adaptive.Schedule(torus, set, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Validate(set, nil); err != nil {
+			t.Fatal(err)
+		}
+		sumFixed += fixed.Degree()
+		sumAdaptive += plan.Degree()
+	}
+	t.Logf("avg degree over 10 random 1000-connection patterns: fixed-XY greedy %.1f, adaptive greedy %.1f",
+		float64(sumFixed)/10, float64(sumAdaptive)/10)
+	if sumAdaptive >= sumFixed {
+		t.Errorf("adaptive routing (%d) did not beat fixed routing (%d)", sumAdaptive, sumFixed)
+	}
+}
+
+func TestTransposeBenefitsFromOrientation(t *testing.T) {
+	// The transpose pattern is the classic case: all XY routes of (r,c) ->
+	// (c,r) turn at the same corner switches; mixing YX halves the
+	// pressure.
+	torus := topology.NewTorus(8, 8)
+	set := patterns.Transpose(8)
+	fixed, err := schedule.Greedy{}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := adaptive.Schedule(torus, set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("transpose: fixed-XY %d slots, adaptive %d slots", fixed.Degree(), plan.Degree())
+	if plan.Degree() > fixed.Degree() {
+		t.Errorf("adaptive (%d) worse than fixed (%d)", plan.Degree(), fixed.Degree())
+	}
+}
+
+func TestFaultAvoidance(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := patterns.Ring(64)
+	// Fail a link on a multi-hop XY route (the row-boundary ring connection
+	// 7 -> 8 crosses two links) and verify the plan takes the YX
+	// alternative around it.
+	p, err := torus.Route(7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() < 2 {
+		t.Fatal("test premise broken: 7->8 should be multi-hop")
+	}
+	failed := map[network.LinkID]bool{p.Links[0]: true}
+	plan, err := adaptive.Schedule(torus, set, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(set, failed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnroutableFaultReported(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	// (0,0) -> (0,1): both orientations use the single +X link 0->1 (a
+	// one-hop route has no alternative), so failing it must error.
+	p, err := torus.Route(torus.Node(0, 0), torus.Node(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := map[network.LinkID]bool{p.Links[0]: true}
+	set := request.Set{{Src: torus.Node(0, 0), Dst: torus.Node(0, 1)}}
+	if _, err := adaptive.Schedule(torus, set, failed); err == nil {
+		t.Error("unroutable request accepted")
+	}
+}
+
+func TestRandomFaultsSurvivable(t *testing.T) {
+	// With a handful of random failed links, multi-hop traffic still
+	// schedules (single-hop neighbor traffic over a failed link is the
+	// only hard loss).
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(5))
+	set, err := patterns.Random(rng, 64, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := map[network.LinkID]bool{}
+	for len(failed) < 4 {
+		failed[network.LinkID(rng.Intn(torus.NumLinks()))] = true
+	}
+	plan, err := adaptive.Schedule(torus, set, failed)
+	if err != nil {
+		t.Skipf("this fault set cut off a single-candidate route: %v", err)
+	}
+	if err := plan.Validate(set, failed); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scheduled 400 random connections around 4 failed links in %d slots", plan.Degree())
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := request.Set{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	plan, err := adaptive.Schedule(torus, set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a request.
+	corrupt := &adaptive.Plan{Topology: torus, Configs: [][]adaptive.Assignment{plan.Configs[0][:1]}}
+	if err := corrupt.Validate(set, nil); err == nil {
+		t.Error("missing request accepted")
+	}
+	// Report a path over a failed link.
+	failed := map[network.LinkID]bool{plan.Configs[0][0].Path.Links[0]: true}
+	if err := plan.Validate(set, failed); err == nil {
+		t.Error("failed-link path accepted")
+	}
+}

@@ -1,0 +1,260 @@
+// Package apps models the static communication behavior of the paper's
+// three evaluation programs (Table 4):
+//
+//   - GS: Gauss-Seidel iterations on a discretized unit square. The PEs
+//     form a logical linear array; each PE exchanges its boundary row with
+//     its two neighbors every iteration.
+//   - TSCF: a self-consistent-field N-body code communicating in a
+//     hypercube pattern with small, problem-size-independent messages.
+//   - P3M: particle-particle particle-mesh, with four block-cyclic data
+//     redistributions of its 3-D mesh plus a 26-neighbor ghost exchange on
+//     the logical 3-D PE grid.
+//
+// The program sources are not available, so each model reproduces the
+// communication subsystem the paper measures: the exact static pattern from
+// Table 4 and message volumes derived from the stated problem sizes (P3M
+// redistribution volumes are computed exactly by internal/redist).
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/redist"
+	"repro/internal/request"
+	"repro/internal/sim"
+)
+
+// FlitElements is the number of array elements one flit carries. One TDM
+// slot moves one flit over a circuit.
+const FlitElements = 4
+
+// Phase is one static communication pattern of an application: the request
+// set plus the per-message flit counts.
+type Phase struct {
+	// Name identifies the phase ("GS", "P3M 2", ...).
+	Name string
+	// Description is the Table 4 pattern description.
+	Description string
+	// Messages carries one entry per connection with its volume.
+	Messages []sim.Message
+}
+
+// Pattern returns the connection requests of the phase.
+func (p Phase) Pattern() request.Set {
+	set := make(request.Set, len(p.Messages))
+	for i, m := range p.Messages {
+		set[i] = request.Request{Src: network.NodeID(m.Src), Dst: network.NodeID(m.Dst)}
+	}
+	return set
+}
+
+// flits converts an element count to flits.
+func flits(elements int) int {
+	f := (elements + FlitElements - 1) / FlitElements
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// GS returns the Gauss-Seidel boundary-exchange phase for an n x n problem
+// on `pes` PEs in a logical linear array: every PE sends one boundary row
+// of n elements to each adjacent PE.
+func GS(n, pes int) (Phase, error) {
+	if n%pes != 0 && n < pes {
+		return Phase{}, fmt.Errorf("apps: GS problem %d too small for %d PEs", n, pes)
+	}
+	set := patterns.LinearNeighbors(pes)
+	msgs := make([]sim.Message, len(set))
+	for i, r := range set {
+		msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: flits(n)}
+	}
+	return Phase{
+		Name:        fmt.Sprintf("GS %dx%d", n, n),
+		Description: "PEs logically linear array, each PE communicates with its adjacent PEs",
+		Messages:    msgs,
+	}, nil
+}
+
+// TSCF returns the self-consistent-field phase: a hypercube exchange with
+// small messages whose size does not depend on the problem size (the paper
+// notes exactly this property for TSCF).
+func TSCF(pes int) (Phase, error) {
+	set, err := patterns.Hypercube(pes)
+	if err != nil {
+		return Phase{}, err
+	}
+	msgs := make([]sim.Message, len(set))
+	for i, r := range set {
+		msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: 2}
+	}
+	return Phase{
+		Name:        "TSCF",
+		Description: "explicit send/receive in a hypercube pattern",
+		Messages:    msgs,
+	}, nil
+}
+
+// FFT returns the communication phases of a radix-2 distributed FFT of n
+// points on `pes` PEs: log2(pes) butterfly stages, each exchanging every
+// PE's local half-array with its partner one address bit away, followed by
+// the bit-reversal permutation that unscrambles the result. It is the
+// textbook example of why per-phase compilation wins: each butterfly stage
+// alone is a perfect matching (degree 1 after compilation) even though the
+// union of all stages is the full hypercube pattern (degree 7 on the 8x8
+// torus).
+func FFT(n, pes int) ([]Phase, error) {
+	if pes < 2 || pes&(pes-1) != 0 {
+		return nil, fmt.Errorf("apps: FFT needs a power-of-two PE count, got %d", pes)
+	}
+	if n < pes {
+		return nil, fmt.Errorf("apps: FFT of %d points too small for %d PEs", n, pes)
+	}
+	local := n / pes
+	var phases []Phase
+	stage := 0
+	for b := 1; b < pes; b <<= 1 {
+		msgs := make([]sim.Message, 0, pes)
+		for i := 0; i < pes; i++ {
+			msgs = append(msgs, sim.Message{Src: i, Dst: i ^ b, Flits: flits(local / 2)})
+		}
+		phases = append(phases, Phase{
+			Name:        fmt.Sprintf("FFT stage %d", stage),
+			Description: fmt.Sprintf("butterfly exchange across address bit %d", stage),
+			Messages:    msgs,
+		})
+		stage++
+	}
+	rev, err := patterns.BitReversal(pes)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make([]sim.Message, len(rev))
+	for i, r := range rev {
+		msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: flits(local)}
+	}
+	phases = append(phases, Phase{
+		Name:        "FFT unscramble",
+		Description: "bit-reversal permutation of the distributed result",
+		Messages:    msgs,
+	})
+	return phases, nil
+}
+
+// p3mGrids returns the three distributions P3M redistributes between on 64
+// PEs: the 3-D block distribution (4x4x4 grid), the z-only distribution
+// (1x1x64), and the xy distribution (8x8x1). Block sizes derive from the
+// mesh extent n; a dimension hosting more PEs than elements degenerates to
+// block size 1 with some PEs owning nothing, exactly as a CRAFT-style
+// compiler would lay it out.
+func p3mGrids(n int) (blk3, zOnly, xy redist.Dist, err error) {
+	bs := func(extent, procs int) int {
+		b := extent / procs
+		if b < 1 {
+			b = 1
+		}
+		return b
+	}
+	blk3, err = redist.NewDist([3]redist.DimDist{
+		{P: 4, B: bs(n, 4)}, {P: 4, B: bs(n, 4)}, {P: 4, B: bs(n, 4)},
+	})
+	if err != nil {
+		return
+	}
+	zOnly, err = redist.NewDist([3]redist.DimDist{
+		{P: 1, B: n}, {P: 1, B: n}, {P: 64, B: bs(n, 64)},
+	})
+	if err != nil {
+		return
+	}
+	xy, err = redist.NewDist([3]redist.DimDist{
+		{P: 8, B: bs(n, 8)}, {P: 8, B: bs(n, 8)}, {P: 1, B: n},
+	})
+	return
+}
+
+// P3M returns the five static phases of the particle-particle
+// particle-mesh code for an n^3 mesh on 64 PEs (Table 4):
+//
+//	P3M 1: (:block, :block, :block) -> (:, :, :block)
+//	P3M 2: (:, :, :block) -> (:block, :block, :)
+//	P3M 3: same redistribution as P3M 2
+//	P3M 4: (:block, :block, :) -> (:, :, :block)
+//	P3M 5: logical 3-D PE grid, each PE exchanges ghost regions with its
+//	       26 surrounding PEs
+func P3M(n int) ([]Phase, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("apps: P3M mesh %d^3 too small", n)
+	}
+	blk3, zOnly, xy, err := p3mGrids(n)
+	if err != nil {
+		return nil, err
+	}
+	shape := [3]int{n, n, n}
+	redistPhase := func(name string, from, to redist.Dist) (Phase, error) {
+		pat, err := redist.Redistribute(shape, from, to)
+		if err != nil {
+			return Phase{}, err
+		}
+		msgs := make([]sim.Message, len(pat.Reqs))
+		for i, r := range pat.Reqs {
+			msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: flits(pat.Volume[r])}
+		}
+		return Phase{
+			Name:        name,
+			Description: fmt.Sprintf("data redistribution %s to %s", from, to),
+			Messages:    msgs,
+		}, nil
+	}
+	p1, err := redistPhase("P3M 1", blk3, zOnly)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := redistPhase("P3M 2", zOnly, xy)
+	if err != nil {
+		return nil, err
+	}
+	p3, err := redistPhase("P3M 3", zOnly, xy)
+	if err != nil {
+		return nil, err
+	}
+	p4, err := redistPhase("P3M 4", xy, zOnly)
+	if err != nil {
+		return nil, err
+	}
+
+	// P3M 5: ghost exchange on the logical 4x4x4 grid. Face neighbors
+	// receive a (n/4)^2 plane, edge neighbors a (n/4) line, corner
+	// neighbors a single cell.
+	nn := patterns.NearestNeighbor3D(4, 4, 4)
+	side := n / 4
+	msgs := make([]sim.Message, len(nn))
+	for i, r := range nn {
+		si, sj, sk := int(r.Src)/16, (int(r.Src)/4)%4, int(r.Src)%4
+		di, dj, dk := int(r.Dst)/16, (int(r.Dst)/4)%4, int(r.Dst)%4
+		diffs := 0
+		for _, d := range [][2]int{{si, di}, {sj, dj}, {sk, dk}} {
+			if d[0] != d[1] {
+				diffs++
+			}
+		}
+		var elements int
+		switch diffs {
+		case 1: // face
+			elements = side * side
+		case 2: // edge
+			elements = side
+		default: // corner
+			elements = 1
+		}
+		msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: flits(elements)}
+	}
+	p5 := Phase{
+		Name:        "P3M 5",
+		Description: "PEs logically 3-D array, each PE communicates with the 26 PEs surrounding it",
+		Messages:    msgs,
+	}
+	return []Phase{p1, p2, p3, p4, p5}, nil
+}

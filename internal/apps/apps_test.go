@@ -1,0 +1,206 @@
+package apps_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func TestGSPattern(t *testing.T) {
+	ph, err := apps.GS(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph.Messages) != 126 {
+		t.Fatalf("GS has %d messages, want 126 (linear neighbors of 64 PEs)", len(ph.Messages))
+	}
+	for _, m := range ph.Messages {
+		if m.Flits != 64/apps.FlitElements {
+			t.Fatalf("GS 64x64 message has %d flits, want %d", m.Flits, 64/apps.FlitElements)
+		}
+	}
+	// Message size scales linearly with the problem edge.
+	big, err := apps.GS(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Messages[0].Flits != 4*ph.Messages[0].Flits {
+		t.Errorf("GS 256 message %d flits, want 4x the 64 case", big.Messages[0].Flits)
+	}
+}
+
+func TestTSCFPattern(t *testing.T) {
+	ph, err := apps.TSCF(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph.Messages) != 384 {
+		t.Fatalf("TSCF has %d messages, want 384 (hypercube on 64 PEs)", len(ph.Messages))
+	}
+	for _, m := range ph.Messages {
+		if m.Flits != 2 {
+			t.Fatalf("TSCF message has %d flits; size must not depend on the problem", m.Flits)
+		}
+	}
+	if _, err := apps.TSCF(48); err == nil {
+		t.Error("non-power-of-two PE count accepted")
+	}
+}
+
+func TestP3MPhases(t *testing.T) {
+	phases, err := apps.P3M(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 5 {
+		t.Fatalf("P3M has %d phases, want 5 (Table 4)", len(phases))
+	}
+	names := []string{"P3M 1", "P3M 2", "P3M 3", "P3M 4", "P3M 5"}
+	for i, ph := range phases {
+		if ph.Name != names[i] {
+			t.Errorf("phase %d named %q, want %q", i, ph.Name, names[i])
+		}
+		if len(ph.Messages) == 0 {
+			t.Errorf("phase %q has no messages", ph.Name)
+		}
+		if err := ph.Pattern().Validate(topology.NewTorus(8, 8)); err != nil {
+			t.Errorf("phase %q: %v", ph.Name, err)
+		}
+	}
+	// P3M 2 and P3M 3 are the same redistribution (Table 4 lists the same
+	// source and destination distributions).
+	if len(phases[1].Messages) != len(phases[2].Messages) {
+		t.Error("P3M 2 and P3M 3 should have identical patterns")
+	}
+	// P3M 5 is the 26-neighbor exchange: 64*26 messages.
+	if len(phases[4].Messages) != 64*26 {
+		t.Errorf("P3M 5 has %d messages, want %d", len(phases[4].Messages), 64*26)
+	}
+}
+
+func TestP3MVolumeScalesWithMesh(t *testing.T) {
+	small, err := apps.P3M(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := apps.P3M(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small {
+		sumS, sumB := 0, 0
+		for _, m := range small[i].Messages {
+			sumS += m.Flits
+		}
+		for _, m := range big[i].Messages {
+			sumB += m.Flits
+		}
+		if sumB <= sumS {
+			t.Errorf("%s: 64^3 volume (%d flits) not larger than 32^3 (%d)", small[i].Name, sumB, sumS)
+		}
+	}
+}
+
+func TestP3MRedistributionPhasesAreDense(t *testing.T) {
+	phases, err := apps.P3M(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (:,:,:block) -> (:block,:block,:) moves every z-slab across the whole
+	// xy grid: a dense pattern, which is the paper's explanation for P3M 2's
+	// large dynamic-control penalty.
+	if len(phases[1].Messages) < 2000 {
+		t.Errorf("P3M 2 has %d connections; expected a dense pattern", len(phases[1].Messages))
+	}
+}
+
+func TestP3MGhostVolumes(t *testing.T) {
+	phases, err := apps.P3M(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5 := phases[4]
+	side := 32 / 4
+	wantFace := (side*side + apps.FlitElements - 1) / apps.FlitElements
+	wantEdge := (side + apps.FlitElements - 1) / apps.FlitElements
+	faces, edges, corners := 0, 0, 0
+	for _, m := range p5.Messages {
+		switch m.Flits {
+		case wantFace:
+			faces++
+		case wantEdge:
+			edges++
+		case 1:
+			corners++
+		default:
+			t.Fatalf("unexpected ghost message size %d flits", m.Flits)
+		}
+	}
+	if faces != 64*6 || edges != 64*12 || corners != 64*8 {
+		t.Errorf("faces=%d edges=%d corners=%d, want %d/%d/%d", faces, edges, corners, 64*6, 64*12, 64*8)
+	}
+}
+
+func TestP3MSchedulable(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	phases, err := apps.P3M(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range phases {
+		set := ph.Pattern().Dedup()
+		res, err := schedule.Combined{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatalf("%s: %v", ph.Name, err)
+		}
+		if err := res.Validate(set); err != nil {
+			t.Fatalf("%s: %v", ph.Name, err)
+		}
+	}
+}
+
+func TestAppErrors(t *testing.T) {
+	if _, err := apps.GS(8, 64); err == nil {
+		t.Error("GS problem smaller than PE count accepted")
+	}
+	if _, err := apps.P3M(2); err == nil {
+		t.Error("P3M mesh smaller than the PE grid accepted")
+	}
+}
+
+func TestFFTPhases(t *testing.T) {
+	phases, err := apps.FFT(4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 7 {
+		t.Fatalf("FFT has %d phases, want 6 butterfly stages + unscramble", len(phases))
+	}
+	torus := topology.NewTorus(8, 8)
+	for i, ph := range phases[:6] {
+		if len(ph.Messages) != 64 {
+			t.Fatalf("stage %d has %d messages, want 64", i, len(ph.Messages))
+		}
+		res, err := schedule.Combined{}.Schedule(torus, ph.Pattern().Dedup())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each butterfly stage is a perfect matching: the compiled degree
+		// stays tiny even though the union of stages is the degree-7
+		// hypercube.
+		if res.Degree() > 2 {
+			t.Errorf("stage %d compiled to degree %d, want <= 2", i, res.Degree())
+		}
+	}
+	if phases[6].Name != "FFT unscramble" {
+		t.Errorf("last phase %q", phases[6].Name)
+	}
+	if _, err := apps.FFT(4096, 48); err == nil {
+		t.Error("non-power-of-two PE count accepted")
+	}
+	if _, err := apps.FFT(8, 64); err == nil {
+		t.Error("undersized problem accepted")
+	}
+}

@@ -1,0 +1,404 @@
+// Package benes implements connection scheduling on a Beneš rearrangeable
+// network — the strongest switching substrate compiled communication can
+// target, and a counterpoint to the torus evaluation of the paper.
+//
+// A Beneš network on N = 2^k terminals (2·k−1 stages of N/2 2x2 switches)
+// can realize *any* permutation in a single configuration; the classic
+// looping algorithm computes the switch settings. Combined with bipartite
+// edge coloring — which partitions an arbitrary request multiset into
+// max-port-degree partial permutations (König's theorem) — compiled
+// communication on a Beneš network always achieves the injection/ejection
+// port lower bound:
+//
+//	multiplexing degree = max(#requests per source, #requests per dest).
+//
+// No heuristic gap remains, unlike the torus where link conflicts push the
+// degree above the port bound. The price is the fabric: O(N log N)
+// switches with global wiring instead of the torus's N switches.
+package benes
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+)
+
+// Network is a Beneš network over N terminals.
+type Network struct {
+	N int
+}
+
+// New returns a Beneš network over n terminals (n a power of two >= 2).
+func New(n int) (*Network, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("benes: size %d not a power of two >= 2", n)
+	}
+	return &Network{N: n}, nil
+}
+
+// Stages returns the number of switch stages, 2*log2(N) - 1.
+func (b *Network) Stages() int {
+	k := 0
+	for 1<<k < b.N {
+		k++
+	}
+	return 2*k - 1
+}
+
+// Settings is the recursive switch configuration of one Beneš pass. For a
+// 2-terminal (single switch) network only Cross[0] is meaningful; larger
+// networks have an input column, an output column and two half-size
+// subnetworks.
+type Settings struct {
+	Size     int
+	Cross    []bool // input-stage switches; Cross[k] swaps inputs 2k/2k+1
+	OutCross []bool // output-stage switches; nil when Size == 2
+	Upper    *Settings
+	Lower    *Settings
+}
+
+// RoutePermutation computes switch settings realizing the permutation perm
+// (perm[i] is the output terminal of input i). Idle inputs are marked -1;
+// they are routed to the idle outputs in ascending order, which is legal
+// because a Beneš network realizes every completion.
+func (b *Network) RoutePermutation(perm []int) (*Settings, error) {
+	if len(perm) != b.N {
+		return nil, fmt.Errorf("benes: permutation has %d entries, want %d", len(perm), b.N)
+	}
+	full := make([]int, b.N)
+	usedOut := make([]bool, b.N)
+	for i, o := range perm {
+		full[i] = o
+		if o < 0 {
+			continue
+		}
+		if o >= b.N {
+			return nil, fmt.Errorf("benes: output %d out of range", o)
+		}
+		if usedOut[o] {
+			return nil, fmt.Errorf("benes: output %d assigned twice", o)
+		}
+		usedOut[o] = true
+	}
+	// Complete the partial permutation.
+	next := 0
+	for i := range full {
+		if full[i] >= 0 {
+			continue
+		}
+		for usedOut[next] {
+			next++
+		}
+		full[i] = next
+		usedOut[next] = true
+	}
+	return loop(full)
+}
+
+// loop is the looping algorithm: split the permutation across the upper and
+// lower half-size subnetworks so that the two inputs of every input switch
+// and the two outputs of every output switch use different halves, then
+// recurse.
+func loop(perm []int) (*Settings, error) {
+	n := len(perm)
+	if n == 2 {
+		return &Settings{Size: 2, Cross: []bool{perm[0] == 1}}, nil
+	}
+	inv := make([]int, n)
+	for i, o := range perm {
+		inv[o] = i
+	}
+	const unset = -1
+	half := make([]int, n) // half[i]: 0 = upper, 1 = lower, per input
+	for i := range half {
+		half[i] = unset
+	}
+	for start := 0; start < n; start++ {
+		if half[start] != unset {
+			continue
+		}
+		// Walk the constraint cycle: input sibling alternation and output
+		// sibling alternation.
+		i, h := start, 0
+		for {
+			half[i] = h
+			// Output constraint: the sibling output of perm[i] must come
+			// from the other half.
+			sibIn := inv[perm[i]^1]
+			if half[sibIn] == unset {
+				half[sibIn] = 1 - h
+			}
+			// Input constraint: the sibling input of sibIn takes the other
+			// half again.
+			nxt := sibIn ^ 1
+			if half[nxt] != unset {
+				break
+			}
+			i, h = nxt, 1-half[sibIn]
+		}
+	}
+
+	s := &Settings{
+		Size:     n,
+		Cross:    make([]bool, n/2),
+		OutCross: make([]bool, n/2),
+	}
+	upPerm := make([]int, n/2)
+	loPerm := make([]int, n/2)
+	for k := 0; k < n/2; k++ {
+		// Input switch k: through sends 2k up; cross sends 2k down.
+		s.Cross[k] = half[2*k] == 1
+		// Subnetwork permutations: input switch k feeds subnet position k;
+		// output switch perm[i]/2 drains subnet position perm[i]/2.
+		for _, i := range []int{2 * k, 2*k + 1} {
+			if half[i] == 0 {
+				upPerm[k] = perm[i] / 2
+			} else {
+				loPerm[k] = perm[i] / 2
+			}
+		}
+	}
+	for p := 0; p < n/2; p++ {
+		// Output switch p: through takes the upper subnet to output 2p.
+		srcIn := inv[2*p]
+		s.OutCross[p] = half[srcIn] == 1
+	}
+	var err error
+	if s.Upper, err = loop(upPerm); err != nil {
+		return nil, err
+	}
+	if s.Lower, err = loop(loPerm); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Apply traces every input through the settings and returns the realized
+// input-to-output mapping — the verification mirror of RoutePermutation.
+func (s *Settings) Apply() []int {
+	n := s.Size
+	out := make([]int, n)
+	if n == 2 {
+		if s.Cross[0] {
+			out[0], out[1] = 1, 0
+		} else {
+			out[0], out[1] = 0, 1
+		}
+		return out
+	}
+	up := s.Upper.Apply()
+	lo := s.Lower.Apply()
+	for i := 0; i < n; i++ {
+		k := i / 2
+		// Which half does input i enter?
+		toLower := s.Cross[k] != (i%2 == 1)
+		var p int // subnet output position
+		if toLower {
+			p = lo[k]
+		} else {
+			p = up[k]
+		}
+		// Output switch p: through maps upper to 2p.
+		if s.OutCross[p] != toLower {
+			out[i] = 2*p + 1
+		} else {
+			out[i] = 2 * p
+		}
+	}
+	return out
+}
+
+// EdgeColor partitions a request multiset over n terminals into the minimum
+// number of partial permutations: exactly the maximum number of requests
+// sharing a source or a destination (König's bipartite edge-coloring
+// theorem, via alternating-path recoloring). Slot k's partial permutation
+// is returned as perm[k][src] = dst with -1 for idle sources.
+func EdgeColor(n int, reqs request.Set) ([][]int, error) {
+	if err := validateReqs(n, reqs, true); err != nil {
+		return nil, err
+	}
+	degree := 0
+	srcDeg := make([]int, n)
+	dstDeg := make([]int, n)
+	for _, r := range reqs {
+		srcDeg[r.Src]++
+		dstDeg[r.Dst]++
+		if srcDeg[r.Src] > degree {
+			degree = srcDeg[r.Src]
+		}
+		if dstDeg[r.Dst] > degree {
+			degree = dstDeg[r.Dst]
+		}
+	}
+	if degree == 0 {
+		return nil, nil
+	}
+	// color assignment tables: srcColor[s][c] = dst (or -1), dstColor[d][c] = src.
+	srcColor := make([][]int, n)
+	dstColor := make([][]int, n)
+	for i := 0; i < n; i++ {
+		srcColor[i] = filled(degree, -1)
+		dstColor[i] = filled(degree, -1)
+	}
+	freeColor := func(table []int) int {
+		for c, v := range table {
+			if v < 0 {
+				return c
+			}
+		}
+		return -1
+	}
+	for _, r := range reqs {
+		s, d := int(r.Src), int(r.Dst)
+		a := freeColor(srcColor[s])
+		bc := freeColor(dstColor[d])
+		if a == -1 || bc == -1 {
+			return nil, fmt.Errorf("benes: internal: no free color for %v", r)
+		}
+		if a == bc {
+			srcColor[s][a] = d
+			dstColor[d][a] = s
+			continue
+		}
+		// Flip the a/bc alternating path starting at d: every edge on the
+		// path swaps colors a and bc, freeing color a at d.
+		u, cFrom, cTo := d, a, bc
+		onDst := true
+		for {
+			var v int
+			if onDst {
+				v = dstColor[u][cFrom]
+			} else {
+				v = srcColor[u][cFrom]
+			}
+			if v < 0 {
+				break
+			}
+			if onDst {
+				dstColor[u][cFrom], dstColor[u][cTo] = dstColor[u][cTo], dstColor[u][cFrom]
+			} else {
+				srcColor[u][cFrom], srcColor[u][cTo] = srcColor[u][cTo], srcColor[u][cFrom]
+			}
+			u = v
+			onDst = !onDst
+			cFrom, cTo = cTo, cFrom
+		}
+		if onDst {
+			dstColor[u][cFrom], dstColor[u][cTo] = dstColor[u][cTo], dstColor[u][cFrom]
+		} else {
+			srcColor[u][cFrom], srcColor[u][cTo] = srcColor[u][cTo], srcColor[u][cFrom]
+		}
+		srcColor[s][a] = d
+		dstColor[d][a] = s
+	}
+	perms := make([][]int, degree)
+	for c := 0; c < degree; c++ {
+		perms[c] = filled(n, -1)
+	}
+	for s := 0; s < n; s++ {
+		for c, d := range srcColor[s] {
+			if d >= 0 {
+				perms[c][s] = d
+			}
+		}
+	}
+	return perms, nil
+}
+
+// Plan is a complete compiled-communication plan on a Beneš network: one
+// switch setting per TDM slot, achieving the port lower bound.
+type Plan struct {
+	Network  *Network
+	Slots    []*Settings
+	Perms    [][]int
+	SlotOf   map[request.Request]int
+	Requests request.Set
+}
+
+// Degree returns the plan's multiplexing degree.
+func (p *Plan) Degree() int { return len(p.Slots) }
+
+// Schedule partitions the requests into port-bound many permutations and
+// routes each through the network.
+func (b *Network) Schedule(reqs request.Set) (*Plan, error) {
+	if err := validateReqs(b.N, reqs, false); err != nil {
+		return nil, err
+	}
+	perms, err := EdgeColor(b.N, reqs)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Network:  b,
+		Perms:    perms,
+		SlotOf:   make(map[request.Request]int, len(reqs)),
+		Requests: reqs.Clone(),
+	}
+	for c, perm := range perms {
+		st, err := b.RoutePermutation(perm)
+		if err != nil {
+			return nil, err
+		}
+		plan.Slots = append(plan.Slots, st)
+		for s, d := range perm {
+			if d >= 0 {
+				plan.SlotOf[request.Request{Src: network.NodeID(s), Dst: network.NodeID(d)}] = c
+			}
+		}
+	}
+	return plan, nil
+}
+
+// Verify re-applies every slot's switch settings and confirms each request
+// is physically realized in its slot.
+func (p *Plan) Verify() error {
+	realized := make([][]int, len(p.Slots))
+	for c, st := range p.Slots {
+		realized[c] = st.Apply()
+	}
+	for _, r := range p.Requests.Dedup() {
+		c, ok := p.SlotOf[r]
+		if !ok {
+			return fmt.Errorf("benes: request %v has no slot", r)
+		}
+		if realized[c][int(r.Src)] != int(r.Dst) {
+			return fmt.Errorf("benes: slot %d routes input %d to %d, want %d",
+				c, r.Src, realized[c][int(r.Src)], r.Dst)
+		}
+	}
+	return nil
+}
+
+// validateReqs checks request ranges. Duplicate (s, d) pairs are legal for
+// EdgeColor — it colors a multigraph, placing parallel edges in distinct
+// slots — but ambiguous for Plan.SlotOf, so Schedule rejects them.
+func validateReqs(n int, reqs request.Set, allowDup bool) error {
+	for _, r := range reqs {
+		if int(r.Src) < 0 || int(r.Src) >= n || int(r.Dst) < 0 || int(r.Dst) >= n {
+			return fmt.Errorf("benes: request %v outside 0..%d", r, n-1)
+		}
+		if r.Src == r.Dst {
+			return fmt.Errorf("benes: self-loop %v", r)
+		}
+	}
+	if allowDup {
+		return nil
+	}
+	seen := make(map[request.Request]bool, len(reqs))
+	for _, r := range reqs {
+		if seen[r] {
+			return fmt.Errorf("benes: duplicate request %v", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+func filled(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

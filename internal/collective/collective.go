@@ -1,0 +1,217 @@
+// Package collective builds classic collective operations — broadcast,
+// reduce, scatter, gather, all-gather, all-reduce — as sequences of
+// compiled communication rounds. The paper's introduction motivates
+// compiled communication with exactly this class of operations (its
+// citations include Chen & Li's collective-communication compilation); this
+// package shows how they map onto the system: each round is a static
+// pattern the compiler schedules at minimal multiplexing degree, and the
+// rounds execute as the phases of one core.Program.
+//
+// Trees and exchanges are expressed on logical ranks 0..n-1, relative to a
+// root where applicable; embedding onto the physical topology is the
+// scheduler's job.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/sim"
+)
+
+// Collective is a multi-round communication structure: Rounds[r] holds the
+// connections of round r; Volumes[r] the per-connection element counts.
+type Collective struct {
+	Name    string
+	Nodes   int
+	Rounds  []request.Set
+	Volumes []map[request.Request]int
+}
+
+// NumRounds returns the number of communication rounds.
+func (c Collective) NumRounds() int { return len(c.Rounds) }
+
+// Program converts the collective into a compilable program, one phase per
+// round; flitElements is the flit granularity (elements per flit).
+func (c Collective) Program(flitElements int) core.Program {
+	if flitElements < 1 {
+		flitElements = 1
+	}
+	prog := core.Program{Name: c.Name}
+	for r, set := range c.Rounds {
+		phase := core.Phase{Name: fmt.Sprintf("%s round %d", c.Name, r)}
+		for _, req := range set {
+			elems := c.Volumes[r][req]
+			flits := (elems + flitElements - 1) / flitElements
+			if flits < 1 {
+				flits = 1
+			}
+			phase.Messages = append(phase.Messages, sim.Message{
+				Src: int(req.Src), Dst: int(req.Dst), Flits: flits,
+			})
+		}
+		prog.Phases = append(prog.Phases, phase)
+	}
+	return prog
+}
+
+// unrel maps a root-relative index back to an absolute rank.
+func unrel(j, root, n int) int { return (j + root) % n }
+
+// Broadcast returns the binomial-tree broadcast of `elements` elements from
+// root to all n ranks: ceil(log2 n) rounds; in round r every rank that
+// already holds the datum forwards it to its partner 2^r away.
+func Broadcast(root, n, elements int) (Collective, error) {
+	if err := checkArgs(root, n, elements); err != nil {
+		return Collective{}, err
+	}
+	c := Collective{Name: "broadcast", Nodes: n}
+	for span := 1; span < n; span *= 2 {
+		var set request.Set
+		vol := make(map[request.Request]int)
+		for j := 0; j < span && j+span < n; j++ {
+			req := request.Request{
+				Src: network.NodeID(unrel(j, root, n)),
+				Dst: network.NodeID(unrel(j+span, root, n)),
+			}
+			set = append(set, req)
+			vol[req] = elements
+		}
+		c.Rounds = append(c.Rounds, set)
+		c.Volumes = append(c.Volumes, vol)
+	}
+	return c, nil
+}
+
+// Reduce is the mirror of Broadcast: partial results flow down the binomial
+// tree to the root, largest spans first.
+func Reduce(root, n, elements int) (Collective, error) {
+	b, err := Broadcast(root, n, elements)
+	if err != nil {
+		return Collective{}, err
+	}
+	c := Collective{Name: "reduce", Nodes: n}
+	for r := b.NumRounds() - 1; r >= 0; r-- {
+		set := make(request.Set, len(b.Rounds[r]))
+		vol := make(map[request.Request]int, len(b.Rounds[r]))
+		for i, req := range b.Rounds[r] {
+			rev := request.Request{Src: req.Dst, Dst: req.Src}
+			set[i] = rev
+			vol[rev] = elements
+		}
+		c.Rounds = append(c.Rounds, set)
+		c.Volumes = append(c.Volumes, vol)
+	}
+	return c, nil
+}
+
+// Scatter distributes n distinct chunks of `elements` elements from the
+// root, one per rank, down the binomial tree: in the first round the root
+// sends the half of the data destined for the far subtree, and so on, so
+// round volumes halve.
+func Scatter(root, n, elements int) (Collective, error) {
+	if err := checkArgs(root, n, elements); err != nil {
+		return Collective{}, err
+	}
+	if n&(n-1) != 0 {
+		return Collective{}, fmt.Errorf("collective: scatter needs a power-of-two rank count, got %d", n)
+	}
+	c := Collective{Name: "scatter", Nodes: n}
+	for span := n / 2; span >= 1; span /= 2 {
+		var set request.Set
+		vol := make(map[request.Request]int)
+		for j := 0; j < n; j += 2 * span {
+			req := request.Request{
+				Src: network.NodeID(unrel(j, root, n)),
+				Dst: network.NodeID(unrel(j+span, root, n)),
+			}
+			set = append(set, req)
+			vol[req] = elements * span // the whole far-subtree payload
+		}
+		c.Rounds = append(c.Rounds, set)
+		c.Volumes = append(c.Volumes, vol)
+	}
+	return c, nil
+}
+
+// Gather is the mirror of Scatter: chunks flow up the binomial tree to the
+// root, volumes doubling as subtrees merge.
+func Gather(root, n, elements int) (Collective, error) {
+	s, err := Scatter(root, n, elements)
+	if err != nil {
+		return Collective{}, err
+	}
+	c := Collective{Name: "gather", Nodes: n}
+	for r := s.NumRounds() - 1; r >= 0; r-- {
+		set := make(request.Set, len(s.Rounds[r]))
+		vol := make(map[request.Request]int, len(s.Rounds[r]))
+		for i, req := range s.Rounds[r] {
+			rev := request.Request{Src: req.Dst, Dst: req.Src}
+			set[i] = rev
+			vol[rev] = s.Volumes[r][req]
+		}
+		c.Rounds = append(c.Rounds, set)
+		c.Volumes = append(c.Volumes, vol)
+	}
+	return c, nil
+}
+
+// AllGather uses recursive doubling: in round r every rank exchanges its
+// accumulated 2^r chunks with the partner rank 2^r away, so after log2(n)
+// rounds every rank holds all n chunks of `elements` elements.
+func AllGather(n, elements int) (Collective, error) {
+	if err := checkArgs(0, n, elements); err != nil {
+		return Collective{}, err
+	}
+	if n&(n-1) != 0 {
+		return Collective{}, fmt.Errorf("collective: all-gather needs a power-of-two rank count, got %d", n)
+	}
+	c := Collective{Name: "all-gather", Nodes: n}
+	for span := 1; span < n; span *= 2 {
+		var set request.Set
+		vol := make(map[request.Request]int)
+		for i := 0; i < n; i++ {
+			req := request.Request{Src: network.NodeID(i), Dst: network.NodeID(i ^ span)}
+			set = append(set, req)
+			vol[req] = elements * span // everything accumulated so far
+		}
+		c.Rounds = append(c.Rounds, set)
+		c.Volumes = append(c.Volumes, vol)
+	}
+	return c, nil
+}
+
+// AllReduce uses recursive doubling with full-vector exchanges: in every
+// round each rank swaps its current partial result (all `elements`
+// elements) with the partner 2^r away and combines.
+func AllReduce(n, elements int) (Collective, error) {
+	ag, err := AllGather(n, elements)
+	if err != nil {
+		return Collective{}, fmt.Errorf("collective: all-reduce: %w", err)
+	}
+	c := Collective{Name: "all-reduce", Nodes: n}
+	for _, set := range ag.Rounds {
+		vol := make(map[request.Request]int, len(set))
+		for _, req := range set {
+			vol[req] = elements // full partial vector every round
+		}
+		c.Rounds = append(c.Rounds, set.Clone())
+		c.Volumes = append(c.Volumes, vol)
+	}
+	return c, nil
+}
+
+func checkArgs(root, n, elements int) error {
+	if n < 2 {
+		return fmt.Errorf("collective: need >= 2 ranks, got %d", n)
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("collective: root %d outside [0, %d)", root, n)
+	}
+	if elements < 1 {
+		return fmt.Errorf("collective: %d elements per chunk", elements)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package collective_test
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// propagate simulates who holds the broadcast datum after each round.
+func propagate(c collective.Collective, seed map[int]bool) map[int]bool {
+	has := make(map[int]bool, len(seed))
+	for k, v := range seed {
+		has[k] = v
+	}
+	for _, round := range c.Rounds {
+		next := make(map[int]bool, len(has))
+		for k := range has {
+			next[k] = true
+		}
+		for _, r := range round {
+			if has[int(r.Src)] {
+				next[int(r.Dst)] = true
+			}
+		}
+		has = next
+	}
+	return has
+}
+
+func TestBroadcastCoversAllRanks(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 64, 100} {
+		for _, root := range []int{0, 1, n - 1} {
+			c, err := collective.Broadcast(root, n, 16)
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+			has := propagate(c, map[int]bool{root: true})
+			if len(has) != n {
+				t.Fatalf("n=%d root=%d: broadcast reached %d ranks", n, root, len(has))
+			}
+			// log-depth rounds.
+			maxRounds := 0
+			for 1<<maxRounds < n {
+				maxRounds++
+			}
+			if c.NumRounds() != maxRounds {
+				t.Fatalf("n=%d: %d rounds, want %d", n, c.NumRounds(), maxRounds)
+			}
+		}
+	}
+}
+
+func TestBroadcastSendersAlreadyHold(t *testing.T) {
+	// In every round, a sender must already hold the datum when the round
+	// starts — otherwise the tree is pipelined wrong.
+	c, err := collective.Broadcast(3, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[int]bool{3: true}
+	for r, round := range c.Rounds {
+		for _, req := range round {
+			if !has[int(req.Src)] {
+				t.Fatalf("round %d: sender %d does not hold the datum yet", r, req.Src)
+			}
+		}
+		for _, req := range round {
+			has[int(req.Dst)] = true
+		}
+	}
+}
+
+func TestReduceMirrorsBroadcast(t *testing.T) {
+	c, err := collective.Reduce(0, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate contribution flow: every rank starts with its own
+	// contribution; after all rounds the root must hold all 16.
+	contrib := make(map[int]map[int]bool)
+	for i := 0; i < 16; i++ {
+		contrib[i] = map[int]bool{i: true}
+	}
+	for _, round := range c.Rounds {
+		for _, req := range round {
+			for k := range contrib[int(req.Src)] {
+				contrib[int(req.Dst)][k] = true
+			}
+		}
+	}
+	if len(contrib[0]) != 16 {
+		t.Fatalf("root gathered %d contributions, want 16", len(contrib[0]))
+	}
+}
+
+func TestScatterDeliversDistinctChunks(t *testing.T) {
+	const n, elements = 16, 4
+	c, err := collective.Scatter(2, n, elements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track how many elements each rank ends up holding for itself: the
+	// root starts with n chunks; every round it (and other holders) pass
+	// the far half of what they hold. At the end every rank must retain
+	// exactly one chunk's worth.
+	hold := map[int]int{2: n * elements}
+	for r, round := range c.Rounds {
+		for _, req := range round {
+			v := c.Volumes[r][req]
+			if hold[int(req.Src)] < v {
+				t.Fatalf("round %d: %v sends %d elements but holds %d", r, req, v, hold[int(req.Src)])
+			}
+			hold[int(req.Src)] -= v
+			hold[int(req.Dst)] += v
+		}
+	}
+	for i := 0; i < n; i++ {
+		if hold[i] != elements {
+			t.Fatalf("rank %d ends with %d elements, want %d", i, hold[i], elements)
+		}
+	}
+	if _, err := collective.Scatter(0, 12, 4); err == nil {
+		t.Error("non-power-of-two scatter accepted")
+	}
+}
+
+func TestGatherCollectsEverything(t *testing.T) {
+	const n = 8
+	c, err := collective.Gather(1, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := map[int]int{}
+	for i := 0; i < n; i++ {
+		hold[i] = 4
+	}
+	for r, round := range c.Rounds {
+		for _, req := range round {
+			v := c.Volumes[r][req]
+			if hold[int(req.Src)] != v {
+				t.Fatalf("round %d: %v sends %d, holds %d", r, req, v, hold[int(req.Src)])
+			}
+			hold[int(req.Dst)] += v
+			hold[int(req.Src)] = 0
+		}
+	}
+	if hold[1] != n*4 {
+		t.Fatalf("root holds %d elements, want %d", hold[1], n*4)
+	}
+}
+
+func TestAllGatherEveryoneGetsEverything(t *testing.T) {
+	const n = 32
+	c, err := collective.AllGather(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([]map[int]bool, n)
+	for i := range chunks {
+		chunks[i] = map[int]bool{i: true}
+	}
+	for _, round := range c.Rounds {
+		// Exchanges are simultaneous: compute sends from the pre-round
+		// state.
+		snapshot := make([]map[int]bool, n)
+		for i := range chunks {
+			snapshot[i] = make(map[int]bool, len(chunks[i]))
+			for k := range chunks[i] {
+				snapshot[i][k] = true
+			}
+		}
+		for _, req := range round {
+			for k := range snapshot[int(req.Src)] {
+				chunks[int(req.Dst)][k] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(chunks[i]) != n {
+			t.Fatalf("rank %d holds %d chunks, want %d", i, len(chunks[i]), n)
+		}
+	}
+}
+
+func TestAllReduceCombinesAllContributions(t *testing.T) {
+	const n = 16
+	c, err := collective.AllReduce(n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contrib := make([]map[int]bool, n)
+	for i := range contrib {
+		contrib[i] = map[int]bool{i: true}
+	}
+	for _, round := range c.Rounds {
+		snapshot := make([]map[int]bool, n)
+		for i := range contrib {
+			snapshot[i] = make(map[int]bool, len(contrib[i]))
+			for k := range contrib[i] {
+				snapshot[i][k] = true
+			}
+		}
+		for _, req := range round {
+			for k := range snapshot[int(req.Src)] {
+				contrib[int(req.Dst)][k] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(contrib[i]) != n {
+			t.Fatalf("rank %d combined %d contributions, want %d", i, len(contrib[i]), n)
+		}
+	}
+	// Every round carries the full vector.
+	for r := range c.Rounds {
+		for _, v := range c.Volumes[r] {
+			if v != 64 {
+				t.Fatalf("round %d carries %d elements, want 64", r, v)
+			}
+		}
+	}
+}
+
+func TestCollectiveProgramCompiles(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	for _, build := range []func() (collective.Collective, error){
+		func() (collective.Collective, error) { return collective.Broadcast(0, 64, 16) },
+		func() (collective.Collective, error) { return collective.AllGather(64, 4) },
+		func() (collective.Collective, error) { return collective.AllReduce(64, 16) },
+		func() (collective.Collective, error) { return collective.Gather(5, 64, 4) },
+	} {
+		c, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := c.Program(4)
+		cp, err := core.Compiler{Topology: torus}.Compile(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if cp.Reconfigurations() != c.NumRounds() {
+			t.Fatalf("%s: %d phases for %d rounds", c.Name, cp.Reconfigurations(), c.NumRounds())
+		}
+		// Tree/exchange rounds are low-conflict: each rank sends at most
+		// once per round, so the degree stays small.
+		for i := range cp.Phases {
+			if d := cp.Phases[i].Degree(); d > 8 {
+				t.Errorf("%s round %d: degree %d unexpectedly high", c.Name, i, d)
+			}
+		}
+	}
+}
+
+func TestCollectiveErrors(t *testing.T) {
+	if _, err := collective.Broadcast(0, 1, 4); err == nil {
+		t.Error("single rank accepted")
+	}
+	if _, err := collective.Broadcast(9, 8, 4); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := collective.Broadcast(0, 8, 0); err == nil {
+		t.Error("zero elements accepted")
+	}
+	if _, err := collective.AllGather(12, 4); err == nil {
+		t.Error("non-power-of-two all-gather accepted")
+	}
+	if _, err := collective.AllReduce(12, 4); err == nil {
+		t.Error("non-power-of-two all-reduce accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func gsProgram(t *testing.T) core.Program {
+	t.Helper()
+	gs, err := apps.GS(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Program{Name: "gs", Phases: []core.Phase{{Name: gs.Name, Messages: gs.Messages}}}
+}
+
+func TestCompileSinglePhaseProgram(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	cp, err := core.Compiler{Topology: torus}.Compile(gsProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Phases) != 1 || cp.Reconfigurations() != 1 {
+		t.Fatalf("compiled %d phases", len(cp.Phases))
+	}
+	ph := cp.Phases[0]
+	if ph.Degree() < 2 {
+		t.Errorf("GS degree = %d, want >= 2", ph.Degree())
+	}
+	if ph.Program == nil || ph.Program.Degree != ph.Degree() {
+		t.Error("switch program degree mismatch")
+	}
+	if err := ph.Schedule.Validate(ph.Phase.Requests()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileMultiPhaseUsesPerPhaseDegrees(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	p3m, err := apps.P3M(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := core.Program{Name: "p3m"}
+	for _, ph := range p3m {
+		prog.Phases = append(prog.Phases, core.Phase{Name: ph.Name, Messages: ph.Messages})
+	}
+	cp, err := core.Compiler{Topology: torus}.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Reconfigurations() != 5 {
+		t.Errorf("reconfigurations = %d, want 5", cp.Reconfigurations())
+	}
+	degrees := map[int]bool{}
+	for i := range cp.Phases {
+		degrees[cp.Phases[i].Degree()] = true
+	}
+	if len(degrees) < 2 {
+		t.Error("all phases compiled to the same degree; per-phase degrees expected (paper section 2)")
+	}
+	if cp.MaxDegree() < 40 {
+		t.Errorf("max degree = %d; the dense redistribution phases should dominate", cp.MaxDegree())
+	}
+}
+
+func TestDynamicPhaseFallsBackToAAPC(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	prog := core.Program{
+		Name: "mixed",
+		Phases: []core.Phase{
+			{Name: "static", Messages: []sim.Message{{Src: 0, Dst: 1, Flits: 4}}},
+			{Name: "unknown", Dynamic: true, Messages: []sim.Message{{Src: 5, Dst: 60, Flits: 4}}},
+		},
+	}
+	cp, err := core.Compiler{Topology: torus}.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Phases[0].UsedFallback {
+		t.Error("static phase used the fallback")
+	}
+	if !cp.Phases[1].UsedFallback {
+		t.Error("dynamic phase did not use the fallback")
+	}
+	if cp.Phases[0].Degree() != 1 {
+		t.Errorf("static phase degree = %d, want 1", cp.Phases[0].Degree())
+	}
+	// The fallback supports every connection: degree equals the AAPC phase
+	// count (64 on the 8x8 torus).
+	if cp.Phases[1].Degree() != 64 {
+		t.Errorf("fallback degree = %d, want 64", cp.Phases[1].Degree())
+	}
+	// Any message, even one not in the declared set, must have a circuit.
+	if _, ok := cp.Phases[1].Schedule.Slot[request.Request{Src: 63, Dst: 0}]; !ok {
+		t.Error("fallback schedule misses connection (63, 0)")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := (core.Compiler{}).Compile(core.Program{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	torus := topology.NewTorus(8, 8)
+	empty := core.Program{Phases: []core.Phase{{Name: "empty"}}}
+	if _, err := (core.Compiler{Topology: torus}).Compile(empty); err == nil {
+		t.Error("empty phase accepted")
+	}
+	bad := core.Program{Phases: []core.Phase{{Name: "bad", Messages: []sim.Message{{Src: 0, Dst: 99, Flits: 1}}}}}
+	if _, err := (core.Compiler{Topology: torus}).Compile(bad); err == nil {
+		t.Error("out-of-range message accepted")
+	}
+}
+
+func TestCompiledProgramSimulate(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	cp, err := core.Compiler{Topology: torus, Scheduler: schedule.Combined{}}.Compile(gsProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims, err := cp.Simulate(torus, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) != 1 {
+		t.Fatalf("got %d phase simulations", len(sims))
+	}
+	s := sims[0]
+	if s.CompiledTime <= 0 {
+		t.Error("compiled time not positive")
+	}
+	for _, k := range []int{1, 2} {
+		if s.DynamicTime[k] <= s.CompiledTime {
+			t.Errorf("dynamic K=%d (%d) should exceed compiled (%d)", k, s.DynamicTime[k], s.CompiledTime)
+		}
+	}
+}
+
+func TestPhaseRequestsDedups(t *testing.T) {
+	ph := core.Phase{Messages: []sim.Message{
+		{Src: 0, Dst: 1, Flits: 1},
+		{Src: 0, Dst: 1, Flits: 2},
+		{Src: 1, Dst: 2, Flits: 3},
+	}}
+	if got := len(ph.Requests()); got != 2 {
+		t.Errorf("Requests() has %d entries, want 2", got)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// MergePhases is an optimization pass over a compiled program: it merges
+// adjacent static phases into one schedule whenever doing so reduces the
+// program's iteration time. Merging trades multiplexing degree (the union
+// pattern usually needs more slots) against reconfiguration (one register
+// load and barrier instead of two) — the knob the paper highlights when it
+// says multiplexing "reduces the frequency of network reconfiguration and
+// the need for inserting additional synchronization operations".
+//
+// The pass is greedy left to right: it keeps merging a growing group with
+// the next phase while the merged iteration time improves, then starts a
+// new group. Dynamic (fallback) phases act as barriers and are never
+// merged. The returned program is re-compiled; the input is not modified.
+//
+// Merging runs two phases' messages concurrently, so it is only legal when
+// the phases have no data dependence; the caller asserts that by invoking
+// the pass (a full compiler would consult its dependence analysis here).
+func (c Compiler) MergePhases(cp *CompiledProgram, rc ReconfigCost) (*CompiledProgram, error) {
+	if c.Topology == nil {
+		return nil, fmt.Errorf("core: Compiler.Topology is nil")
+	}
+	sched := c.Scheduler
+	if sched == nil {
+		sched = schedule.Combined{}
+	}
+	cost := func(msgs []sim.Message) (int, *schedule.Result, error) {
+		var phaseReqs request.Set
+		for _, m := range msgs {
+			phaseReqs = append(phaseReqs, request.Request{
+				Src: network.NodeID(m.Src), Dst: network.NodeID(m.Dst),
+			})
+		}
+		res, err := sched.Schedule(c.Topology, phaseReqs.Dedup())
+		if err != nil {
+			return 0, nil, err
+		}
+		out, err := sim.RunCompiled(res, msgs)
+		if err != nil {
+			return 0, nil, err
+		}
+		return rc.cost(res.Degree()) + out.Time, res, nil
+	}
+
+	merged := Program{Name: cp.Program.Name}
+	i := 0
+	phases := cp.Program.Phases
+	for i < len(phases) {
+		cur := phases[i]
+		if cur.Dynamic {
+			merged.Phases = append(merged.Phases, cur)
+			i++
+			continue
+		}
+		group := cur
+		groupCost, _, err := cost(group.Messages)
+		if err != nil {
+			return nil, fmt.Errorf("core: merge pass at %q: %w", cur.Name, err)
+		}
+		for i+1 < len(phases) && !phases[i+1].Dynamic {
+			next := phases[i+1]
+			nextCost, _, err := cost(next.Messages)
+			if err != nil {
+				return nil, fmt.Errorf("core: merge pass at %q: %w", next.Name, err)
+			}
+			candidate := Phase{
+				Name:     group.Name + "+" + next.Name,
+				Messages: append(append([]sim.Message{}, group.Messages...), next.Messages...),
+			}
+			candCost, _, err := cost(candidate.Messages)
+			if err != nil {
+				return nil, fmt.Errorf("core: merge pass at %q: %w", candidate.Name, err)
+			}
+			if candCost >= groupCost+nextCost {
+				break
+			}
+			group = candidate
+			groupCost = candCost
+			i++
+		}
+		merged.Phases = append(merged.Phases, group)
+		i++
+	}
+	return c.Compile(merged)
+}

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestMergePhasesCombinesTinyPhases: many tiny disjoint phases pay a
+// barrier each; the merge pass should collapse them when that is cheaper.
+func TestMergePhasesCombinesTinyPhases(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	// Four single-message phases with disjoint endpoints: merged they fit
+	// one conflict-free configuration, so four barriers become one.
+	prog := core.Program{Name: "tiny"}
+	for i := 0; i < 4; i++ {
+		prog.Phases = append(prog.Phases, core.Phase{
+			Name:     string(rune('a' + i)),
+			Messages: []sim.Message{{Src: 2 * i, Dst: 2*i + 1, Flits: 2}},
+		})
+	}
+	comp := core.Compiler{Topology: torus}
+	cp, err := comp.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := core.DefaultReconfigCost
+	before, _, err := cp.IterationTime(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := comp.MergePhases(cp, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Phases) != 1 {
+		t.Fatalf("merged into %d phases, want 1", len(merged.Phases))
+	}
+	after, _, err := merged.IterationTime(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("merge did not help: %d -> %d slots", before, after)
+	}
+}
+
+// TestMergePhasesKeepsExpensiveMergesApart: merging a long-message
+// degree-1 phase with a high-degree phase would make the long message pay
+// the deep frame (one flit every K slots), dwarfing the saved barrier; the
+// pass must keep them separate.
+func TestMergePhasesKeepsExpensiveMergesApart(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	long := core.Phase{Name: "bulk", Messages: []sim.Message{{Src: 0, Dst: 1, Flits: 1000}}}
+	fan := core.Phase{Name: "fan"}
+	for d := 3; d <= 10; d++ {
+		fan.Messages = append(fan.Messages, sim.Message{Src: 2, Dst: d + 8, Flits: 2})
+	}
+	prog := core.Program{Name: "dense", Phases: []core.Phase{long, fan}}
+	comp := core.Compiler{Topology: torus}
+	cp, err := comp.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := comp.MergePhases(cp, core.DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Phases) != 2 {
+		t.Errorf("dense phases merged into %d, want 2 (merge must not pay degree for barriers)", len(merged.Phases))
+	}
+}
+
+func TestMergePhasesSkipsDynamicBarriers(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	prog := core.Program{
+		Name: "barrier",
+		Phases: []core.Phase{
+			{Name: "a", Messages: []sim.Message{{Src: 0, Dst: 1, Flits: 1}}},
+			{Name: "dyn", Dynamic: true, Messages: []sim.Message{{Src: 2, Dst: 3, Flits: 1}}},
+			{Name: "b", Messages: []sim.Message{{Src: 4, Dst: 5, Flits: 1}}},
+		},
+	}
+	comp := core.Compiler{Topology: torus}
+	cp, err := comp.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := comp.MergePhases(cp, core.DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3 (dynamic phase is a merge barrier)", len(merged.Phases))
+	}
+	if !merged.Phases[1].UsedFallback {
+		t.Error("dynamic phase lost its fallback")
+	}
+}

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestIterationTimeBreakdown(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	cp, err := core.Compiler{Topology: torus}.Compile(gsProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := core.ReconfigCost{PerSlot: 1, Barrier: 10}
+	total, breakdown, err := cp.IterationTime(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(breakdown) != 1 {
+		t.Fatalf("breakdown has %d entries", len(breakdown))
+	}
+	wantReconfig := cp.Phases[0].Degree() + 10
+	if breakdown[0][0] != wantReconfig {
+		t.Errorf("reconfig cost = %d, want %d", breakdown[0][0], wantReconfig)
+	}
+	if total != breakdown[0][0]+breakdown[0][1] {
+		t.Errorf("total %d != %d + %d", total, breakdown[0][0], breakdown[0][1])
+	}
+}
+
+func TestProgramTimeSinglePhaseAmortizesLoad(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	cp, err := core.Compiler{Topology: torus}.Compile(gsProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := core.DefaultReconfigCost
+	one, err := cp.ProgramTime(1, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := cp.ProgramTime(10, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, breakdown, err := cp.IterationTime(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := breakdown[0][1]
+	// Ten iterations add nine communication rounds but no reconfiguration:
+	// the single configuration set stays loaded.
+	if ten-one != 9*comm {
+		t.Errorf("10 iters - 1 iter = %d, want 9*%d", ten-one, comm)
+	}
+}
+
+func TestProgramTimeMultiPhaseReconfiguresEveryIteration(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	p3m, err := apps.P3M(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := core.Program{Name: "p3m"}
+	for _, ph := range p3m[:2] {
+		prog.Phases = append(prog.Phases, core.Phase{Name: ph.Name, Messages: ph.Messages})
+	}
+	cp, err := core.Compiler{Topology: torus}.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := core.DefaultReconfigCost
+	iter, _, err := cp.IterationTime(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := cp.ProgramTime(5, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if five != 5*iter {
+		t.Errorf("5 iterations = %d, want %d", five, 5*iter)
+	}
+	if _, err := cp.ProgramTime(0, rc); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Package embed optimizes the mapping from logical PE ranks to physical
+// network nodes. The paper schedules patterns as given — logical rank i
+// lives on physical node i — but a compiler that controls the whole
+// machine can also choose the embedding, and the choice changes both path
+// lengths and conflicts, hence the multiplexing degree. The classic
+// example is the hypercube pattern on a torus: a Gray-code embedding makes
+// every hypercube neighbor a torus neighbor or near-neighbor, where the
+// row-major identity embedding spreads them across the machine.
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// Mapping assigns each logical rank a physical node. It must be a
+// bijection on [0, n).
+type Mapping []network.NodeID
+
+// Validate checks the mapping is a permutation of the nodes.
+func (m Mapping) Validate(nodes int) error {
+	if len(m) != nodes {
+		return fmt.Errorf("embed: mapping covers %d ranks, want %d", len(m), nodes)
+	}
+	seen := make([]bool, nodes)
+	for r, n := range m {
+		if int(n) < 0 || int(n) >= nodes {
+			return fmt.Errorf("embed: rank %d mapped to invalid node %d", r, n)
+		}
+		if seen[n] {
+			return fmt.Errorf("embed: node %d used twice", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// Apply rewrites a logical request set into physical node terms.
+func (m Mapping) Apply(reqs request.Set) request.Set {
+	out := make(request.Set, len(reqs))
+	for i, r := range reqs {
+		out[i] = request.Request{Src: m[r.Src], Dst: m[r.Dst]}
+	}
+	return out
+}
+
+// Identity maps rank i to node i.
+func Identity(nodes int) Mapping {
+	m := make(Mapping, nodes)
+	for i := range m {
+		m[i] = network.NodeID(i)
+	}
+	return m
+}
+
+// GrayTorus embeds hypercube-addressed ranks into a 2^a x 2^b torus using
+// a per-dimension binary-reflected Gray code: rank bits split into row and
+// column halves, each half Gray-decoded into a coordinate. Ranks differing
+// in one bit land on torus nodes differing by one grid step, so
+// hypercube-style patterns become near-neighbor traffic.
+func GrayTorus(t *topology.Torus) (Mapping, error) {
+	a, b := logDim(t.H), logDim(t.W)
+	if a < 0 || b < 0 {
+		return nil, fmt.Errorf("embed: torus %dx%d dimensions not powers of two", t.W, t.H)
+	}
+	m := make(Mapping, t.NumNodes())
+	for rank := 0; rank < t.NumNodes(); rank++ {
+		rowBits := rank >> b
+		colBits := rank & (1<<b - 1)
+		m[rank] = t.Node(grayToInt(rowBits), grayToInt(colBits))
+	}
+	return m, nil
+}
+
+// grayToInt interprets g as a binary-reflected Gray code and returns the
+// corresponding position: consecutive positions differ in one bit of g, so
+// placing rank-with-gray-bits g at position gray^-1(g)... inverted: we want
+// consecutive RANKS (binary) to map to positions such that single-bit rank
+// changes move one step. Encoding rank bits r to position gray(r) does
+// exactly that for the lowest bit; the standard trick is to use the Gray
+// code of the coordinate: position p carries rank gray(p). Inverting:
+// rank r sits at position grayInverse(r).
+func grayToInt(g int) int {
+	p := 0
+	for g != 0 {
+		p ^= g
+		g >>= 1
+	}
+	return p
+}
+
+// logDim returns log2(n) or -1 when n is not a power of two.
+func logDim(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	if 1<<k != n {
+		return -1
+	}
+	return k
+}
+
+// Cost evaluates a mapping for a pattern on a topology: the multiplexing
+// degree of the embedded pattern under the given scheduler, with total path
+// length as the tie-breaker. Lower is better.
+func Cost(t network.Topology, s schedule.Scheduler, reqs request.Set, m Mapping) (degree, pathLen int, err error) {
+	embedded := m.Apply(reqs)
+	res, err := s.Schedule(t, embedded)
+	if err != nil {
+		return 0, 0, err
+	}
+	paths, err := embedded.Routes(t)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, p := range paths {
+		pathLen += p.Len()
+	}
+	return res.Degree(), pathLen, nil
+}
+
+// Search improves an initial mapping by random pairwise swaps: a swap is
+// kept when it reduces (degree, pathLen) lexicographically. Deterministic
+// for a fixed seed; `swaps` bounds the work.
+func Search(t network.Topology, s schedule.Scheduler, reqs request.Set, start Mapping, swaps int, seed int64) (Mapping, error) {
+	nodes := t.NumNodes()
+	if err := start.Validate(nodes); err != nil {
+		return nil, err
+	}
+	cur := append(Mapping(nil), start...)
+	bestDeg, bestLen, err := Cost(t, s, reqs, cur)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < swaps; i++ {
+		a, b := rng.Intn(nodes), rng.Intn(nodes)
+		if a == b {
+			continue
+		}
+		cur[a], cur[b] = cur[b], cur[a]
+		deg, plen, err := Cost(t, s, reqs, cur)
+		if err != nil {
+			return nil, err
+		}
+		if deg < bestDeg || (deg == bestDeg && plen < bestLen) {
+			bestDeg, bestLen = deg, plen
+		} else {
+			cur[a], cur[b] = cur[b], cur[a] // revert
+		}
+	}
+	return cur, nil
+}

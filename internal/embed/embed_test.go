@@ -1,0 +1,147 @@
+package embed_test
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/patterns"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func TestIdentityAndValidate(t *testing.T) {
+	m := embed.Identity(16)
+	if err := m.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(8); err == nil {
+		t.Error("wrong size accepted")
+	}
+	bad := embed.Identity(16)
+	bad[0] = bad[1]
+	if err := bad.Validate(16); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	bad[0] = 99
+	if err := bad.Validate(16); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestGrayTorusIsBijection(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	m, err := embed.GrayTorus(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := embed.GrayTorus(topology.NewTorus(6, 8)); err == nil {
+		t.Error("non-power-of-two torus accepted")
+	}
+}
+
+// TestGrayTorusNeighborProperty: averaged over all single-bit rank
+// neighbors, the Gray embedding places them strictly closer on the torus
+// than the identity embedding does. (No embedding can make *every* bit
+// neighbor adjacent: a ring of 8 has only 4 nodes within 2 hops but each
+// address half has 3 bit neighbors.)
+func TestGrayTorusNeighborProperty(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	gray, err := embed.GrayTorus(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(m embed.Mapping) int {
+		sum := 0
+		for rank := 0; rank < 64; rank++ {
+			for b := 0; b < 6; b++ {
+				dx, dy := torus.Offsets(m[rank], m[rank^(1<<b)])
+				sum += abs(dx) + abs(dy)
+			}
+		}
+		return sum
+	}
+	id := total(embed.Identity(64))
+	gr := total(gray)
+	t.Logf("total bit-neighbor distance: identity %d, gray %d", id, gr)
+	if gr >= id {
+		t.Errorf("gray embedding (%d) not closer than identity (%d)", gr, id)
+	}
+}
+
+// TestGrayEmbeddingReducesHypercubeCost: the headline result — embedding
+// the hypercube pattern with Gray codes shortens paths (and often the
+// degree) versus the identity embedding.
+func TestGrayEmbeddingReducesHypercubeCost(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set, err := patterns.Hypercube(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := schedule.Combined{}
+	idDeg, idLen, err := embed.Cost(torus, sched, set, embed.Identity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gray, err := embed.GrayTorus(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gDeg, gLen, err := embed.Cost(torus, sched, set, gray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hypercube on 8x8 torus: identity degree=%d pathlen=%d; gray degree=%d pathlen=%d",
+		idDeg, idLen, gDeg, gLen)
+	if gLen >= idLen {
+		t.Errorf("gray embedding did not shorten paths: %d vs %d", gLen, idLen)
+	}
+	if gDeg > idDeg {
+		t.Errorf("gray embedding raised the degree: %d vs %d", gDeg, idDeg)
+	}
+}
+
+func TestSearchImprovesOrKeeps(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set, err := patterns.Hypercube(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := schedule.Coloring{}
+	start := embed.Identity(64)
+	d0, l0, err := embed.Cost(torus, sched, set, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := embed.Search(torus, sched, set, start, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+	d1, l1, err := embed.Cost(torus, sched, set, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 > d0 || (d1 == d0 && l1 > l0) {
+		t.Errorf("search worsened the embedding: (%d,%d) -> (%d,%d)", d0, l0, d1, l1)
+	}
+	t.Logf("search: degree %d->%d, pathlen %d->%d", d0, d1, l0, l1)
+}
+
+func TestSearchRejectsBadStart(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	if _, err := embed.Search(torus, schedule.Greedy{}, patterns.Ring(16), embed.Identity(8), 4, 1); err == nil {
+		t.Error("short mapping accepted")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

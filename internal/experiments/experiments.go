@@ -1,0 +1,398 @@
+// Package experiments generates the paper's evaluation tables as data —
+// the single implementation behind the cmd/cctables and cmd/ccsim tools and
+// the root benchmark harness, so the numbers in every output channel come
+// from one tested code path.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/redist"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Algorithms are the four scheduler columns of Tables 1-3, in the paper's
+// order.
+func Algorithms() []schedule.Scheduler {
+	return []schedule.Scheduler{
+		schedule.Greedy{},
+		schedule.Coloring{},
+		schedule.OrderedAAPC{},
+		schedule.Combined{},
+	}
+}
+
+// AlgorithmNames returns the column headers matching Algorithms().
+func AlgorithmNames() []string {
+	return []string{"greedy", "coloring", "aapc", "combined"}
+}
+
+// degreesFor schedules one request set with every algorithm.
+func degreesFor(t network.Topology, set request.Set) ([]int, error) {
+	out := make([]int, 0, 4)
+	for _, s := range Algorithms() {
+		res, err := s.Schedule(t, set)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", s.Name(), err)
+		}
+		out = append(out, res.Degree())
+	}
+	return out, nil
+}
+
+// degreesForAll schedules many request sets concurrently (schedulers are
+// pure, so the sweep parallelizes trivially) and returns degrees indexed
+// like the input. The sets themselves are generated sequentially by the
+// callers, keeping the sweep deterministic for a fixed seed.
+func degreesForAll(t network.Topology, sets []request.Set) ([][]int, error) {
+	out := make([][]int, len(sets))
+	errs := make([]error, len(sets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range sets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = degreesFor(t, sets[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Improvement is the paper's last column: the percentage reduction of the
+// combined algorithm's degree relative to greedy's.
+func Improvement(greedy, combined float64) float64 {
+	if greedy == 0 {
+		return 0
+	}
+	return 100 * (greedy - combined) / greedy
+}
+
+// --- Table 1 -----------------------------------------------------------------
+
+// Table1Config parameterizes the random-pattern sweep.
+type Table1Config struct {
+	// Sizes lists the connection counts; nil means the paper's 100..4000.
+	Sizes []int
+	// Trials is the number of random patterns averaged per row; zero means
+	// the paper's 100.
+	Trials int
+	// Seed drives the generator.
+	Seed int64
+	// Nodes is the PE count; zero means 64.
+	Nodes int
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Conns       int
+	Degrees     []float64 // one per Algorithms() column
+	Spread      []stats.Summary
+	Improvement float64
+}
+
+// Table1 runs the random-pattern sweep.
+func Table1(t network.Topology, cfg Table1Config) ([]Table1Row, error) {
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = []int{100, 400, 800, 1200, 1600, 2000, 2400, 2800, 3200, 3600, 4000}
+	}
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 100
+	}
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		nodes = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []Table1Row
+	for _, n := range sizes {
+		sets := make([]request.Set, trials)
+		for trial := 0; trial < trials; trial++ {
+			set, err := patterns.Random(rng, nodes, n)
+			if err != nil {
+				return nil, err
+			}
+			sets[trial] = set
+		}
+		all, err := degreesForAll(t, sets)
+		if err != nil {
+			return nil, err
+		}
+		samples := make([][]int, 4)
+		for _, degs := range all {
+			for i, d := range degs {
+				samples[i] = append(samples[i], d)
+			}
+		}
+		row := Table1Row{Conns: n, Degrees: make([]float64, 4), Spread: make([]stats.Summary, 4)}
+		for i := range samples {
+			row.Spread[i] = stats.Summarize(samples[i])
+			row.Degrees[i] = row.Spread[i].Mean
+		}
+		row.Improvement = Improvement(row.Degrees[0], row.Degrees[3])
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// --- Table 2 -----------------------------------------------------------------
+
+// Table2Config parameterizes the redistribution sweep.
+type Table2Config struct {
+	// Redistributions is the number of random redistributions; zero means
+	// the paper's 500.
+	Redistributions int
+	// Seed drives the generator.
+	Seed int64
+	// Shape is the array shape; zero means 64x64x64.
+	Shape [3]int
+	// Procs is the PE count; zero means 64.
+	Procs int
+}
+
+// Table2Row is one connection-count bucket of Table 2.
+type Table2Row struct {
+	Lo, Hi      int
+	Patterns    int
+	Degrees     []float64
+	Improvement float64
+}
+
+// table2Buckets are the paper's connection-count buckets.
+func table2Buckets() []Table2Row {
+	bounds := [][2]int{
+		{0, 100}, {101, 200}, {201, 400}, {401, 800}, {801, 1200},
+		{1201, 1600}, {1601, 2000}, {2001, 2400}, {2401, 4031}, {4032, 4032},
+	}
+	rows := make([]Table2Row, len(bounds))
+	for i, b := range bounds {
+		rows[i] = Table2Row{Lo: b[0], Hi: b[1], Degrees: make([]float64, 4)}
+	}
+	return rows
+}
+
+// Table2 runs the random-redistribution sweep.
+func Table2(t network.Topology, cfg Table2Config) ([]Table2Row, error) {
+	n := cfg.Redistributions
+	if n == 0 {
+		n = 500
+	}
+	shape := cfg.Shape
+	if shape == ([3]int{}) {
+		shape = [3]int{64, 64, 64}
+	}
+	procs := cfg.Procs
+	if procs == 0 {
+		procs = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := table2Buckets()
+	sets := make([]request.Set, n)
+	for i := 0; i < n; i++ {
+		pat, _, _, err := redist.RandomRedistribution(rng, shape, procs)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = pat.Reqs
+	}
+	all, err := degreesForAll(t, sets)
+	if err != nil {
+		return nil, err
+	}
+	for i, degs := range all {
+		for r := range rows {
+			if len(sets[i]) >= rows[r].Lo && len(sets[i]) <= rows[r].Hi {
+				rows[r].Patterns++
+				for c, d := range degs {
+					rows[r].Degrees[c] += float64(d)
+				}
+				break
+			}
+		}
+	}
+	for r := range rows {
+		if rows[r].Patterns == 0 {
+			continue
+		}
+		for c := range rows[r].Degrees {
+			rows[r].Degrees[c] /= float64(rows[r].Patterns)
+		}
+		rows[r].Improvement = Improvement(rows[r].Degrees[0], rows[r].Degrees[3])
+	}
+	return rows, nil
+}
+
+// --- Table 3 -----------------------------------------------------------------
+
+// Table3Row is one frequently-used-pattern row.
+type Table3Row struct {
+	Name        string
+	Conns       int
+	Degrees     []int
+	Improvement float64
+}
+
+// Table3 schedules the five classic patterns.
+func Table3(t network.Topology) ([]Table3Row, error) {
+	nodes := network.TerminalCount(t)
+	hyper, err := patterns.Hypercube(nodes)
+	if err != nil {
+		return nil, err
+	}
+	shuffle, err := patterns.ShuffleExchange(nodes)
+	if err != nil {
+		return nil, err
+	}
+	side := 1
+	for side*side < nodes {
+		side++
+	}
+	entries := []struct {
+		name string
+		set  request.Set
+	}{
+		{"ring", patterns.Ring(nodes)},
+		{"nearest neighbor", patterns.NearestNeighbor2D(side, nodes/side)},
+		{"hypercube", hyper},
+		{"shuffle-exchange", shuffle},
+		{"all-to-all", patterns.AllToAll(nodes)},
+	}
+	var rows []Table3Row
+	for _, e := range entries {
+		degs, err := degreesFor(t, e.set)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		rows = append(rows, Table3Row{
+			Name:        e.name,
+			Conns:       len(e.set),
+			Degrees:     degs,
+			Improvement: Improvement(float64(degs[0]), float64(degs[3])),
+		})
+	}
+	return rows, nil
+}
+
+// --- Table 5 -----------------------------------------------------------------
+
+// Table5Config parameterizes the compiled-vs-dynamic comparison.
+type Table5Config struct {
+	// FixedDegrees are the dynamic-control degrees; nil means {1, 2, 5, 10}.
+	FixedDegrees []int
+	// Params builds the dynamic simulator parameters per degree; nil means
+	// sim.DefaultParams.
+	Params func(degree int) sim.Params
+	// GSSizes, P3MSizes select problem sizes; nil means the paper's.
+	GSSizes, P3MSizes []int
+}
+
+// Table5Row is one workload row.
+type Table5Row struct {
+	Pattern  string
+	Size     string
+	Conns    int
+	Degree   int
+	Compiled int
+	Dynamic  map[int]int // fixed degree -> slots; missing on timeout
+	TimedOut []int       // degrees that exceeded MaxTime
+}
+
+// Table5 runs the full compiled-vs-dynamic comparison.
+func Table5(t network.Topology, cfg Table5Config) ([]Table5Row, error) {
+	fixed := cfg.FixedDegrees
+	if fixed == nil {
+		fixed = []int{1, 2, 5, 10}
+	}
+	params := cfg.Params
+	if params == nil {
+		params = sim.DefaultParams
+	}
+	gsSizes := cfg.GSSizes
+	if gsSizes == nil {
+		gsSizes = []int{64, 128, 256}
+	}
+	p3mSizes := cfg.P3MSizes
+	if p3mSizes == nil {
+		p3mSizes = []int{32, 64}
+	}
+
+	type workload struct {
+		pattern, size string
+		msgs          []sim.Message
+	}
+	var work []workload
+	for _, n := range gsSizes {
+		ph, err := apps.GS(n, 64)
+		if err != nil {
+			return nil, err
+		}
+		work = append(work, workload{"GS", fmt.Sprintf("%d x %d", n, n), ph.Messages})
+	}
+	tscf, err := apps.TSCF(64)
+	if err != nil {
+		return nil, err
+	}
+	work = append(work, workload{"TSCF", "5120", tscf.Messages})
+	for _, n := range p3mSizes {
+		phases, err := apps.P3M(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, ph := range phases {
+			work = append(work, workload{ph.Name, fmt.Sprintf("%d^3", n), ph.Messages})
+		}
+	}
+
+	var rows []Table5Row
+	for _, w := range work {
+		set := (apps.Phase{Messages: w.msgs}).Pattern().Dedup()
+		res, err := schedule.Combined{}.Schedule(t, set)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", w.pattern, w.size, err)
+		}
+		comp, err := sim.RunCompiled(res, w.msgs)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", w.pattern, w.size, err)
+		}
+		row := Table5Row{
+			Pattern:  w.pattern,
+			Size:     w.size,
+			Conns:    len(w.msgs),
+			Degree:   res.Degree(),
+			Compiled: comp.Time,
+			Dynamic:  make(map[int]int),
+		}
+		for _, k := range fixed {
+			dyn, err := sim.Dynamic{Topology: t, Params: params(k)}.Run(w.msgs)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s K=%d: %w", w.pattern, w.size, k, err)
+			}
+			if dyn.TimedOut {
+				row.TimedOut = append(row.TimedOut, k)
+				continue
+			}
+			row.Dynamic[k] = dyn.Time
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,251 @@
+// Package frontend is the compiler front end of the compiled-communication
+// system: it recognizes communication patterns in a (miniature) data-
+// parallel intermediate representation and emits the communication phases
+// the back end (internal/core) schedules.
+//
+// The paper's section 3 lists pattern recognition as the first of the three
+// issues compiled communication must address and points at the existing
+// literature (stencil compilers, collective-communication extraction). This
+// package models the part of that machinery the rest of the system needs:
+//
+//   - ShiftRef    — a shared-array reference with constant offsets
+//     (A[i+1, j]); generates neighbor communication from the
+//     array's block-cyclic distribution (the "shared array
+//     ref." rows of Table 4: GS, P3M 5).
+//   - Redistribute — an explicit redistribution statement (CRAFT-style
+//     REDISTRIBUTE); generates the Table 2 / P3M 1-4 patterns
+//     and updates the array's distribution for subsequent
+//     statements (the extraction is flow sensitive).
+//   - SendRecv    — explicit message passing with compile-time known
+//     endpoints (the TSCF hypercube row of Table 4).
+//   - IrregularRef — a reference whose subscripts are unknown until run
+//     time; the extractor marks the phase Dynamic so the
+//     back end serves it with the predetermined AAPC
+//     configuration set.
+package frontend
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/redist"
+	"repro/internal/request"
+	"repro/internal/sim"
+)
+
+// Array declares a distributed array: its shape and initial block-cyclic
+// distribution.
+type Array struct {
+	Name  string
+	Shape [3]int
+	Dist  redist.Dist
+}
+
+// Stmt is one communication-relevant statement of the program IR.
+type Stmt interface {
+	stmtName() string
+}
+
+// ShiftRef is a data-parallel statement whose body reads the named array at
+// constant offsets from the iteration point, e.g. A[i-1], A[i+1] in a
+// relaxation sweep. Each distinct offset generates one boundary exchange.
+type ShiftRef struct {
+	Name    string
+	Array   string
+	Offsets [][3]int
+}
+
+func (s ShiftRef) stmtName() string { return s.Name }
+
+// Redistribute changes the named array's distribution.
+type Redistribute struct {
+	Name  string
+	Array string
+	To    redist.Dist
+}
+
+func (s Redistribute) stmtName() string { return s.Name }
+
+// SendRecv is explicit message passing with statically known endpoints and
+// a fixed per-message element count.
+type SendRecv struct {
+	Name     string
+	Pairs    request.Set
+	Elements int
+}
+
+func (s SendRecv) stmtName() string { return s.Name }
+
+// IrregularRef is an array reference with runtime-dependent subscripts
+// (indirection, input-dependent gather). The compiler cannot enumerate its
+// connections; the phase is marked Dynamic. RepresentativeMessages, if any,
+// are a profile used only for simulation.
+type IrregularRef struct {
+	Name                   string
+	Array                  string
+	RepresentativeMessages []sim.Message
+}
+
+func (s IrregularRef) stmtName() string { return s.Name }
+
+// Program is the IR of one parallel program.
+type Program struct {
+	Name   string
+	PEs    int
+	Arrays []Array
+	Stmts  []Stmt
+}
+
+// Options tune extraction.
+type Options struct {
+	// FlitElements is the number of array elements per flit; zero means 4
+	// (the repository-wide default documented in internal/apps).
+	FlitElements int
+}
+
+// Extract recognizes the communication pattern of every statement and
+// returns the core.Program the scheduling back end consumes. Distribution
+// state flows through the statement list: a Redistribute changes what later
+// ShiftRefs on the same array generate.
+func Extract(p Program, opts Options) (core.Program, error) {
+	flitElems := opts.FlitElements
+	if flitElems == 0 {
+		flitElems = 4
+	}
+	if p.PEs < 2 {
+		return core.Program{}, fmt.Errorf("frontend: program needs >= 2 PEs, got %d", p.PEs)
+	}
+	dists := make(map[string]*Array, len(p.Arrays))
+	for i := range p.Arrays {
+		a := p.Arrays[i]
+		if a.Dist.Procs() != p.PEs {
+			return core.Program{}, fmt.Errorf("frontend: array %q distributed over %d PEs, program has %d",
+				a.Name, a.Dist.Procs(), p.PEs)
+		}
+		if _, dup := dists[a.Name]; dup {
+			return core.Program{}, fmt.Errorf("frontend: duplicate array %q", a.Name)
+		}
+		dists[a.Name] = &p.Arrays[i]
+	}
+	flits := func(elements int) int {
+		f := (elements + flitElems - 1) / flitElems
+		if f < 1 {
+			f = 1
+		}
+		return f
+	}
+	patternMessages := func(pat redist.Pattern) []sim.Message {
+		msgs := make([]sim.Message, len(pat.Reqs))
+		for i, r := range pat.Reqs {
+			msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: flits(pat.Volume[r])}
+		}
+		return msgs
+	}
+
+	out := core.Program{Name: p.Name}
+	for _, st := range p.Stmts {
+		switch s := st.(type) {
+		case ShiftRef:
+			a, ok := dists[s.Array]
+			if !ok {
+				return core.Program{}, fmt.Errorf("frontend: %q references undeclared array %q", s.Name, s.Array)
+			}
+			if len(s.Offsets) == 0 {
+				return core.Program{}, fmt.Errorf("frontend: %q has no offsets", s.Name)
+			}
+			// Merge the exchanges of all offsets into one phase: they
+			// belong to one data-parallel statement and overlap in time.
+			volume := make(map[request.Request]int)
+			var order request.Set
+			for _, off := range s.Offsets {
+				pat, err := redist.ShiftPattern(a.Shape, a.Dist, off)
+				if err != nil {
+					return core.Program{}, fmt.Errorf("frontend: %q: %w", s.Name, err)
+				}
+				for _, r := range pat.Reqs {
+					if _, seen := volume[r]; !seen {
+						order = append(order, r)
+					}
+					volume[r] += pat.Volume[r]
+				}
+			}
+			if len(order) == 0 {
+				return core.Program{}, fmt.Errorf("frontend: %q generates no communication (offsets stay on-PE)", s.Name)
+			}
+			msgs := make([]sim.Message, len(order))
+			for i, r := range order {
+				msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: flits(volume[r])}
+			}
+			out.Phases = append(out.Phases, core.Phase{Name: s.Name, Messages: msgs})
+
+		case Redistribute:
+			a, ok := dists[s.Array]
+			if !ok {
+				return core.Program{}, fmt.Errorf("frontend: %q redistributes undeclared array %q", s.Name, s.Array)
+			}
+			pat, err := redist.Redistribute(a.Shape, a.Dist, s.To)
+			if err != nil {
+				return core.Program{}, fmt.Errorf("frontend: %q: %w", s.Name, err)
+			}
+			a.Dist = s.To // flow-sensitive: later statements see the new layout
+			if len(pat.Reqs) == 0 {
+				continue // identical layouts: no communication, no phase
+			}
+			out.Phases = append(out.Phases, core.Phase{Name: s.Name, Messages: patternMessages(pat)})
+
+		case SendRecv:
+			if len(s.Pairs) == 0 {
+				return core.Program{}, fmt.Errorf("frontend: %q has no endpoints", s.Name)
+			}
+			if s.Elements < 1 {
+				return core.Program{}, fmt.Errorf("frontend: %q has %d elements per message", s.Name, s.Elements)
+			}
+			msgs := make([]sim.Message, len(s.Pairs))
+			for i, r := range s.Pairs {
+				msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: flits(s.Elements)}
+			}
+			out.Phases = append(out.Phases, core.Phase{Name: s.Name, Messages: msgs})
+
+		case IrregularRef:
+			if _, ok := dists[s.Array]; !ok {
+				return core.Program{}, fmt.Errorf("frontend: %q references undeclared array %q", s.Name, s.Array)
+			}
+			msgs := s.RepresentativeMessages
+			if len(msgs) == 0 {
+				// No profile: a placeholder message keeps the phase
+				// simulatable; the fallback schedule covers all pairs
+				// anyway.
+				msgs = []sim.Message{{Src: 0, Dst: p.PEs - 1, Flits: 1}}
+			}
+			out.Phases = append(out.Phases, core.Phase{Name: s.Name, Messages: msgs, Dynamic: true})
+
+		default:
+			return core.Program{}, fmt.Errorf("frontend: unknown statement type %T", st)
+		}
+	}
+	if len(out.Phases) == 0 {
+		return core.Program{}, fmt.Errorf("frontend: program %q has no communication", p.Name)
+	}
+	return out, nil
+}
+
+// StaticFraction returns the fraction of phases (and of messages) the
+// extractor classified as static — the quantity the paper cites at over
+// 95% for scientific codes.
+func StaticFraction(p core.Program) (phaseFrac, msgFrac float64) {
+	if len(p.Phases) == 0 {
+		return 0, 0
+	}
+	staticPhases, staticMsgs, totalMsgs := 0, 0, 0
+	for _, ph := range p.Phases {
+		totalMsgs += len(ph.Messages)
+		if !ph.Dynamic {
+			staticPhases++
+			staticMsgs += len(ph.Messages)
+		}
+	}
+	if totalMsgs == 0 {
+		return float64(staticPhases) / float64(len(p.Phases)), 0
+	}
+	return float64(staticPhases) / float64(len(p.Phases)), float64(staticMsgs) / float64(totalMsgs)
+}

@@ -1,0 +1,204 @@
+package frontend_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/patterns"
+	"repro/internal/redist"
+	"repro/internal/request"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func dist(t *testing.T, p0, b0, p1, b1, p2, b2 int) redist.Dist {
+	t.Helper()
+	d, err := redist.NewDist([3]redist.DimDist{{P: p0, B: b0}, {P: p1, B: b1}, {P: p2, B: b2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// gsIR is the GS program in the frontend IR: an n x n grid distributed by
+// rows over 64 PEs, one relaxation sweep reading the rows above and below.
+func gsIR(t *testing.T, n int) frontend.Program {
+	t.Helper()
+	return frontend.Program{
+		Name: "GS",
+		PEs:  64,
+		Arrays: []frontend.Array{
+			{Name: "u", Shape: [3]int{n, n, 1}, Dist: dist(t, 64, n/64, 1, n, 1, 1)},
+		},
+		Stmts: []frontend.Stmt{
+			frontend.ShiftRef{Name: "relax", Array: "u", Offsets: [][3]int{{-1, 0, 0}, {1, 0, 0}}},
+		},
+	}
+}
+
+// TestExtractGSMatchesHandModel: the pattern the frontend recognizes from
+// the GS IR equals the hand-built apps.GS model (Table 4 row 1).
+func TestExtractGSMatchesHandModel(t *testing.T) {
+	prog, err := frontend.Extract(gsIR(t, 64), frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Phases) != 1 {
+		t.Fatalf("extracted %d phases", len(prog.Phases))
+	}
+	got := map[[2]int]int{}
+	for _, m := range prog.Phases[0].Messages {
+		got[[2]int{m.Src, m.Dst}] = m.Flits
+	}
+	want, err := apps.GS(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Messages) {
+		t.Fatalf("extracted %d connections, hand model has %d", len(got), len(want.Messages))
+	}
+	for _, m := range want.Messages {
+		f, ok := got[[2]int{m.Src, m.Dst}]
+		if !ok {
+			t.Fatalf("connection %d->%d missing from extraction", m.Src, m.Dst)
+		}
+		if f != m.Flits {
+			t.Fatalf("connection %d->%d: %d flits extracted, hand model %d", m.Src, m.Dst, f, m.Flits)
+		}
+	}
+}
+
+// TestExtractRedistributeIsFlowSensitive: a second redistribution starts
+// from the layout the first one produced, and redistributing to the same
+// layout is recognized as communication-free.
+func TestExtractRedistributeIsFlowSensitive(t *testing.T) {
+	a := dist(t, 4, 16, 4, 16, 4, 16)
+	b := dist(t, 1, 64, 1, 64, 64, 1)
+	prog := frontend.Program{
+		Name:   "flow",
+		PEs:    64,
+		Arrays: []frontend.Array{{Name: "m", Shape: [3]int{64, 64, 64}, Dist: a}},
+		Stmts: []frontend.Stmt{
+			frontend.Redistribute{Name: "to-z", Array: "m", To: b},
+			frontend.Redistribute{Name: "same", Array: "m", To: b}, // no-op
+			frontend.Redistribute{Name: "back", Array: "m", To: a}, // b -> a
+		},
+	}
+	out, err := frontend.Extract(prog, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Phases) != 2 {
+		t.Fatalf("extracted %d phases, want 2 (the no-op redistribution vanishes)", len(out.Phases))
+	}
+	if out.Phases[0].Name != "to-z" || out.Phases[1].Name != "back" {
+		t.Fatalf("unexpected phases %q, %q", out.Phases[0].Name, out.Phases[1].Name)
+	}
+	// "back" must be the reverse redistribution b -> a, not a -> b.
+	wantPat, err := redist.Redistribute([3]int{64, 64, 64}, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Phases[1].Messages) != len(wantPat.Reqs) {
+		t.Fatalf("back phase has %d connections, want %d", len(out.Phases[1].Messages), len(wantPat.Reqs))
+	}
+}
+
+func TestExtractSendRecvAndIrregular(t *testing.T) {
+	hyper, err := patterns.Hypercube(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := frontend.Program{
+		Name:   "tscf-like",
+		PEs:    64,
+		Arrays: []frontend.Array{{Name: "f", Shape: [3]int{64, 64, 1}, Dist: dist(t, 64, 1, 1, 64, 1, 1)}},
+		Stmts: []frontend.Stmt{
+			frontend.SendRecv{Name: "exchange", Pairs: hyper, Elements: 8},
+			frontend.IrregularRef{Name: "gather", Array: "f"},
+		},
+	}
+	out, err := frontend.Extract(prog, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Phases) != 2 {
+		t.Fatalf("extracted %d phases", len(out.Phases))
+	}
+	if out.Phases[0].Dynamic || !out.Phases[1].Dynamic {
+		t.Error("static/dynamic classification wrong")
+	}
+	if out.Phases[0].Messages[0].Flits != 2 {
+		t.Errorf("8 elements should be 2 flits, got %d", out.Phases[0].Messages[0].Flits)
+	}
+	pf, mf := frontend.StaticFraction(out)
+	if pf != 0.5 {
+		t.Errorf("static phase fraction = %f", pf)
+	}
+	if mf < 0.99 {
+		t.Errorf("static message fraction = %f, want ~1 (384 static vs 1 dynamic)", mf)
+	}
+}
+
+// TestExtractedProgramCompilesEndToEnd: IR -> extraction -> scheduling ->
+// switch programs -> simulation, the full pipeline.
+func TestExtractedProgramCompilesEndToEnd(t *testing.T) {
+	out, err := frontend.Extract(gsIR(t, 128), frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus := topology.NewTorus(8, 8)
+	cp, err := core.Compiler{Topology: torus}.Compile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Phases[0].Degree() != 2 {
+		t.Errorf("GS degree = %d, want 2", cp.Phases[0].Degree())
+	}
+	res, err := sim.RunCompiled(cp.Phases[0].Schedule, cp.Phases[0].Phase.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Error("simulation produced no time")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	d := dist(t, 64, 1, 1, 64, 1, 1)
+	base := frontend.Program{
+		PEs:    64,
+		Arrays: []frontend.Array{{Name: "a", Shape: [3]int{64, 64, 1}, Dist: d}},
+	}
+	cases := []frontend.Program{
+		{PEs: 1, Arrays: base.Arrays, Stmts: []frontend.Stmt{frontend.IrregularRef{Name: "x", Array: "a"}}},
+		{PEs: 64, Arrays: base.Arrays}, // no statements
+		{PEs: 64, Arrays: base.Arrays, Stmts: []frontend.Stmt{frontend.ShiftRef{Name: "x", Array: "nope", Offsets: [][3]int{{1, 0, 0}}}}},
+		{PEs: 64, Arrays: base.Arrays, Stmts: []frontend.Stmt{frontend.ShiftRef{Name: "x", Array: "a"}}},
+		{PEs: 64, Arrays: base.Arrays, Stmts: []frontend.Stmt{frontend.SendRecv{Name: "x"}}},
+		{PEs: 64, Arrays: base.Arrays, Stmts: []frontend.Stmt{frontend.SendRecv{Name: "x", Pairs: request.Set{{Src: 0, Dst: 1}}, Elements: 0}}},
+		{PEs: 64, Arrays: append(append([]frontend.Array{}, base.Arrays...), base.Arrays...), Stmts: []frontend.Stmt{frontend.IrregularRef{Name: "x", Array: "a"}}},
+		{PEs: 64, Arrays: []frontend.Array{{Name: "a", Shape: [3]int{64, 64, 1}, Dist: dist(t, 4, 16, 1, 64, 1, 1)}}, Stmts: []frontend.Stmt{frontend.IrregularRef{Name: "x", Array: "a"}}},
+	}
+	for i, p := range cases {
+		if _, err := frontend.Extract(p, frontend.Options{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestShiftWithinPEIsFree: offsets that stay inside each PE's block
+// generate no communication and are rejected as a no-communication program.
+func TestShiftWithinPEIsFree(t *testing.T) {
+	prog := frontend.Program{
+		Name:   "local",
+		PEs:    4,
+		Arrays: []frontend.Array{{Name: "a", Shape: [3]int{64, 1, 1}, Dist: dist(t, 4, 16, 1, 1, 1, 1)}},
+		Stmts:  []frontend.Stmt{frontend.ShiftRef{Name: "x", Array: "a", Offsets: [][3]int{{0, 0, 0}}}},
+	}
+	if _, err := frontend.Extract(prog, frontend.Options{}); err == nil {
+		t.Error("zero-offset reference should yield no communication and fail extraction")
+	}
+}

@@ -1,0 +1,238 @@
+// Package multihop implements the paper's second strategy for
+// communication patterns unknown at compile time (Section 3.3): use static
+// TDM to embed a low-degree *logical* topology into the physical network
+// and emulate a multihop machine over it. Messages travel the virtual
+// topology hop by hop, with store-and-forward at intermediate PEs; no
+// runtime circuit establishment is ever needed, and the TDM degree is that
+// of the small embedded pattern (6 for a hypercube on 64 PEs) instead of
+// the 64-slot all-to-all fallback.
+//
+// The trade: each virtual hop re-injects the message, so latency grows
+// with the virtual path length and intermediate PEs spend cycles
+// forwarding. The paper says a detailed comparison of the two strategies
+// is beyond its scope; RunEmulation plus the AAPC fallback simulation make
+// that comparison runnable.
+package multihop
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// VirtualTopology is the logical graph embedded by static TDM. Neighbor
+// returns the next virtual hop from `cur` toward `dst` and must converge
+// (strictly reduce some distance metric).
+type VirtualTopology interface {
+	// Name describes the virtual topology.
+	Name() string
+	// Links returns the virtual links to embed (one circuit per ordered
+	// neighbor pair).
+	Links(nodes int) (request.Set, error)
+	// NextHop returns the neighbor to forward to on the route cur -> dst.
+	NextHop(nodes, cur, dst int) (int, error)
+}
+
+// HypercubeVirtual routes e-cube over a virtual hypercube: correct the
+// lowest differing address bit first.
+type HypercubeVirtual struct{}
+
+// Name implements VirtualTopology.
+func (HypercubeVirtual) Name() string { return "virtual-hypercube" }
+
+// Links implements VirtualTopology.
+func (HypercubeVirtual) Links(nodes int) (request.Set, error) {
+	if nodes <= 1 || nodes&(nodes-1) != 0 {
+		return nil, fmt.Errorf("multihop: hypercube needs a power-of-two PE count, got %d", nodes)
+	}
+	var set request.Set
+	for i := 0; i < nodes; i++ {
+		for b := 1; b < nodes; b <<= 1 {
+			set = append(set, request.Request{Src: network.NodeID(i), Dst: network.NodeID(i ^ b)})
+		}
+	}
+	return set, nil
+}
+
+// NextHop implements VirtualTopology.
+func (HypercubeVirtual) NextHop(nodes, cur, dst int) (int, error) {
+	diff := cur ^ dst
+	if diff == 0 {
+		return 0, fmt.Errorf("multihop: next hop of %d toward itself", cur)
+	}
+	bit := diff & (-diff)
+	return cur ^ bit, nil
+}
+
+// RingVirtual routes around a virtual ring, taking the shorter direction.
+type RingVirtual struct{}
+
+// Name implements VirtualTopology.
+func (RingVirtual) Name() string { return "virtual-ring" }
+
+// Links implements VirtualTopology.
+func (RingVirtual) Links(nodes int) (request.Set, error) {
+	if nodes < 3 {
+		return nil, fmt.Errorf("multihop: ring needs >= 3 PEs, got %d", nodes)
+	}
+	var set request.Set
+	for i := 0; i < nodes; i++ {
+		set = append(set,
+			request.Request{Src: network.NodeID(i), Dst: network.NodeID((i + 1) % nodes)},
+			request.Request{Src: network.NodeID(i), Dst: network.NodeID((i - 1 + nodes) % nodes)},
+		)
+	}
+	return set, nil
+}
+
+// NextHop implements VirtualTopology.
+func (RingVirtual) NextHop(nodes, cur, dst int) (int, error) {
+	if cur == dst {
+		return 0, fmt.Errorf("multihop: next hop of %d toward itself", cur)
+	}
+	fwd := ((dst-cur)%nodes + nodes) % nodes
+	if 2*fwd <= nodes {
+		return (cur + 1) % nodes, nil
+	}
+	return (cur - 1 + nodes) % nodes, nil
+}
+
+// Emulation is a compiled multihop fabric: the virtual topology's links
+// scheduled into TDM slots on the physical network.
+type Emulation struct {
+	Virtual  VirtualTopology
+	Nodes    int
+	Schedule *schedule.Result
+}
+
+// Compile embeds the virtual topology on the physical one.
+func Compile(phys network.Topology, v VirtualTopology, sched schedule.Scheduler) (*Emulation, error) {
+	if sched == nil {
+		sched = schedule.Combined{}
+	}
+	nodes := network.TerminalCount(phys)
+	links, err := v.Links(nodes)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sched.Schedule(phys, links.Dedup())
+	if err != nil {
+		return nil, err
+	}
+	return &Emulation{Virtual: v, Nodes: nodes, Schedule: res}, nil
+}
+
+// Degree returns the TDM degree of the embedded virtual fabric.
+func (e *Emulation) Degree() int { return e.Schedule.Degree() }
+
+// Result reports an emulation run.
+type Result struct {
+	// Time is the slot of the last delivery.
+	Time int
+	// Finish holds per-message delivery slots.
+	Finish []int
+	// VirtualHops is the total number of virtual-link traversals.
+	VirtualHops int
+}
+
+// hopEvent drives the per-virtual-link FIFO simulation.
+type hopEvent struct {
+	time int
+	msg  int
+	at   int // current PE
+	seq  int
+}
+
+type hopQueue []hopEvent
+
+func (q hopQueue) Len() int { return len(q) }
+func (q hopQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q hopQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *hopQueue) Push(x any)   { *q = append(*q, x.(hopEvent)) }
+func (q *hopQueue) Pop() any {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+// RunEmulation sends the messages over the virtual fabric. Each virtual
+// link is a compiled circuit in TDM slot u of the K-slot frame carrying one
+// flit per frame; a message of F flits occupies its current virtual link
+// for F frames, and virtual links serve messages FIFO (store-and-forward at
+// the intermediate PEs, ForwardDelay slots per store).
+func (e *Emulation) RunEmulation(msgs []sim.Message, forwardDelay int) (*Result, error) {
+	if forwardDelay < 0 {
+		return nil, fmt.Errorf("multihop: negative forward delay")
+	}
+	k := e.Degree()
+	res := &Result{Finish: make([]int, len(msgs))}
+	free := make(map[request.Request]int) // virtual link -> next free slot time
+	var q hopQueue
+	seq := 0
+	push := func(t, msg, at int) {
+		heap.Push(&q, hopEvent{time: t, msg: msg, at: at, seq: seq})
+		seq++
+	}
+	for i, m := range msgs {
+		if m.Src == m.Dst || m.Flits < 1 {
+			return nil, fmt.Errorf("multihop: bad message %+v", m)
+		}
+		if m.Src < 0 || m.Src >= e.Nodes || m.Dst < 0 || m.Dst >= e.Nodes {
+			return nil, fmt.Errorf("multihop: message %+v outside 0..%d", m, e.Nodes-1)
+		}
+		push(m.Start, i, m.Src)
+	}
+	remaining := len(msgs)
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(hopEvent)
+		m := msgs[ev.msg]
+		if ev.at == m.Dst {
+			res.Finish[ev.msg] = ev.time
+			if ev.time > res.Time {
+				res.Time = ev.time
+			}
+			remaining--
+			continue
+		}
+		next, err := e.Virtual.NextHop(e.Nodes, ev.at, m.Dst)
+		if err != nil {
+			return nil, err
+		}
+		vlink := request.Request{Src: network.NodeID(ev.at), Dst: network.NodeID(next)}
+		slot, ok := e.Schedule.Slot[vlink]
+		if !ok {
+			return nil, fmt.Errorf("multihop: virtual link %v not embedded", vlink)
+		}
+		// The message queues on the virtual link, then streams one flit per
+		// frame starting at the link's slot.
+		start := ev.time
+		if free[vlink] > start {
+			start = free[vlink]
+		}
+		first := align(start, slot, k)
+		done := first + 1 + (m.Flits-1)*k
+		free[vlink] = done
+		res.VirtualHops++
+		push(done+forwardDelay, ev.msg, next)
+	}
+	if remaining != 0 {
+		return nil, fmt.Errorf("multihop: %d messages undelivered (internal error)", remaining)
+	}
+	return res, nil
+}
+
+// align returns the first t' >= t with t' mod k == slot.
+func align(t, slot, k int) int {
+	r := t % k
+	return t + (slot-r+k)%k
+}

@@ -1,0 +1,206 @@
+// Package network defines the basic model of an all-optical switched
+// interconnection network: nodes, directed links, optical circuit paths, and
+// the conflict relation between paths that determines which connections can
+// be established simultaneously.
+//
+// The model follows the SC'96 paper "Compiled Communication for All-Optical
+// TDM Networks" (Yuan, Melhem, Gupta). Every node consists of a processing
+// element (PE) attached to a crossbar electro-optical switch. A connection
+// from PE s to PE d is realized as an all-optical circuit that enters the
+// network through the injection port of s's switch, traverses a sequence of
+// directed inter-switch links, and leaves through the ejection port of d's
+// switch. Because the switches are crossbars, two circuits conflict if and
+// only if they share a directed link, a PE injection port (same source), or
+// a PE ejection port (same destination).
+package network
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node (PE + switch) in the network.
+type NodeID int
+
+// LinkID identifies a directed inter-switch link.
+type LinkID int
+
+// Port numbers within a switch. Port 0 is always the PE (injection on the
+// input side, ejection on the output side); inter-switch link ports are
+// topology specific and start at 1.
+const PEPort = 0
+
+// LinkInfo describes one directed link of a topology.
+type LinkInfo struct {
+	ID      LinkID
+	From    NodeID // switch the link leaves
+	To      NodeID // switch the link enters
+	OutPort int    // output port of From occupied by the link
+	InPort  int    // input port of To occupied by the link
+}
+
+// Topology is the static structure of a switched network together with its
+// (deterministic) routing function. Implementations live in
+// internal/topology.
+type Topology interface {
+	// Name returns a short human-readable description, e.g. "torus-8x8".
+	Name() string
+	// NumNodes returns the number of nodes (PE/switch pairs).
+	NumNodes() int
+	// NumLinks returns the number of directed inter-switch links.
+	NumLinks() int
+	// Link returns the description of a directed link.
+	Link(id LinkID) LinkInfo
+	// Route computes the circuit path from src to dst. The path must be
+	// deterministic: routing decisions are made by the compiler, never at
+	// runtime.
+	Route(src, dst NodeID) (Path, error)
+}
+
+// Terminals is implemented by topologies in which only a subset of nodes
+// host PEs (multistage networks, whose interior nodes are fabric switches).
+// Terminal nodes must occupy ids [0, NumTerminals()); only they originate
+// or terminate circuits.
+type Terminals interface {
+	NumTerminals() int
+}
+
+// TerminalCount returns the number of PE-bearing nodes of a topology:
+// NumTerminals() when the topology distinguishes fabric switches, otherwise
+// every node.
+func TerminalCount(t Topology) int {
+	if tt, ok := t.(Terminals); ok {
+		return tt.NumTerminals()
+	}
+	return t.NumNodes()
+}
+
+// Path is an all-optical circuit: the ordered list of directed links from
+// the source switch to the destination switch. A minimal path between a PE
+// and itself is invalid; self-communication never enters the network.
+type Path struct {
+	Src   NodeID
+	Dst   NodeID
+	Links []LinkID
+}
+
+// Len returns the number of links in the path (the connection "length" used
+// by the coloring and AAPC heuristics).
+func (p Path) Len() int { return len(p.Links) }
+
+// ErrSelfLoop is returned by Route when src == dst.
+var ErrSelfLoop = errors.New("network: route from a node to itself")
+
+// ErrBadNode is returned by Route when an endpoint is out of range.
+var ErrBadNode = errors.New("network: node out of range")
+
+// Conflicts reports whether two circuit paths cannot be established in the
+// same network configuration. Circuits conflict when they share a directed
+// link, or when they need the same PE injection port (equal sources) or the
+// same PE ejection port (equal destinations).
+func Conflicts(a, b Path) bool {
+	if a.Src == b.Src || a.Dst == b.Dst {
+		return true
+	}
+	if len(a.Links) > len(b.Links) {
+		a, b = b, a
+	}
+	if len(a.Links) == 0 {
+		return false
+	}
+	set := make(map[LinkID]struct{}, len(a.Links))
+	for _, l := range a.Links {
+		set[l] = struct{}{}
+	}
+	for _, l := range b.Links {
+		if _, ok := set[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that a path is structurally sound in the given topology:
+// it starts at Src, ends at Dst, and consecutive links share a switch.
+func Validate(t Topology, p Path) error {
+	if int(p.Src) < 0 || int(p.Src) >= t.NumNodes() || int(p.Dst) < 0 || int(p.Dst) >= t.NumNodes() {
+		return ErrBadNode
+	}
+	if p.Src == p.Dst {
+		return ErrSelfLoop
+	}
+	if len(p.Links) == 0 {
+		return fmt.Errorf("network: empty path %d->%d", p.Src, p.Dst)
+	}
+	cur := p.Src
+	for i, id := range p.Links {
+		if int(id) < 0 || int(id) >= t.NumLinks() {
+			return fmt.Errorf("network: link %d out of range in path %d->%d", id, p.Src, p.Dst)
+		}
+		li := t.Link(id)
+		if li.From != cur {
+			return fmt.Errorf("network: link %d of path %d->%d leaves %d, expected %d", i, p.Src, p.Dst, li.From, cur)
+		}
+		cur = li.To
+	}
+	if cur != p.Dst {
+		return fmt.Errorf("network: path %d->%d ends at %d", p.Src, p.Dst, cur)
+	}
+	return nil
+}
+
+// Occupancy is the set of directed resources a configuration has in use. It
+// supports incremental conflict checking in O(path length) per insertion,
+// which the greedy scheduler depends on.
+type Occupancy struct {
+	links   map[LinkID]struct{}
+	sources map[NodeID]struct{}
+	dests   map[NodeID]struct{}
+}
+
+// NewOccupancy returns an empty resource-occupancy tracker.
+func NewOccupancy() *Occupancy {
+	return &Occupancy{
+		links:   make(map[LinkID]struct{}),
+		sources: make(map[NodeID]struct{}),
+		dests:   make(map[NodeID]struct{}),
+	}
+}
+
+// CanAdd reports whether the path is conflict-free with everything already
+// added.
+func (o *Occupancy) CanAdd(p Path) bool {
+	if _, ok := o.sources[p.Src]; ok {
+		return false
+	}
+	if _, ok := o.dests[p.Dst]; ok {
+		return false
+	}
+	for _, l := range p.Links {
+		if _, ok := o.links[l]; ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Add marks the path's resources as occupied. It does not re-check
+// conflicts; callers use CanAdd first.
+func (o *Occupancy) Add(p Path) {
+	o.sources[p.Src] = struct{}{}
+	o.dests[p.Dst] = struct{}{}
+	for _, l := range p.Links {
+		o.links[l] = struct{}{}
+	}
+}
+
+// Reset empties the tracker for reuse.
+func (o *Occupancy) Reset() {
+	clear(o.links)
+	clear(o.sources)
+	clear(o.dests)
+}
+
+// LinkCount returns the number of occupied links (used to rank AAPC phases
+// by utilization).
+func (o *Occupancy) LinkCount() int { return len(o.links) }

@@ -1,0 +1,237 @@
+package network_test
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+func mustRoute(t *testing.T, topo network.Topology, s, d int) network.Path {
+	t.Helper()
+	p, err := topo.Route(network.NodeID(s), network.NodeID(d))
+	if err != nil {
+		t.Fatalf("Route(%d, %d): %v", s, d, err)
+	}
+	return p
+}
+
+func TestConflictsSharedSource(t *testing.T) {
+	topo := topology.NewLinear(5)
+	a := mustRoute(t, topo, 0, 2)
+	b := mustRoute(t, topo, 0, 3)
+	if !network.Conflicts(a, b) {
+		t.Error("paths with the same source must conflict (shared injection port)")
+	}
+}
+
+func TestConflictsSharedDestination(t *testing.T) {
+	topo := topology.NewLinear(5)
+	a := mustRoute(t, topo, 0, 4)
+	b := mustRoute(t, topo, 3, 4)
+	if !network.Conflicts(a, b) {
+		t.Error("paths with the same destination must conflict (shared ejection port)")
+	}
+}
+
+func TestConflictsSharedLink(t *testing.T) {
+	topo := topology.NewLinear(5)
+	a := mustRoute(t, topo, 0, 2) // links 0->1, 1->2
+	b := mustRoute(t, topo, 1, 3) // links 1->2, 2->3
+	if !network.Conflicts(a, b) {
+		t.Error("paths sharing link 1->2 must conflict")
+	}
+}
+
+func TestConflictsOppositeDirectionsDisjoint(t *testing.T) {
+	topo := topology.NewLinear(5)
+	a := mustRoute(t, topo, 0, 2)
+	b := mustRoute(t, topo, 2, 0)
+	if network.Conflicts(a, b) {
+		t.Error("opposite directions use distinct directed links and must not conflict")
+	}
+}
+
+func TestConflictsCrossingAtSwitch(t *testing.T) {
+	// Two circuits crossing the same switch on different ports do not
+	// conflict: the switch is a crossbar.
+	topo := topology.NewTorus(4, 4)
+	a := mustRoute(t, topo, 1, 9) // column 1 downward through switch 5
+	b := mustRoute(t, topo, 4, 6) // row 1 rightward through switch 5
+	shared := false
+	for _, l := range a.Links {
+		for _, m := range b.Links {
+			if l == m {
+				shared = true
+			}
+		}
+	}
+	if shared {
+		t.Fatal("test premise broken: paths share a link")
+	}
+	if network.Conflicts(a, b) {
+		t.Error("crossbar-crossing circuits must not conflict")
+	}
+}
+
+func TestConflictsIsSymmetric(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	pairs := [][4]int{{0, 5, 5, 10}, {1, 2, 2, 3}, {0, 3, 1, 3}, {7, 8, 8, 9}}
+	for _, q := range pairs {
+		a := mustRoute(t, topo, q[0], q[1])
+		b := mustRoute(t, topo, q[2], q[3])
+		if network.Conflicts(a, b) != network.Conflicts(b, a) {
+			t.Errorf("Conflicts not symmetric for %v", q)
+		}
+	}
+}
+
+func TestValidateAcceptsRoutes(t *testing.T) {
+	topos := []network.Topology{
+		topology.NewTorus(4, 4),
+		topology.NewTorus(8, 8),
+		topology.NewLinear(6),
+		topology.NewRing(7),
+		topology.NewMesh(4, 3),
+		topology.NewHypercube(4),
+	}
+	for _, topo := range topos {
+		n := topo.NumNodes()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				p := mustRoute(t, topo, s, d)
+				if err := network.Validate(topo, p); err != nil {
+					t.Fatalf("%s: route %d->%d invalid: %v", topo.Name(), s, d, err)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBrokenPaths(t *testing.T) {
+	topo := topology.NewLinear(5)
+	good := mustRoute(t, topo, 0, 3)
+
+	broken := network.Path{Src: good.Src, Dst: good.Dst, Links: good.Links[1:]}
+	if err := network.Validate(topo, broken); err == nil {
+		t.Error("path starting at the wrong switch must be rejected")
+	}
+	short := network.Path{Src: good.Src, Dst: good.Dst, Links: good.Links[:2]}
+	if err := network.Validate(topo, short); err == nil {
+		t.Error("path ending before its destination must be rejected")
+	}
+	empty := network.Path{Src: 0, Dst: 3}
+	if err := network.Validate(topo, empty); err == nil {
+		t.Error("empty path must be rejected")
+	}
+	self := network.Path{Src: 2, Dst: 2}
+	if err := network.Validate(topo, self); err == nil {
+		t.Error("self-loop must be rejected")
+	}
+	oob := network.Path{Src: 0, Dst: 99, Links: good.Links}
+	if err := network.Validate(topo, oob); err == nil {
+		t.Error("out-of-range destination must be rejected")
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	if _, err := topo.Route(3, 3); err != network.ErrSelfLoop {
+		t.Errorf("self route: got %v, want ErrSelfLoop", err)
+	}
+	if _, err := topo.Route(-1, 3); err != network.ErrBadNode {
+		t.Errorf("negative node: got %v, want ErrBadNode", err)
+	}
+	if _, err := topo.Route(0, 16); err != network.ErrBadNode {
+		t.Errorf("overflow node: got %v, want ErrBadNode", err)
+	}
+}
+
+func TestOccupancyMatchesPairwiseConflicts(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	n := topo.NumNodes()
+	var paths []network.Path
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				paths = append(paths, mustRoute(t, topo, s, d))
+			}
+		}
+	}
+	// Greedily build one configuration with Occupancy and verify the
+	// accepted set is exactly pairwise conflict-free and maximal.
+	occ := network.NewOccupancy()
+	var accepted []network.Path
+	for _, p := range paths {
+		if occ.CanAdd(p) {
+			occ.Add(p)
+			accepted = append(accepted, p)
+		}
+	}
+	for i := range accepted {
+		for j := i + 1; j < len(accepted); j++ {
+			if network.Conflicts(accepted[i], accepted[j]) {
+				t.Fatalf("occupancy admitted conflicting paths %v and %v", accepted[i], accepted[j])
+			}
+		}
+	}
+	for _, p := range paths {
+		if occ.CanAdd(p) {
+			conflictsAny := false
+			for _, q := range accepted {
+				if network.Conflicts(p, q) {
+					conflictsAny = true
+				}
+			}
+			if conflictsAny {
+				t.Fatalf("CanAdd accepts %v which conflicts pairwise", p)
+			}
+		} else {
+			conflictsAny := false
+			for _, q := range accepted {
+				if network.Conflicts(p, q) {
+					conflictsAny = true
+				}
+			}
+			if !conflictsAny {
+				t.Fatalf("CanAdd rejects %v which conflicts with nothing", p)
+			}
+		}
+	}
+}
+
+func TestOccupancyReset(t *testing.T) {
+	topo := topology.NewLinear(4)
+	p := mustRoute(t, topo, 0, 3)
+	occ := network.NewOccupancy()
+	occ.Add(p)
+	if occ.CanAdd(p) {
+		t.Fatal("occupied path reported addable")
+	}
+	occ.Reset()
+	if !occ.CanAdd(p) {
+		t.Fatal("reset occupancy still blocks the path")
+	}
+	if occ.LinkCount() != 0 {
+		t.Fatalf("reset occupancy has %d links", occ.LinkCount())
+	}
+}
+
+// TestFigure1Configuration reproduces Fig. 1: the five connections
+// {(4,1), (5,3), (6,10), (8,9), (11,2)} form a valid configuration on the
+// 4x4 torus.
+func TestFigure1Configuration(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	conns := [][2]int{{4, 1}, {5, 3}, {6, 10}, {8, 9}, {11, 2}}
+	occ := network.NewOccupancy()
+	for _, c := range conns {
+		p := mustRoute(t, topo, c[0], c[1])
+		if !occ.CanAdd(p) {
+			t.Fatalf("connection (%d, %d) conflicts within the Fig. 1 configuration", c[0], c[1])
+		}
+		occ.Add(p)
+	}
+}

@@ -1,0 +1,111 @@
+// Package optics verifies compiled network control at the physical level:
+// it traces light through the switch crossbar settings alone, without
+// consulting the schedule or the routing function that produced them.
+//
+// A Tracer injects a probe into the PE injection port of a switch during a
+// TDM slot and follows the optical path dictated purely by the loaded
+// crossbar states: in-port -> out-port inside each switch, out-port ->
+// neighbor in-port along each fiber. Whatever PE ejection port the probe
+// reaches is where the data physically lands. Comparing that against the
+// intended destinations is the strongest end-to-end check the system has:
+// it would catch a correct schedule lowered to wrong register contents, a
+// wrong link table, or a routing/lowering disagreement.
+package optics
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/switchprog"
+)
+
+// Tracer follows light through a compiled switch program.
+type Tracer struct {
+	prog *switchprog.Program
+	// linkAt maps (node, outPort) to the departing link.
+	linkAt map[[2]int]network.LinkInfo
+}
+
+// NewTracer indexes the topology's wiring for the program.
+func NewTracer(prog *switchprog.Program) *Tracer {
+	t := &Tracer{prog: prog, linkAt: make(map[[2]int]network.LinkInfo)}
+	topo := prog.Topology
+	for id := 0; id < topo.NumLinks(); id++ {
+		li := topo.Link(network.LinkID(id))
+		t.linkAt[[2]int{int(li.From), li.OutPort}] = li
+	}
+	return t
+}
+
+// Trace injects a probe at src's PE port in the given slot and returns the
+// node whose PE ejection port the light reaches, together with the hop
+// count. It fails if the injection port is dark (no crossbar entry), if an
+// out-port leads to no fiber, or if the path exceeds the network size
+// (a miswired loop).
+func (t *Tracer) Trace(src network.NodeID, slot int) (network.NodeID, int, error) {
+	if slot < 0 || slot >= t.prog.Degree {
+		return 0, 0, fmt.Errorf("optics: slot %d outside degree %d", slot, t.prog.Degree)
+	}
+	node := src
+	in := network.PEPort
+	hops := 0
+	limit := t.prog.Topology.NumLinks() + 1
+	for {
+		states := t.prog.Switches[node].Slots[slot]
+		out, ok := states[in]
+		if !ok {
+			return 0, 0, fmt.Errorf("optics: dark input: switch %d slot %d port %d", node, slot, in)
+		}
+		if out == network.PEPort {
+			return node, hops, nil
+		}
+		li, wired := t.linkAt[[2]int{int(node), out}]
+		if !wired {
+			return 0, 0, fmt.Errorf("optics: switch %d output port %d leads to no fiber", node, out)
+		}
+		node = li.To
+		in = li.InPort
+		hops++
+		if hops > limit {
+			return 0, 0, fmt.Errorf("optics: light from %d loops in slot %d", src, slot)
+		}
+	}
+}
+
+// VerifySchedule traces every circuit of a schedule's slot index through
+// the program and checks the light lands at the scheduled destination. It
+// returns the number of circuits verified.
+func (t *Tracer) VerifySchedule(slots map[request.Request]int) (int, error) {
+	n := 0
+	for r, slot := range slots {
+		dst, _, err := t.Trace(r.Src, slot)
+		if err != nil {
+			return n, fmt.Errorf("optics: circuit %v: %w", r, err)
+		}
+		if dst != r.Dst {
+			return n, fmt.Errorf("optics: circuit %v delivers to %d", r, dst)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// SlotCensus traces every lit PE injection port of a slot and returns the
+// realized connection set — the physical configuration the network
+// establishes in that slot.
+func (t *Tracer) SlotCensus(slot int) (request.Set, error) {
+	var set request.Set
+	for node := range t.prog.Switches {
+		states := t.prog.Switches[node].Slots[slot]
+		if _, lit := states[network.PEPort]; !lit {
+			continue
+		}
+		dst, _, err := t.Trace(network.NodeID(node), slot)
+		if err != nil {
+			return nil, err
+		}
+		set = append(set, request.Request{Src: network.NodeID(node), Dst: dst})
+	}
+	return set, nil
+}

@@ -1,0 +1,82 @@
+package redist_test
+
+import (
+	"testing"
+
+	"repro/internal/redist"
+)
+
+// FuzzRedistribute cross-checks the factorized redistribution computation
+// against brute-force element enumeration for arbitrary distribution
+// parameters.
+func FuzzRedistribute(f *testing.F) {
+	f.Add(uint8(2), uint8(2), uint8(1), uint8(4), uint8(1), uint8(2), uint8(4), uint8(1))
+	f.Add(uint8(4), uint8(1), uint8(1), uint8(1), uint8(2), uint8(2), uint8(2), uint8(4))
+	f.Fuzz(func(t *testing.T, p0, b0, p1, b1, q0, c0, q1, c1 uint8) {
+		norm := func(v uint8, max int) int {
+			n := 1 << (int(v) % 4)
+			if n > max {
+				n = max
+			}
+			return n
+		}
+		shape := [3]int{8, 8, 4}
+		from := redist.Dist{Dims: [3]redist.DimDist{
+			{P: norm(p0, 8), B: norm(b0, 8)},
+			{P: norm(p1, 8), B: norm(b1, 8)},
+			{P: 1, B: 4},
+		}}
+		to := redist.Dist{Dims: [3]redist.DimDist{
+			{P: norm(q0, 8), B: norm(c0, 8)},
+			{P: norm(q1, 8), B: norm(c1, 8)},
+			{P: 1, B: 4},
+		}}
+		if from.Procs() != to.Procs() {
+			return
+		}
+		fast, err := redist.Redistribute(shape, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := redist.RedistributeBrute(shape, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast.Volume) != len(brute.Volume) {
+			t.Fatalf("pair counts differ: %d vs %d", len(fast.Volume), len(brute.Volume))
+		}
+		for r, v := range brute.Volume {
+			if fast.Volume[r] != v {
+				t.Fatalf("pair %v: %d vs %d", r, fast.Volume[r], v)
+			}
+		}
+	})
+}
+
+// FuzzShiftPattern cross-checks shifted-reference communication against
+// brute force for arbitrary offsets.
+func FuzzShiftPattern(f *testing.F) {
+	f.Add(int8(1), int8(0), int8(-1))
+	f.Add(int8(-7), int8(3), int8(2))
+	f.Fuzz(func(t *testing.T, o0, o1, o2 int8) {
+		shape := [3]int{8, 8, 8}
+		d := redist.Dist{Dims: [3]redist.DimDist{{P: 2, B: 4}, {P: 4, B: 2}, {P: 2, B: 1}}}
+		off := [3]int{int(o0) % 8, int(o1) % 8, int(o2) % 8}
+		fast, err := redist.ShiftPattern(shape, d, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := redist.ShiftPatternBrute(shape, d, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast.Volume) != len(brute.Volume) {
+			t.Fatalf("pair counts differ: %d vs %d", len(fast.Volume), len(brute.Volume))
+		}
+		for r, v := range brute.Volume {
+			if fast.Volume[r] != v {
+				t.Fatalf("pair %v: %d vs %d", r, fast.Volume[r], v)
+			}
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package redist_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/redist"
+	"repro/internal/request"
+)
+
+func mustDist(t *testing.T, p0, b0, p1, b1, p2, b2 int) redist.Dist {
+	t.Helper()
+	d, err := redist.NewDist([3]redist.DimDist{{P: p0, B: b0}, {P: p1, B: b1}, {P: p2, B: b2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDistRejectsBadInputs(t *testing.T) {
+	if _, err := redist.NewDist([3]redist.DimDist{{P: 0, B: 1}, {P: 1, B: 1}, {P: 1, B: 1}}); err == nil {
+		t.Error("zero processor count accepted")
+	}
+	if _, err := redist.NewDist([3]redist.DimDist{{P: 1, B: 0}, {P: 1, B: 1}, {P: 1, B: 1}}); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestOwnerBlockCyclic(t *testing.T) {
+	// 4 processors, block 2, one dimension: indices 0,1 -> 0; 2,3 -> 1; ...
+	// 8,9 -> 0 again (cyclic).
+	d := mustDist(t, 4, 2, 1, 1, 1, 1)
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 4: 2, 6: 3, 8: 0, 9: 0, 10: 1}
+	for x, want := range cases {
+		if got := d.Owner([3]int{x, 0, 0}); got != want {
+			t.Errorf("Owner(x=%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestOwnerLinearization(t *testing.T) {
+	// 2x2x2 grid: coordinates linearize row-major.
+	d := mustDist(t, 2, 4, 2, 4, 2, 4)
+	if got := d.Owner([3]int{0, 0, 0}); got != 0 {
+		t.Errorf("Owner(0,0,0) = %d", got)
+	}
+	if got := d.Owner([3]int{0, 0, 4}); got != 1 {
+		t.Errorf("Owner(0,0,4) = %d", got)
+	}
+	if got := d.Owner([3]int{0, 4, 0}); got != 2 {
+		t.Errorf("Owner(0,4,0) = %d", got)
+	}
+	if got := d.Owner([3]int{4, 0, 0}); got != 4 {
+		t.Errorf("Owner(4,0,0) = %d", got)
+	}
+}
+
+func TestDistString(t *testing.T) {
+	d := mustDist(t, 4, 16, 1, 64, 64, 1)
+	want := "(4:block(16), :, 64:block(1))"
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+}
+
+func TestRedistributeMatchesBruteForce(t *testing.T) {
+	shape := [3]int{16, 16, 16}
+	cases := [][2]redist.Dist{
+		{mustDist(t, 4, 4, 4, 4, 1, 16), mustDist(t, 1, 16, 1, 16, 16, 1)},
+		{mustDist(t, 2, 8, 2, 8, 4, 4), mustDist(t, 4, 4, 2, 8, 2, 8)},
+		{mustDist(t, 16, 1, 1, 16, 1, 16), mustDist(t, 1, 16, 16, 1, 1, 16)},
+		{mustDist(t, 4, 2, 2, 2, 2, 2), mustDist(t, 2, 2, 4, 2, 2, 2)},
+	}
+	for i, c := range cases {
+		fast, err := redist.Redistribute(shape, c[0], c[1])
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		brute, err := redist.RedistributeBrute(shape, c[0], c[1])
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(fast.Volume) != len(brute.Volume) {
+			t.Fatalf("case %d: %d pairs fast vs %d brute", i, len(fast.Volume), len(brute.Volume))
+		}
+		for r, v := range brute.Volume {
+			if fast.Volume[r] != v {
+				t.Fatalf("case %d: pair %v volume %d fast vs %d brute", i, r, fast.Volume[r], v)
+			}
+		}
+	}
+}
+
+func TestRedistributePropertyMatchesBrute(t *testing.T) {
+	shape := [3]int{8, 8, 8}
+	f := func(s0, s1, s2, d0, d1, d2 uint8) bool {
+		pow2 := func(b uint8, max int) int {
+			v := 1 << (int(b) % 4) // 1,2,4,8
+			if v > max {
+				v = max
+			}
+			return v
+		}
+		from := redist.Dist{Dims: [3]redist.DimDist{
+			{P: pow2(s0, 8), B: pow2(s1, 8)},
+			{P: pow2(s1, 8), B: pow2(s2, 8)},
+			{P: pow2(s2, 8), B: pow2(s0, 8)},
+		}}
+		to := redist.Dist{Dims: [3]redist.DimDist{
+			{P: pow2(d0, 8), B: pow2(d1, 8)},
+			{P: pow2(d1, 8), B: pow2(d2, 8)},
+			{P: pow2(d2, 8), B: pow2(d0, 8)},
+		}}
+		if from.Procs() != to.Procs() {
+			return true // incomparable draw; nothing to test
+		}
+		fast, err := redist.Redistribute(shape, from, to)
+		if err != nil {
+			return false
+		}
+		brute, err := redist.RedistributeBrute(shape, from, to)
+		if err != nil {
+			return false
+		}
+		if len(fast.Volume) != len(brute.Volume) {
+			return false
+		}
+		for r, v := range brute.Volume {
+			if fast.Volume[r] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedistributeIdentityIsEmpty(t *testing.T) {
+	d := mustDist(t, 4, 4, 4, 4, 4, 4)
+	pat, err := redist.Redistribute([3]int{16, 16, 16}, d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pat.Reqs) != 0 || pat.TotalElements() != 0 {
+		t.Errorf("identity redistribution moved %d elements over %d pairs", pat.TotalElements(), len(pat.Reqs))
+	}
+}
+
+func TestRedistributeConservesElements(t *testing.T) {
+	// Total moved elements + stationary elements = array size.
+	shape := [3]int{16, 16, 16}
+	from := mustDist(t, 4, 4, 4, 4, 1, 16)
+	to := mustDist(t, 1, 16, 1, 16, 16, 1)
+	pat, err := redist.Redistribute(shape, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stationary := 0
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 16; y++ {
+			for z := 0; z < 16; z++ {
+				if from.Owner([3]int{x, y, z}) == to.Owner([3]int{x, y, z}) {
+					stationary++
+				}
+			}
+		}
+	}
+	if pat.TotalElements()+stationary != 16*16*16 {
+		t.Errorf("moved %d + stationary %d != %d", pat.TotalElements(), stationary, 16*16*16)
+	}
+}
+
+func TestRedistributeRejectsMismatchedGrids(t *testing.T) {
+	a := mustDist(t, 4, 4, 4, 4, 4, 4)
+	b := mustDist(t, 2, 8, 2, 8, 2, 8)
+	if _, err := redist.Redistribute([3]int{16, 16, 16}, a, b); err == nil {
+		t.Error("mismatched PE counts accepted")
+	}
+	if _, err := redist.Redistribute([3]int{0, 16, 16}, a, a); err == nil {
+		t.Error("zero extent accepted")
+	}
+}
+
+func TestRandomDistConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shape := [3]int{64, 64, 64}
+	for i := 0; i < 200; i++ {
+		d, err := redist.RandomDist(rng, shape, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Procs() != 64 {
+			t.Fatalf("draw %d: %d processors, want 64", i, d.Procs())
+		}
+		for dim := 0; dim < 3; dim++ {
+			p, b := d.Dims[dim].P, d.Dims[dim].B
+			if p&(p-1) != 0 || b&(b-1) != 0 {
+				t.Fatalf("draw %d dim %d: non-power-of-two p=%d b=%d", i, dim, p, b)
+			}
+			if b*p > shape[dim] {
+				t.Fatalf("draw %d dim %d: block %d x procs %d exceeds extent %d (some PE would be empty)",
+					i, dim, b, p, shape[dim])
+			}
+		}
+	}
+	if _, err := redist.RandomDist(rng, shape, 48); err == nil {
+		t.Error("non-power-of-two processor count accepted")
+	}
+}
+
+func TestRandomRedistributionNonEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		pat, from, to, err := redist.RandomRedistribution(rng, [3]int{64, 64, 64}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pat.Reqs) == 0 {
+			t.Fatalf("draw %d: empty redistribution %s -> %s", i, from, to)
+		}
+		for _, r := range pat.Reqs {
+			if r.Src == r.Dst {
+				t.Fatalf("draw %d: self-loop %v", i, r)
+			}
+			if pat.Volume[r] <= 0 {
+				t.Fatalf("draw %d: request %v with volume %d", i, r, pat.Volume[r])
+			}
+		}
+	}
+}
+
+func TestTable2ConnectionCountsPlausible(t *testing.T) {
+	// The paper's Table 2 buckets redistributions by connection count with
+	// a maximum of 4032 (the all-to-all); verify the generator stays in
+	// range and can produce dense patterns.
+	rng := rand.New(rand.NewSource(5))
+	max := 0
+	for i := 0; i < 150; i++ {
+		pat, _, _, err := redist.RandomRedistribution(rng, [3]int{64, 64, 64}, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pat.Reqs) > 4032 {
+			t.Fatalf("draw %d: %d connections exceed 4032", i, len(pat.Reqs))
+		}
+		if len(pat.Reqs) > max {
+			max = len(pat.Reqs)
+		}
+	}
+	if max < 1000 {
+		t.Errorf("densest of 150 draws has only %d connections; generator too tame", max)
+	}
+}
+
+func TestPatternRequestsMatchVolumeKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pat, _, _, err := redist.RandomRedistribution(rng, [3]int{64, 64, 64}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pat.Reqs) != len(pat.Volume) {
+		t.Fatalf("%d requests vs %d volume entries", len(pat.Reqs), len(pat.Volume))
+	}
+	seen := map[request.Request]bool{}
+	for _, r := range pat.Reqs {
+		if seen[r] {
+			t.Fatalf("duplicate request %v", r)
+		}
+		seen[r] = true
+		if _, ok := pat.Volume[r]; !ok {
+			t.Fatalf("request %v missing volume", r)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package redist_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/redist"
+)
+
+func TestShiftPatternMatchesBrute(t *testing.T) {
+	shape := [3]int{16, 16, 16}
+	d := mustDist(t, 4, 4, 2, 8, 2, 8)
+	offsets := [][3]int{
+		{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, 0, -1},
+		{1, 1, 0}, {-3, 0, 5}, {4, -4, 4},
+	}
+	for _, off := range offsets {
+		fast, err := redist.ShiftPattern(shape, d, off)
+		if err != nil {
+			t.Fatalf("off %v: %v", off, err)
+		}
+		brute, err := redist.ShiftPatternBrute(shape, d, off)
+		if err != nil {
+			t.Fatalf("off %v: %v", off, err)
+		}
+		if len(fast.Volume) != len(brute.Volume) {
+			t.Fatalf("off %v: %d vs %d pairs", off, len(fast.Volume), len(brute.Volume))
+		}
+		for r, v := range brute.Volume {
+			if fast.Volume[r] != v {
+				t.Fatalf("off %v pair %v: %d vs %d", off, r, fast.Volume[r], v)
+			}
+		}
+	}
+}
+
+func TestShiftPatternProperty(t *testing.T) {
+	shape := [3]int{8, 8, 8}
+	d := mustDist(t, 2, 4, 2, 2, 2, 4)
+	f := func(o0, o1, o2 int8) bool {
+		off := [3]int{int(o0) % 8, int(o1) % 8, int(o2) % 8}
+		fast, err := redist.ShiftPattern(shape, d, off)
+		if err != nil {
+			return false
+		}
+		brute, err := redist.ShiftPatternBrute(shape, d, off)
+		if err != nil {
+			return false
+		}
+		if len(fast.Volume) != len(brute.Volume) {
+			return false
+		}
+		for r, v := range brute.Volume {
+			if fast.Volume[r] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftPatternNeighborExchange(t *testing.T) {
+	// 1-D block distribution, shift +1: PE p receives its upper boundary
+	// element from PE p+1 — the GS pattern, one element per boundary.
+	d := mustDist(t, 4, 4, 1, 1, 1, 1)
+	pat, err := redist.ShiftPattern([3]int{16, 1, 1}, d, [3]int{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pat.Reqs) != 3 {
+		t.Fatalf("got %d connections, want 3 (open chain)", len(pat.Reqs))
+	}
+	for _, r := range pat.Reqs {
+		if int(r.Src) != int(r.Dst)+1 {
+			t.Fatalf("unexpected connection %v for +1 shift", r)
+		}
+		if pat.Volume[r] != 1 {
+			t.Fatalf("boundary volume %d, want 1", pat.Volume[r])
+		}
+	}
+}
+
+func TestShiftPatternRejectsHugeOffsets(t *testing.T) {
+	d := mustDist(t, 4, 4, 1, 1, 1, 1)
+	if _, err := redist.ShiftPattern([3]int{16, 1, 1}, d, [3]int{16, 0, 0}); err == nil {
+		t.Error("offset equal to extent accepted")
+	}
+	if _, err := redist.ShiftPattern([3]int{0, 1, 1}, d, [3]int{0, 0, 0}); err == nil {
+		t.Error("zero extent accepted")
+	}
+}
+
+func TestShiftPatternCyclicDistribution(t *testing.T) {
+	// Pure cyclic (block 1) distribution: a +1 shift makes *every* element
+	// cross PEs — the compiler would see a dense pattern where block
+	// layouts see a thin boundary. Both are computed; the contrast is what
+	// makes layout choice matter.
+	cyclic := mustDist(t, 4, 1, 1, 1, 1, 1)
+	block := mustDist(t, 4, 4, 1, 1, 1, 1)
+	pc, err := redist.ShiftPattern([3]int{16, 1, 1}, cyclic, [3]int{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := redist.ShiftPattern([3]int{16, 1, 1}, block, [3]int{1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.TotalElements() <= pb.TotalElements() {
+		t.Errorf("cyclic shift moves %d elements, block moves %d; cyclic must move more",
+			pc.TotalElements(), pb.TotalElements())
+	}
+	if pc.TotalElements() != 15 {
+		t.Errorf("cyclic +1 shift moves %d elements, want 15 (all interior)", pc.TotalElements())
+	}
+}

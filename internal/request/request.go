@@ -1,0 +1,106 @@
+// Package request models sets of connection requests — the input to the
+// off-line connection-scheduling algorithms. A request (s, d) asks for an
+// all-optical circuit from PE s to PE d.
+package request
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Request is a single connection request from Src to Dst.
+type Request struct {
+	Src, Dst network.NodeID
+}
+
+// String implements fmt.Stringer in the paper's "(s, d)" notation.
+func (r Request) String() string { return fmt.Sprintf("(%d, %d)", r.Src, r.Dst) }
+
+// Set is an ordered collection of requests. Order matters: the greedy
+// scheduler is order-sensitive (the whole point of the Fig. 3 example and of
+// the ordered-AAPC reordering), so Set preserves insertion order.
+type Set []Request
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Sorted returns a copy sorted by (Src, Dst); useful for deterministic
+// comparison in tests.
+func (s Set) Sorted() Set {
+	out := s.Clone()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// Dedup returns a copy with duplicate (s, d) pairs removed, preserving the
+// first occurrence's position.
+func (s Set) Dedup() Set {
+	seen := make(map[Request]struct{}, len(s))
+	out := make(Set, 0, len(s))
+	for _, r := range s {
+		if _, ok := seen[r]; ok {
+			continue
+		}
+		seen[r] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Validate checks that every request addresses nodes inside the topology
+// and is not a self-loop.
+func (s Set) Validate(t network.Topology) error {
+	n := t.NumNodes()
+	for i, r := range s {
+		if int(r.Src) < 0 || int(r.Src) >= n || int(r.Dst) < 0 || int(r.Dst) >= n {
+			return fmt.Errorf("request %d: %v out of range for %s", i, r, t.Name())
+		}
+		if r.Src == r.Dst {
+			return fmt.Errorf("request %d: %v is a self-loop", i, r)
+		}
+	}
+	return nil
+}
+
+// Sources returns the multiset of per-source request counts. The maximum is
+// a lower bound on the multiplexing degree (each PE has one injection port).
+func (s Set) Sources() map[network.NodeID]int {
+	m := make(map[network.NodeID]int)
+	for _, r := range s {
+		m[r.Src]++
+	}
+	return m
+}
+
+// Destinations returns the multiset of per-destination request counts.
+func (s Set) Destinations() map[network.NodeID]int {
+	m := make(map[network.NodeID]int)
+	for _, r := range s {
+		m[r.Dst]++
+	}
+	return m
+}
+
+// Routes computes the circuit path of every request in the set.
+func (s Set) Routes(t network.Topology) ([]network.Path, error) {
+	paths := make([]network.Path, len(s))
+	for i, r := range s {
+		p, err := t.Route(r.Src, r.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("request %v: %w", r, err)
+		}
+		paths[i] = p
+	}
+	return paths, nil
+}

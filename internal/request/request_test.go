@@ -1,0 +1,123 @@
+package request_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/topology"
+)
+
+func TestString(t *testing.T) {
+	r := request.Request{Src: 4, Dst: 1}
+	if r.String() != "(4, 1)" {
+		t.Errorf("String() = %q, want %q", r.String(), "(4, 1)")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := request.Set{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	c := s.Clone()
+	c[0] = request.Request{Src: 9, Dst: 9}
+	if s[0].Src != 0 {
+		t.Error("Clone shares backing storage")
+	}
+}
+
+func TestSortedOrder(t *testing.T) {
+	s := request.Set{{Src: 2, Dst: 1}, {Src: 0, Dst: 3}, {Src: 2, Dst: 0}, {Src: 0, Dst: 1}}
+	got := s.Sorted()
+	want := request.Set{{Src: 0, Dst: 1}, {Src: 0, Dst: 3}, {Src: 2, Dst: 0}, {Src: 2, Dst: 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Original untouched.
+	if s[0] != (request.Request{Src: 2, Dst: 1}) {
+		t.Error("Sorted mutated its receiver")
+	}
+}
+
+func TestDedupKeepsFirstOccurrence(t *testing.T) {
+	s := request.Set{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}, {Src: 1, Dst: 2}, {Src: 5, Dst: 6}}
+	got := s.Dedup()
+	if len(got) != 3 {
+		t.Fatalf("Dedup left %d requests, want 3", len(got))
+	}
+	if got[0] != (request.Request{Src: 1, Dst: 2}) || got[1] != (request.Request{Src: 3, Dst: 4}) {
+		t.Error("Dedup changed order of first occurrences")
+	}
+}
+
+func TestDedupProperty(t *testing.T) {
+	f := func(pairs [][2]uint8) bool {
+		var s request.Set
+		for _, p := range pairs {
+			s = append(s, request.Request{Src: network.NodeID(p[0]), Dst: network.NodeID(p[1])})
+		}
+		d := s.Dedup()
+		seen := map[request.Request]bool{}
+		for _, r := range d {
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		// Every original request is present.
+		for _, r := range s {
+			if !seen[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	if err := (request.Set{{Src: 0, Dst: 15}}).Validate(topo); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	if err := (request.Set{{Src: 0, Dst: 16}}).Validate(topo); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if err := (request.Set{{Src: -1, Dst: 3}}).Validate(topo); err == nil {
+		t.Error("negative source accepted")
+	}
+	if err := (request.Set{{Src: 3, Dst: 3}}).Validate(topo); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
+
+func TestSourcesDestinations(t *testing.T) {
+	s := request.Set{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}}
+	src := s.Sources()
+	if src[0] != 2 || src[1] != 1 {
+		t.Errorf("Sources() = %v", src)
+	}
+	dst := s.Destinations()
+	if dst[1] != 1 || dst[2] != 2 {
+		t.Errorf("Destinations() = %v", dst)
+	}
+}
+
+func TestRoutes(t *testing.T) {
+	topo := topology.NewLinear(5)
+	s := request.Set{{Src: 0, Dst: 2}, {Src: 4, Dst: 1}}
+	paths, err := s.Routes(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 || paths[0].Len() != 2 || paths[1].Len() != 3 {
+		t.Errorf("unexpected paths %v", paths)
+	}
+	bad := request.Set{{Src: 0, Dst: 0}}
+	if _, err := bad.Routes(topo); err == nil {
+		t.Error("Routes accepted a self-loop")
+	}
+}

@@ -1,0 +1,113 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// TestCliqueBoundSometimesTightens scans patterns whose resource bound
+// falls short of the achieved degree and reports where the clique bound
+// closes part of the gap; soundness (clique <= achieved) is asserted on
+// every instance.
+func TestCliqueBoundSometimesTightens(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	hyper, err := patterns.Hypercube(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffle, err := patterns.ShuffleExchange(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitrev, err := patterns.BitReversal(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := map[string]request.Set{
+		"hypercube":        hyper,
+		"shuffle-exchange": shuffle,
+		"bit-reversal":     bitrev,
+		"transpose":        patterns.Transpose(8),
+	}
+	tightened := 0
+	for name, set := range sets {
+		rb, err := schedule.LowerBound(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := schedule.CliqueBound(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := schedule.Combined{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-16s resource=%d clique=%d achieved=%d", name, rb, cb, res.Degree())
+		if cb > res.Degree() {
+			t.Fatalf("%s: clique bound %d exceeds achieved degree %d: bound is invalid", name, cb, res.Degree())
+		}
+		if cb > rb {
+			tightened++
+		}
+	}
+	t.Logf("clique bound tightened %d of %d instances", tightened, len(sets))
+}
+
+// TestCliqueBoundNeverExceedsAchievedDegree is the soundness property: a
+// lower bound can never exceed any valid schedule's degree.
+func TestCliqueBoundNeverExceedsAchievedDegree(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		set, err := patterns.Random(rng, 64, 150+trial*300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := schedule.CliqueBound(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := schedule.Combined{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cb > res.Degree() {
+			t.Fatalf("trial %d: clique bound %d > achieved degree %d", trial, cb, res.Degree())
+		}
+	}
+}
+
+func TestBestLowerBound(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set, err := patterns.ShuffleExchange(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := schedule.BestLowerBound(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := schedule.LowerBound(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < rb {
+		t.Errorf("combined bound %d below resource bound %d", best, rb)
+	}
+}
+
+func TestCliqueBoundEmptyAndErrors(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	if b, err := schedule.CliqueBound(torus, nil); err != nil || b != 0 {
+		t.Errorf("empty set: %d, %v", b, err)
+	}
+	if _, err := schedule.CliqueBound(torus, request.Set{{Src: 0, Dst: 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+}

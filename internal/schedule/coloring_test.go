@@ -1,0 +1,182 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// TestColoringBeatsGreedyOnRandomPatterns reproduces the paper's central
+// Table 1 relationship: averaged over random patterns, the coloring
+// algorithm needs a smaller multiplexing degree than greedy.
+func TestColoringBeatsGreedyOnRandomPatterns(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(1996))
+	const trials = 12
+	for _, n := range []int{100, 400, 1200, 2400} {
+		sumG, sumC := 0, 0
+		for i := 0; i < trials; i++ {
+			set, err := patterns.Random(rng, 64, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := schedule.Greedy{}.Schedule(torus, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := schedule.Coloring{}.Schedule(torus, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sumG += g.Degree()
+			sumC += c.Degree()
+		}
+		if sumC >= sumG {
+			t.Errorf("n=%d: coloring average %.1f not below greedy %.1f",
+				n, float64(sumC)/trials, float64(sumG)/trials)
+		}
+	}
+}
+
+func TestColoringOnFigure3Instance(t *testing.T) {
+	lin := topology.NewLinear(5)
+	reqs := request.Set{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 3, Dst: 4}, {Src: 2, Dst: 4}}
+	res, err := schedule.Coloring{}.Schedule(lin, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 2 {
+		t.Errorf("coloring degree = %d, want the optimal 2", res.Degree())
+	}
+}
+
+func TestColoringIndependentRequestsOneSlot(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	// Pairwise disjoint one-hop requests in distinct rows.
+	reqs := request.Set{}
+	for r := 0; r < 8; r++ {
+		reqs = append(reqs, request.Request{
+			Src: torus.Node(r, 0), Dst: torus.Node(r, 1),
+		})
+	}
+	res, err := schedule.Coloring{}.Schedule(torus, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 1 {
+		t.Errorf("degree = %d, want 1 for conflict-free requests", res.Degree())
+	}
+}
+
+func TestColoringCustomPriorityIsUsed(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(3))
+	set, err := patterns.Random(rng, 64, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	c := schedule.Coloring{Priority: func(l, d int) float64 {
+		calls++
+		return float64(d)
+	}}
+	res, err := c.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(set); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("custom priority function never called")
+	}
+}
+
+func TestPaperRatioPriority(t *testing.T) {
+	// Zero remaining conflicts dominates everything.
+	if schedule.PaperRatioPriority(1, 0) <= schedule.PaperRatioPriority(100, 1) {
+		t.Error("conflict-free vertex must outrank conflicted ones")
+	}
+	// Fewer conflicts outrank more conflicts at equal length.
+	if schedule.PaperRatioPriority(4, 2) <= schedule.PaperRatioPriority(4, 8) {
+		t.Error("fewer conflicts must yield higher priority")
+	}
+	// Longer connections outrank shorter ones at equal conflicts.
+	if schedule.PaperRatioPriority(6, 3) <= schedule.PaperRatioPriority(2, 3) {
+		t.Error("longer connection must yield higher priority")
+	}
+}
+
+func TestConflictGraphMatchesPairwiseConflicts(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	rng := rand.New(rand.NewSource(11))
+	set, err := patterns.Random(rng, 16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := set.Routes(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := schedule.BuildConflictGraph(torus, paths)
+	if g.Len() != len(set) {
+		t.Fatalf("graph has %d vertices, want %d", g.Len(), len(set))
+	}
+	edges := 0
+	for i := range paths {
+		deg := 0
+		for j := range paths {
+			if i == j {
+				continue
+			}
+			want := network.Conflicts(paths[i], paths[j])
+			if g.Adjacent(i, j) != want {
+				t.Fatalf("Adjacent(%d,%d) = %v, want %v", i, j, g.Adjacent(i, j), want)
+			}
+			if want {
+				deg++
+			}
+		}
+		if g.Degree(i) != deg {
+			t.Fatalf("Degree(%d) = %d, want %d", i, g.Degree(i), deg)
+		}
+		edges += deg
+		// Neighbors enumerates exactly the adjacent vertices.
+		seen := map[int]bool{}
+		g.Neighbors(i, func(j int) { seen[j] = true })
+		if len(seen) != deg {
+			t.Fatalf("Neighbors(%d) visited %d vertices, want %d", i, len(seen), deg)
+		}
+	}
+	if g.Edges() != edges/2 {
+		t.Fatalf("Edges() = %d, want %d", g.Edges(), edges/2)
+	}
+}
+
+func TestConflictGraphOrInto(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	set := patterns.Ring(16)
+	paths, err := set.Routes(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := schedule.BuildConflictGraph(torus, paths)
+	dst := make([]uint64, g.Words())
+	g.OrInto(dst, 0)
+	g.OrInto(dst, 1)
+	for j := 0; j < g.Len(); j++ {
+		got := dst[j/64]&(1<<uint(j%64)) != 0
+		want := g.Adjacent(0, j) || g.Adjacent(1, j)
+		if got != want {
+			t.Fatalf("OrInto bit %d = %v, want %v", j, got, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package schedule
+
+import (
+	"repro/internal/network"
+	"repro/internal/request"
+)
+
+// Combined runs both the coloring and the ordered-AAPC schedulers and keeps
+// whichever produces the smaller multiplexing degree. The paper's compiler
+// uses this algorithm in the simulation study: compiled communication can
+// afford to spend extra compile time for better runtime network utilization.
+type Combined struct {
+	coloring Coloring
+	aapc     OrderedAAPC
+}
+
+// Name implements Scheduler.
+func (Combined) Name() string { return "combined" }
+
+// Schedule implements Scheduler.
+func (c Combined) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
+	col, err := c.coloring.Schedule(t, reqs)
+	if err != nil {
+		return nil, err
+	}
+	ap, err := c.aapc.Schedule(t, reqs)
+	if err != nil {
+		return nil, err
+	}
+	best := col
+	if ap.Degree() < col.Degree() {
+		best = ap
+	}
+	return &Result{
+		Algorithm: "combined(" + best.Algorithm + ")",
+		Topology:  best.Topology,
+		Configs:   best.Configs,
+		Slot:      best.Slot,
+	}, nil
+}

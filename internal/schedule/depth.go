@@ -1,0 +1,38 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/request"
+)
+
+// SplitByDepth adapts a schedule to hardware whose circular shift registers
+// hold at most maxDegree states. A pattern whose minimal configuration set
+// exceeds the register depth cannot run as one TDM phase; it must execute
+// as a sequence of sub-phases of at most maxDegree configurations each,
+// with a register rewrite between consecutive sub-phases.
+//
+// The split preserves configuration contents (each sub-phase is a valid
+// schedule on its own) and packs configurations greedily in order, so the
+// number of sub-phases is ceil(Degree / maxDegree).
+func SplitByDepth(r *Result, maxDegree int) ([]*Result, error) {
+	if maxDegree < 1 {
+		return nil, fmt.Errorf("schedule: register depth %d < 1", maxDegree)
+	}
+	if r.Degree() == 0 {
+		return nil, nil
+	}
+	var out []*Result
+	for start := 0; start < r.Degree(); start += maxDegree {
+		end := start + maxDegree
+		if end > r.Degree() {
+			end = r.Degree()
+		}
+		configs := make([]request.Set, end-start)
+		copy(configs, r.Configs[start:end])
+		out = append(out, newResult(
+			fmt.Sprintf("%s[depth<=%d %d/%d]", r.Algorithm, maxDegree, len(out)+1, (r.Degree()+maxDegree-1)/maxDegree),
+			r.Topology, configs))
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package schedule_test
+
+import (
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func TestSplitByDepthCoversAllRequests(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := patterns.AllToAll(64)
+	res, err := schedule.OrderedAAPC{}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := schedule.SplitByDepth(res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 7 { // ceil(64/10)
+		t.Fatalf("got %d sub-phases, want 7", len(subs))
+	}
+	seen := map[request.Request]int{}
+	for i, sub := range subs {
+		if sub.Degree() > 10 {
+			t.Fatalf("sub-phase %d has degree %d > 10", i, sub.Degree())
+		}
+		// Each sub-phase must be valid for its own request subset.
+		var own request.Set
+		for _, cfg := range sub.Configs {
+			own = append(own, cfg...)
+		}
+		if err := sub.Validate(own); err != nil {
+			t.Fatalf("sub-phase %d: %v", i, err)
+		}
+		for _, r := range own {
+			seen[r]++
+		}
+	}
+	if len(seen) != len(set) {
+		t.Fatalf("sub-phases cover %d requests, want %d", len(seen), len(set))
+	}
+	for r, c := range seen {
+		if c != 1 {
+			t.Fatalf("request %v appears %d times across sub-phases", r, c)
+		}
+	}
+}
+
+func TestSplitByDepthNoSplitNeeded(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res, err := schedule.Combined{}.Schedule(torus, patterns.Ring(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := schedule.SplitByDepth(res, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Degree() != res.Degree() {
+		t.Errorf("expected a single untouched sub-phase, got %d", len(subs))
+	}
+}
+
+func TestSplitByDepthErrors(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res, err := schedule.Combined{}.Schedule(torus, patterns.Ring(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule.SplitByDepth(res, 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	empty, err := schedule.Greedy{}.Schedule(torus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := schedule.SplitByDepth(empty, 4)
+	if err != nil || subs != nil {
+		t.Error("empty schedule should split into nothing")
+	}
+}

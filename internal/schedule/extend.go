@@ -1,0 +1,60 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+)
+
+// Extend adds requests to an existing schedule without recomputing it: new
+// requests are first-fit packed into the existing configurations and new
+// slots are appended only when nothing fits. This serves the paper's
+// "parametrically known at compile time" case — a pattern whose shape is
+// known but whose exact members depend on a parameter resolved late in
+// compilation (or at load time): the compiler schedules the common part
+// once and extends it cheaply per parameter value.
+//
+// The input schedule is not modified. Duplicates of requests already
+// scheduled conflict with themselves and get fresh slots, like any other
+// conflicting request.
+func Extend(r *Result, extra request.Set) (*Result, error) {
+	if err := extra.Validate(r.Topology); err != nil {
+		return nil, err
+	}
+	configs := make([]request.Set, r.Degree())
+	occs := make([]*network.Occupancy, r.Degree())
+	for k, cfg := range r.Configs {
+		configs[k] = cfg.Clone()
+		occs[k] = network.NewOccupancy()
+		for _, req := range cfg {
+			p, err := r.Topology.Route(req.Src, req.Dst)
+			if err != nil {
+				return nil, fmt.Errorf("schedule: extend: %w", err)
+			}
+			occs[k].Add(p)
+		}
+	}
+	for _, req := range extra {
+		p, err := r.Topology.Route(req.Src, req.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: extend: %w", err)
+		}
+		placed := false
+		for k := range configs {
+			if occs[k].CanAdd(p) {
+				occs[k].Add(p)
+				configs[k] = append(configs[k], req)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			occ := network.NewOccupancy()
+			occ.Add(p)
+			occs = append(occs, occ)
+			configs = append(configs, request.Set{req})
+		}
+	}
+	return newResult(r.Algorithm+"+extend", r.Topology, configs), nil
+}

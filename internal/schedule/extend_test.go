@@ -1,0 +1,101 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func TestExtendReusesExistingSlots(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	base := request.Set{{Src: 0, Dst: 1}}
+	res, err := schedule.Combined{}.Schedule(torus, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A conflict-free addition fits the existing slot.
+	ext, err := schedule.Extend(res, request.Set{{Src: 8, Dst: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Degree() != 1 {
+		t.Errorf("degree %d, want 1 (new request shares the slot)", ext.Degree())
+	}
+	if err := ext.Validate(append(base.Clone(), request.Request{Src: 8, Dst: 9})); err != nil {
+		t.Fatal(err)
+	}
+	// The original schedule is untouched.
+	if len(res.Configs[0]) != 1 {
+		t.Error("Extend mutated the input schedule")
+	}
+}
+
+func TestExtendAppendsSlotsWhenNeeded(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	base := request.Set{{Src: 0, Dst: 1}}
+	res, err := schedule.Combined{}.Schedule(torus, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting additions (same source) must open new slots.
+	extra := request.Set{{Src: 0, Dst: 2}, {Src: 0, Dst: 3}}
+	ext, err := schedule.Extend(res, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Degree() != 3 {
+		t.Errorf("degree %d, want 3", ext.Degree())
+	}
+	if err := ext.Validate(append(base.Clone(), extra...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendMatchesFullRecomputeQuality(t *testing.T) {
+	// Extending a parametric pattern should stay close to scheduling the
+	// union from scratch; assert within 30% on random splits.
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(41))
+	full, err := patterns.Random(rng, 64, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, extra := full[:600], full[600:]
+	res, err := schedule.Combined{}.Schedule(torus, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := schedule.Extend(res, extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ext.Validate(full); err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := schedule.Combined{}.Schedule(torus, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("incremental degree %d vs from-scratch %d", ext.Degree(), scratch.Degree())
+	if float64(ext.Degree()) > 1.3*float64(scratch.Degree()) {
+		t.Errorf("incremental degree %d too far above from-scratch %d", ext.Degree(), scratch.Degree())
+	}
+}
+
+func TestExtendRejectsInvalid(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res, err := schedule.Combined{}.Schedule(torus, request.Set{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule.Extend(res, request.Set{{Src: 2, Dst: 2}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := schedule.Extend(res, request.Set{{Src: 0, Dst: 99}}); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package schedule_test
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// FuzzGreedyValidPartition feeds arbitrary request bytes through the greedy
+// scheduler and asserts schedule validity and the lower bound.
+func FuzzGreedyValidPartition(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{0, 5, 0, 5, 0, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 400 {
+			raw = raw[:400]
+		}
+		torus := topology.NewTorus(4, 4)
+		var set request.Set
+		for i := 0; i+1 < len(raw); i += 2 {
+			s := network.NodeID(int(raw[i]) % 16)
+			d := network.NodeID(int(raw[i+1]) % 16)
+			if s != d {
+				set = append(set, request.Request{Src: s, Dst: d})
+			}
+		}
+		res, err := schedule.Greedy{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+		if len(set) == 0 {
+			return
+		}
+		lb, err := schedule.LowerBound(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degree() < lb {
+			t.Fatalf("degree %d below lower bound %d", res.Degree(), lb)
+		}
+	})
+}
+
+// FuzzColoringValidPartition does the same for the coloring scheduler,
+// whose priority machinery has more state to get wrong.
+func FuzzColoringValidPartition(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		torus := topology.NewTorus(4, 4)
+		var set request.Set
+		for i := 0; i+1 < len(raw); i += 2 {
+			s := network.NodeID(int(raw[i]) % 16)
+			d := network.NodeID(int(raw[i+1]) % 16)
+			if s != d {
+				set = append(set, request.Request{Src: s, Dst: d})
+			}
+		}
+		res, err := schedule.Coloring{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// TestFigure3GreedyVsOptimal reproduces the paper's Fig. 3: on the 5-node
+// linear array, greedy schedules {(0,2), (1,3), (3,4), (2,4)} into 3 time
+// slots while the optimal assignment needs only 2.
+func TestFigure3GreedyVsOptimal(t *testing.T) {
+	lin := topology.NewLinear(5)
+	reqs := request.Set{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 3, Dst: 4}, {Src: 2, Dst: 4}}
+
+	g, err := schedule.Greedy{}.Schedule(lin, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree() != 3 {
+		t.Errorf("greedy degree = %d, want 3 (Fig. 3a)", g.Degree())
+	}
+	// The paper's slot assignment: (0,2) and (3,4) share slot 1, (1,3) in
+	// slot 2, (2,4) in slot 3.
+	if g.Slot[reqs[0]] != g.Slot[reqs[2]] {
+		t.Errorf("greedy should put (0,2) and (3,4) in the same slot")
+	}
+
+	e, err := schedule.Exact{}.Schedule(lin, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if e.Degree() != 2 {
+		t.Errorf("optimal degree = %d, want 2 (Fig. 3b)", e.Degree())
+	}
+
+	// Reordering the requests lets greedy find the optimum, which is the
+	// property the ordered-AAPC algorithm exploits.
+	reordered := request.Set{{Src: 0, Dst: 2}, {Src: 2, Dst: 4}, {Src: 1, Dst: 3}, {Src: 3, Dst: 4}}
+	g2, err := schedule.Greedy{}.Schedule(lin, reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Degree() != 2 {
+		t.Errorf("greedy on reordered requests = %d, want 2", g2.Degree())
+	}
+}
+
+func TestGreedySingleRequest(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	reqs := request.Set{{Src: 0, Dst: 5}}
+	res, err := schedule.Greedy{}.Schedule(torus, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 1 || res.NumRequests() != 1 {
+		t.Errorf("degree=%d requests=%d, want 1/1", res.Degree(), res.NumRequests())
+	}
+}
+
+func TestGreedyEmptySet(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	res, err := schedule.Greedy{}.Schedule(torus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 0 {
+		t.Errorf("empty set degree = %d, want 0", res.Degree())
+	}
+	if err := res.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyRejectsInvalidRequests(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	if _, err := (schedule.Greedy{}).Schedule(torus, request.Set{{Src: 0, Dst: 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := (schedule.Greedy{}).Schedule(torus, request.Set{{Src: 0, Dst: 99}}); err == nil {
+		t.Error("out-of-range request accepted")
+	}
+}
+
+func TestGreedyDuplicateRequestsLandInDistinctSlots(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	reqs := request.Set{{Src: 0, Dst: 5}, {Src: 0, Dst: 5}, {Src: 0, Dst: 5}}
+	res, err := schedule.Greedy{}.Schedule(torus, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 3 {
+		t.Errorf("three identical requests need 3 slots, got %d", res.Degree())
+	}
+	if err := res.Validate(reqs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMaximalConfigurations(t *testing.T) {
+	// Greedy's first configuration must be maximal: no remaining request
+	// could have been added to it.
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(7))
+	reqs, err := patterns.Random(rng, 64, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Greedy{}.Schedule(torus, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := network.NewOccupancy()
+	inFirst := make(map[request.Request]bool)
+	for _, r := range res.Configs[0] {
+		p, _ := torus.Route(r.Src, r.Dst)
+		occ.Add(p)
+		inFirst[r] = true
+	}
+	for _, r := range reqs {
+		if inFirst[r] {
+			continue
+		}
+		p, _ := torus.Route(r.Src, r.Dst)
+		if occ.CanAdd(p) {
+			t.Fatalf("request %v fits configuration 0 but was scheduled later", r)
+		}
+	}
+}
+
+// TestAllSchedulersProduceValidSchedules is the central correctness
+// property: on a spread of patterns and topologies, every scheduler yields
+// a partition into conflict-free configurations with degree >= the resource
+// lower bound.
+func TestAllSchedulersProduceValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	torus := topology.NewTorus(8, 8)
+	hyper, _ := patterns.Hypercube(64)
+	shuffle, _ := patterns.ShuffleExchange(64)
+	sets := []request.Set{
+		patterns.Ring(64),
+		patterns.NearestNeighbor2D(8, 8),
+		hyper,
+		shuffle,
+		patterns.Transpose(8),
+	}
+	for i := 0; i < 4; i++ {
+		s, err := patterns.Random(rng, 64, 150+200*i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets = append(sets, s)
+	}
+	scheds := []schedule.Scheduler{
+		schedule.Greedy{},
+		schedule.Coloring{},
+		schedule.Coloring{Priority: schedule.PaperRatioPriority},
+		schedule.OrderedAAPC{},
+		schedule.OrderedAAPC{DisableRanking: true},
+		schedule.Combined{},
+	}
+	for si, set := range sets {
+		lb, err := schedule.LowerBound(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range scheds {
+			res, err := s.Schedule(torus, set)
+			if err != nil {
+				t.Fatalf("set %d %s: %v", si, s.Name(), err)
+			}
+			if err := res.Validate(set); err != nil {
+				t.Fatalf("set %d %s: %v", si, s.Name(), err)
+			}
+			if res.Degree() < lb {
+				t.Fatalf("set %d %s: degree %d below lower bound %d", si, s.Name(), res.Degree(), lb)
+			}
+			if res.NumRequests() != len(set) {
+				t.Fatalf("set %d %s: scheduled %d of %d requests", si, s.Name(), res.NumRequests(), len(set))
+			}
+		}
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	names := map[string]schedule.Scheduler{
+		"greedy":   schedule.Greedy{},
+		"coloring": schedule.Coloring{},
+		"aapc":     schedule.OrderedAAPC{},
+		"combined": schedule.Combined{},
+		"exact":    schedule.Exact{},
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}

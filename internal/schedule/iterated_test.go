@@ -1,0 +1,149 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func TestIteratedGreedyNeverWorseThanCombined(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		set, err := patterns.Random(rng, 64, 300+trial*400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comb, err := schedule.Combined{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := schedule.IteratedGreedy{Restarts: 16}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := it.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+		if it.Degree() > comb.Degree() {
+			t.Errorf("trial %d: iterated %d worse than combined %d", trial, it.Degree(), comb.Degree())
+		}
+	}
+}
+
+func TestIteratedGreedyFindsFig3Optimum(t *testing.T) {
+	lin := topology.NewLinear(5)
+	reqs := request.Set{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 3, Dst: 4}, {Src: 2, Dst: 4}}
+	res, err := schedule.IteratedGreedy{Restarts: 64}.Schedule(lin, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 2 {
+		t.Errorf("degree = %d, want the optimal 2", res.Degree())
+	}
+}
+
+func TestIteratedGreedyDeterministic(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(5))
+	set, err := patterns.Random(rng, 64, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := schedule.IteratedGreedy{Restarts: 8, Seed: 3}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schedule.IteratedGreedy{Restarts: 8, Seed: 3}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Degree() != b.Degree() {
+		t.Error("same seed produced different degrees")
+	}
+}
+
+func TestOptimizeSlotOrder(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	// Two independent circuits forced into different slots by a shared
+	// source, with very different message lengths.
+	set := request.Set{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}
+	res, err := schedule.Greedy{}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 2 {
+		t.Fatalf("degree %d, want 2", res.Degree())
+	}
+	flits := map[request.Request]int{
+		set[0]: 1,
+		set[1]: 100, // the long message should get slot 0
+	}
+	opt := schedule.OptimizeSlotOrder(res, flits)
+	if err := opt.Validate(set); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Slot[set[1]] != 0 {
+		t.Errorf("long message in slot %d, want 0", opt.Slot[set[1]])
+	}
+	// Completion improves by exactly the slot shift when the long message
+	// started in slot 1.
+	if res.Slot[set[1]] == 1 {
+		before := res.Slot[set[1]] + 1 + 99*2
+		after := 0 + 1 + 99*2
+		if before-after != 1 {
+			t.Fatalf("expected a 1-slot gain, got %d", before-after)
+		}
+	}
+}
+
+func TestOptimizeSlotOrderSingleSlotNoop(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := request.Set{{Src: 0, Dst: 1}}
+	res, err := schedule.Greedy{}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := schedule.OptimizeSlotOrder(res, nil); got != res {
+		t.Error("single-slot schedule should be returned unchanged")
+	}
+}
+
+func TestOptimizeSlotOrderPreservesValidity(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := patterns.AllToAll(64)
+	res, err := schedule.OrderedAAPC{}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flits := map[request.Request]int{}
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range set {
+		flits[r] = 1 + rng.Intn(64)
+	}
+	opt := schedule.OptimizeSlotOrder(res, flits)
+	if err := opt.Validate(set); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Degree() != res.Degree() {
+		t.Error("slot reordering changed the degree")
+	}
+	// Max flits per slot must be non-increasing.
+	prev := 1 << 30
+	for _, cfg := range opt.Configs {
+		max := 0
+		for _, r := range cfg {
+			if flits[r] > max {
+				max = flits[r]
+			}
+		}
+		if max > prev {
+			t.Fatal("slots not ordered by descending longest message")
+		}
+		prev = max
+	}
+}

@@ -1,0 +1,85 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Metrics quantifies how well a schedule uses the multiplexed network, the
+// quality dimension behind the paper's "bandwidth will be lost due to the
+// unused time slots" argument.
+type Metrics struct {
+	// Degree is the multiplexing degree.
+	Degree int
+	// Requests is the number of scheduled connections.
+	Requests int
+	// SlotOccupancy[k] is the number of connections established in slot k.
+	SlotOccupancy []int
+	// MeanOccupancy is the average connections per slot.
+	MeanOccupancy float64
+	// LinkUtilization is the fraction of (directed link, slot) pairs
+	// carrying a circuit.
+	LinkUtilization float64
+	// PortUtilization is the fraction of (PE injection port, slot) pairs
+	// in use; by symmetry of (src, dst) it equals the ejection figure.
+	PortUtilization float64
+	// LowerBound is the resource lower bound of the scheduled set, so
+	// Slack = Degree - LowerBound reports the heuristic gap certificate.
+	LowerBound int
+}
+
+// Slack returns Degree - LowerBound, an upper bound on how far the
+// schedule can be from optimal.
+func (m Metrics) Slack() int { return m.Degree - m.LowerBound }
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("degree=%d (lb %d, slack %d) requests=%d occupancy=%.1f/slot links=%.1f%% ports=%.1f%%",
+		m.Degree, m.LowerBound, m.Slack(), m.Requests, m.MeanOccupancy,
+		100*m.LinkUtilization, 100*m.PortUtilization)
+}
+
+// ComputeMetrics measures a schedule.
+func ComputeMetrics(r *Result) (Metrics, error) {
+	m := Metrics{Degree: r.Degree()}
+	if m.Degree == 0 {
+		return m, nil
+	}
+	t := r.Topology
+	linkSlots := 0
+	m.SlotOccupancy = make([]int, m.Degree)
+	for k, cfg := range r.Configs {
+		m.SlotOccupancy[k] = len(cfg)
+		m.Requests += len(cfg)
+		for _, req := range cfg {
+			p, err := t.Route(req.Src, req.Dst)
+			if err != nil {
+				return Metrics{}, err
+			}
+			linkSlots += p.Len()
+		}
+	}
+	m.MeanOccupancy = float64(m.Requests) / float64(m.Degree)
+	m.LinkUtilization = float64(linkSlots) / float64(t.NumLinks()*m.Degree)
+	m.PortUtilization = float64(m.Requests) / float64(t.NumNodes()*m.Degree)
+
+	// Re-derive the request set for the lower bound.
+	flat := r.Configs[0][:0:0]
+	for _, cfg := range r.Configs {
+		flat = append(flat, cfg...)
+	}
+	lb, err := LowerBound(t, flat)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.LowerBound = lb
+	return m, nil
+}
+
+// OccupancyHistogram returns slot occupancies sorted descending, for
+// reports that show how full each configuration is.
+func (m Metrics) OccupancyHistogram() []int {
+	out := append([]int(nil), m.SlotOccupancy...)
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

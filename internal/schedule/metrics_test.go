@@ -1,0 +1,75 @@
+package schedule_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func TestMetricsAllToAll(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res, err := schedule.OrderedAAPC{}.Schedule(torus, patterns.AllToAll(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := schedule.ComputeMetrics(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degree != 64 || m.Requests != 4032 {
+		t.Fatalf("degree=%d requests=%d", m.Degree, m.Requests)
+	}
+	if m.MeanOccupancy != 63.0 {
+		t.Errorf("mean occupancy = %f, want 63 (4032/64)", m.MeanOccupancy)
+	}
+	// The tight decomposition fills ~98% of link-slots (lower bound 63/64).
+	if m.LinkUtilization < 0.95 {
+		t.Errorf("link utilization %.2f, want near 1 for the tight AAPC schedule", m.LinkUtilization)
+	}
+	if m.LowerBound != 64 || m.Slack() != 0 {
+		t.Errorf("lower bound %d slack %d; the all-to-all schedule is provably optimal", m.LowerBound, m.Slack())
+	}
+	if !strings.Contains(m.String(), "degree=64") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestMetricsSparsePattern(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res, err := schedule.Combined{}.Schedule(torus, patterns.Ring(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := schedule.ComputeMetrics(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degree != 2 || m.Requests != 128 {
+		t.Fatalf("degree=%d requests=%d", m.Degree, m.Requests)
+	}
+	if m.PortUtilization != 1.0 {
+		t.Errorf("port utilization = %f; every PE injects in both slots of the ring schedule", m.PortUtilization)
+	}
+	hist := m.OccupancyHistogram()
+	if len(hist) != 2 || hist[0] < hist[1] {
+		t.Errorf("occupancy histogram %v not sorted descending", hist)
+	}
+}
+
+func TestMetricsEmptySchedule(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	res, err := schedule.Greedy{}.Schedule(torus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := schedule.ComputeMetrics(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Degree != 0 || m.Requests != 0 {
+		t.Errorf("empty metrics %+v", m)
+	}
+}

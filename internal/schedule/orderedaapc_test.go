@@ -1,0 +1,261 @@
+package schedule_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// TestOrderedAAPCAllToAllBound reproduces the paper's key dense-pattern
+// result: on the 8x8 torus, the ordered AAPC algorithm schedules the full
+// all-to-all pattern (4032 connections) in exactly N^3/8 = 64 slots, the
+// link-capacity optimum for balanced-tie routing being 63-64.
+func TestOrderedAAPCAllToAllBound(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := patterns.AllToAll(64)
+	res, err := schedule.OrderedAAPC{}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(set); err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 64 {
+		t.Errorf("all-to-all degree = %d, want 64", res.Degree())
+	}
+}
+
+// TestOrderedAAPCDenseCap verifies the section 3.3 guarantee: no pattern
+// needs more slots than the AAPC decomposition itself, because requests are
+// scheduled in AAPC-phase order.
+func TestOrderedAAPCDenseCap(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{3000, 3600, 4032} {
+		set, err := patterns.Random(rng, 64, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := schedule.OrderedAAPC{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degree() > 64 {
+			t.Errorf("n=%d: ordered AAPC degree %d exceeds the 64-phase cap", n, res.Degree())
+		}
+	}
+}
+
+// TestOrderedAAPCRankingHelps verifies that scheduling high-utilization
+// phases first (the Fig. 5 ranking) never loses to the unranked ordering on
+// the sparse random patterns where ranking matters most, on average.
+func TestOrderedAAPCRankingBothValid(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(6))
+	sumRanked, sumUnranked := 0, 0
+	for i := 0; i < 12; i++ {
+		set, err := patterns.Random(rng, 64, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := schedule.OrderedAAPC{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r1.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := schedule.OrderedAAPC{DisableRanking: true}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r2.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+		sumRanked += r1.Degree()
+		sumUnranked += r2.Degree()
+	}
+	t.Logf("ranked avg %.1f, unranked avg %.1f", float64(sumRanked)/12, float64(sumUnranked)/12)
+}
+
+func TestOrderedAAPCGroupsPhaseMembersTogether(t *testing.T) {
+	// Requests that share an AAPC phase are conflict-free and must land in
+	// a common configuration when they are the only requests.
+	torus := topology.NewTorus(8, 8)
+	dec, err := schedule.DecompositionFor(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase := dec.Phases[0]
+	res, err := schedule.OrderedAAPC{}.Schedule(torus, phase.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 1 {
+		t.Errorf("one AAPC phase scheduled into %d slots, want 1", res.Degree())
+	}
+}
+
+func TestDecompositionForIsCached(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	a, err := schedule.DecompositionFor(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schedule.DecompositionFor(topology.NewTorus(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("decomposition not cached per topology name")
+	}
+}
+
+func TestOrderedAAPCOnNonTorusTopology(t *testing.T) {
+	// The generic decomposition path must serve non-torus topologies.
+	ring := topology.NewRing(8)
+	set := patterns.Ring(8)
+	res, err := schedule.OrderedAAPC{}.Schedule(ring, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinedPicksBetter(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{200, 1000, 3600} {
+		set, err := patterns.Random(rng, 64, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := schedule.Coloring{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := schedule.OrderedAAPC{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comb, err := schedule.Combined{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := col.Degree()
+		if ap.Degree() < want {
+			want = ap.Degree()
+		}
+		if comb.Degree() != want {
+			t.Errorf("n=%d: combined degree %d, want min(%d, %d)", n, comb.Degree(), col.Degree(), ap.Degree())
+		}
+		if err := comb.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCombinedAlgorithmLabel(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res, err := schedule.Combined{}.Schedule(torus, patterns.AllToAll(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "combined(aapc)" && res.Algorithm != "combined(coloring)" {
+		t.Errorf("algorithm label %q does not identify the winner", res.Algorithm)
+	}
+}
+
+func TestExactOptimalOnSmallSets(t *testing.T) {
+	lin := topology.NewLinear(6)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		set, err := patterns.Random(rng, 6, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := schedule.Exact{}.Schedule(lin, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+		lb, err := schedule.LowerBound(lin, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Degree() < lb {
+			t.Fatalf("exact degree %d below lower bound %d", ex.Degree(), lb)
+		}
+		for _, s := range []schedule.Scheduler{schedule.Greedy{}, schedule.Coloring{}} {
+			h, err := s.Schedule(lin, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Degree() < ex.Degree() {
+				t.Fatalf("%s degree %d beats exact %d on %v", s.Name(), h.Degree(), ex.Degree(), set)
+			}
+		}
+	}
+}
+
+func TestExactRefusesLargeSets(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	if _, err := (schedule.Exact{}).Schedule(torus, patterns.AllToAll(64)); err == nil {
+		t.Error("exact scheduler accepted 4032 requests")
+	}
+}
+
+func TestExactEmptySet(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	res, err := schedule.Exact{}.Schedule(torus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degree() != 0 {
+		t.Errorf("empty exact degree = %d", res.Degree())
+	}
+}
+
+func TestLowerBoundComponents(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	// Source-port bound: one PE sending to 5 others.
+	fanout := request.Set{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 0, Dst: 4}, {Src: 0, Dst: 5}}
+	lb, err := schedule.LowerBound(torus, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 5 {
+		t.Errorf("fan-out lower bound = %d, want 5", lb)
+	}
+	// Destination-port bound.
+	fanin := request.Set{{Src: 1, Dst: 0}, {Src: 2, Dst: 0}, {Src: 3, Dst: 0}}
+	lb, err = schedule.LowerBound(torus, fanin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 3 {
+		t.Errorf("fan-in lower bound = %d, want 3", lb)
+	}
+	// Link bound: nested intervals on the linear array share the middle
+	// link without sharing endpoints.
+	lin := topology.NewLinear(8)
+	nested := request.Set{{Src: 0, Dst: 7}, {Src: 1, Dst: 6}, {Src: 2, Dst: 5}, {Src: 3, Dst: 4}}
+	lb, err = schedule.LowerBound(lin, nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 4 {
+		t.Errorf("nested-interval lower bound = %d, want 4", lb)
+	}
+	if _, err := schedule.LowerBound(lin, request.Set{{Src: 0, Dst: 0}}); err == nil {
+		t.Error("LowerBound accepted a self-loop")
+	}
+}

@@ -1,0 +1,48 @@
+package schedule
+
+import (
+	"sort"
+
+	"repro/internal/request"
+)
+
+// OptimizeSlotOrder permutes a schedule's configurations within the TDM
+// frame so that configurations carrying the longest messages occupy the
+// earliest slots. Which slot a circuit lands in does not affect schedule
+// validity — configurations are independent — but it adds the slot index to
+// every message's completion time (finish = slot + 1 + (flits-1)*K), so
+// putting the critical-path messages first shaves up to K-1 slots off the
+// phase. flits maps each request to its message length; requests without an
+// entry count as one flit.
+//
+// The returned schedule shares the input's configurations (re-sliced, not
+// copied); the input Result is not modified.
+func OptimizeSlotOrder(r *Result, flits map[request.Request]int) *Result {
+	k := r.Degree()
+	if k <= 1 {
+		return r
+	}
+	longest := make([]int, k)
+	for slot, cfg := range r.Configs {
+		for _, req := range cfg {
+			f := flits[req]
+			if f < 1 {
+				f = 1
+			}
+			if f > longest[slot] {
+				longest[slot] = f
+			}
+		}
+	}
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return longest[order[a]] > longest[order[b]] })
+
+	configs := make([]request.Set, k)
+	for newSlot, oldSlot := range order {
+		configs[newSlot] = r.Configs[oldSlot]
+	}
+	return newResult(r.Algorithm+"+slot-order", r.Topology, configs)
+}

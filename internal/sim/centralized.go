@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+)
+
+// CentralizedParams model a single network controller (the alternative the
+// paper dismisses in Section 2 because "it does not scale with the system
+// size").
+type CentralizedParams struct {
+	// RoundTrip is the request/grant latency between a PE and the
+	// controller, in slots. Default 16.
+	RoundTrip int
+	// Service is the controller's serial processing time per connection
+	// request (decode, allocate, write switch state), in slots. Default 4.
+	Service int
+}
+
+// DefaultCentralizedParams returns the documented defaults.
+func DefaultCentralizedParams() CentralizedParams {
+	return CentralizedParams{RoundTrip: 16, Service: 4}
+}
+
+// RunCentralized simulates centralized dynamic control: every PE ships its
+// requests to one controller, which — having global knowledge — computes
+// the same minimal configuration set the compiler would (it can even pick
+// the multiplexing degree per pattern), but must process the requests
+// serially. Setup therefore costs RoundTrip + |R|*Service slots before the
+// first flit moves, which is the non-scaling term: for dense patterns the
+// controller, not the optics, dominates.
+func RunCentralized(t network.Topology, msgs []Message, p CentralizedParams) (*CompiledResult, error) {
+	if p.RoundTrip < 0 || p.Service < 1 {
+		return nil, fmt.Errorf("sim: bad centralized params %+v", p)
+	}
+	var reqs request.Set
+	for _, m := range msgs {
+		if err := m.validate(); err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, request.Request{Src: nodeID(m.Src), Dst: nodeID(m.Dst)})
+	}
+	res, err := schedule.Combined{}.Schedule(t, reqs.Dedup())
+	if err != nil {
+		return nil, err
+	}
+	setup := p.RoundTrip + len(reqs.Dedup())*p.Service
+	// The data phase is the compiled data plane shifted by the setup time.
+	shifted := make([]Message, len(msgs))
+	for i, m := range msgs {
+		shifted[i] = m
+		shifted[i].Start = m.Start + setup
+	}
+	out, err := RunCompiled(res, shifted)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestCentralizedAddsSerialSetup(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	gs, err := apps.GS(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.DefaultCentralizedParams()
+	out, err := sim.RunCentralized(torus, gs.Messages, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Combined{}.Schedule(torus, (apps.Phase{Messages: gs.Messages}).Pattern().Dedup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := sim.RunCompiled(res, gs.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := p.RoundTrip + 126*p.Service
+	if out.Time < comp.Time+setup-res.Degree() || out.Time > comp.Time+setup+res.Degree() {
+		t.Errorf("centralized time %d, want roughly compiled %d + setup %d", out.Time, comp.Time, setup)
+	}
+}
+
+// TestCentralizedDoesNotScale is the paper's Section 2 claim in numbers:
+// as the pattern densifies, the serial controller term dominates and the
+// compiled/centralized gap widens.
+func TestCentralizedDoesNotScale(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	p := sim.DefaultCentralizedParams()
+	ratios := make([]float64, 0, 2)
+	for _, build := range []func() apps.Phase{
+		func() apps.Phase { ph, _ := apps.GS(64, 64); return ph },   // 126 connections
+		func() apps.Phase { phs, _ := apps.P3M(32); return phs[1] }, // 2016 connections
+	} {
+		ph := build()
+		cen, err := sim.RunCentralized(torus, ph.Messages, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := schedule.Combined{}.Schedule(torus, ph.Pattern().Dedup())
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := sim.RunCompiled(res, ph.Messages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, float64(cen.Time)/float64(comp.Time))
+	}
+	t.Logf("centralized/compiled ratio: sparse %.1fx, dense %.1fx", ratios[0], ratios[1])
+	if ratios[1] <= ratios[0] {
+		t.Errorf("controller serialization should hurt dense patterns more: %.2f vs %.2f", ratios[1], ratios[0])
+	}
+}
+
+func TestCentralizedBadParams(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	msg := []sim.Message{{Src: 0, Dst: 1, Flits: 1}}
+	if _, err := sim.RunCentralized(torus, msg, sim.CentralizedParams{RoundTrip: -1, Service: 1}); err == nil {
+		t.Error("negative round trip accepted")
+	}
+	if _, err := sim.RunCentralized(torus, msg, sim.CentralizedParams{RoundTrip: 1, Service: 0}); err == nil {
+		t.Error("zero service time accepted")
+	}
+}

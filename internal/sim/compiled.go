@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/request"
+	"repro/internal/schedule"
+)
+
+// CompiledResult reports a compiled-communication run.
+type CompiledResult struct {
+	// Time is the slot at which the last flit of the last message was
+	// delivered (the pattern's communication time).
+	Time int
+	// Degree is the multiplexing degree of the compiled schedule.
+	Degree int
+	// Finish holds each message's delivery time, indexed like the input.
+	Finish []int
+}
+
+// circuitQueue carries the messages of one compiled circuit in start order;
+// a circuit moves one flit per opportunity, so same-circuit messages
+// serialize.
+type circuitQueue struct {
+	slot int
+	msgs []int // indices into the message slice, ordered by Start
+}
+
+// runCompiled is the shared data-plane loop for both multiplexing modes.
+// In TDM mode a circuit's opportunity comes once per frame (its slot); in
+// WDM mode every circuit owns a full-rate wavelength and moves one flit
+// every slot.
+func runCompiled(res *schedule.Result, msgs []Message, mode Mode) (*CompiledResult, error) {
+	k := res.Degree()
+	if k == 0 {
+		return nil, fmt.Errorf("sim: empty schedule")
+	}
+	byCircuit := make(map[request.Request]*circuitQueue)
+	total := 0
+	for i, m := range msgs {
+		if err := m.validate(); err != nil {
+			return nil, err
+		}
+		r := request.Request{Src: nodeID(m.Src), Dst: nodeID(m.Dst)}
+		q, ok := byCircuit[r]
+		if !ok {
+			u, scheduled := res.Slot[r]
+			if !scheduled {
+				return nil, fmt.Errorf("sim: message %d->%d has no circuit in the compiled schedule", m.Src, m.Dst)
+			}
+			q = &circuitQueue{slot: u}
+			byCircuit[r] = q
+		}
+		q.msgs = append(q.msgs, i)
+		total += m.Flits
+	}
+	queues := make([]*circuitQueue, 0, len(byCircuit))
+	for _, q := range byCircuit {
+		sort.SliceStable(q.msgs, func(a, b int) bool { return msgs[q.msgs[a]].Start < msgs[q.msgs[b]].Start })
+		queues = append(queues, q)
+	}
+
+	remaining := make([]int, len(msgs))
+	for i, m := range msgs {
+		remaining[i] = m.Flits
+	}
+	finish := make([]int, len(msgs))
+	last := 0
+	for t := 0; total > 0; t++ {
+		for _, q := range queues {
+			if len(q.msgs) == 0 {
+				continue
+			}
+			if mode == TDM && t%k != q.slot {
+				continue
+			}
+			i := q.msgs[0]
+			if msgs[i].Start > t {
+				continue
+			}
+			remaining[i]--
+			total--
+			if remaining[i] == 0 {
+				finish[i] = t + 1 // delivered at the end of slot t
+				if t+1 > last {
+					last = t + 1
+				}
+				q.msgs = q.msgs[1:]
+			}
+		}
+	}
+	return &CompiledResult{Time: last, Degree: k, Finish: finish}, nil
+}
+
+// RunCompiled simulates a communication phase under compiled communication
+// on a TDM network. The schedule must cover every message's (src, dst)
+// pair; all circuits are established before slot 0 (the switch registers
+// were loaded by compiled code), and a message whose connection was
+// assigned TDM slot u delivers one flit at the end of every slot t with
+// t mod K == u once the message has started. Messages sharing a circuit
+// serialize in start order.
+//
+// The simulation steps slots explicitly rather than using the closed form
+// (finish = u+1 + (flits-1)*K for a lone message starting at 0) so that the
+// data plane stays observable; the equivalence with the closed form is
+// asserted by tests.
+func RunCompiled(res *schedule.Result, msgs []Message) (*CompiledResult, error) {
+	return runCompiled(res, msgs, TDM)
+}
+
+// RunCompiledWDM simulates the same compiled schedule on a
+// wavelength-division multiplexed network: configuration k's circuits use
+// wavelength k, so all configurations are active simultaneously and every
+// circuit moves one flit per slot. The multiplexing degree then costs
+// hardware (wavelengths) instead of time.
+func RunCompiledWDM(res *schedule.Result, msgs []Message) (*CompiledResult, error) {
+	return runCompiled(res, msgs, WDM)
+}
+
+// CompiledTimeClosedForm predicts the finish time of a lone message with
+// the given flit count on a TDM circuit in slot u of a degree-k schedule,
+// starting at slot 0: the first flit completes at slot u+1 and each further
+// flit costs one frame.
+func CompiledTimeClosedForm(u, k, flits int) int {
+	return u + 1 + (flits-1)*k
+}

@@ -1,0 +1,158 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func compile(t *testing.T, topo *topology.Torus, set request.Set) *schedule.Result {
+	t.Helper()
+	res, err := schedule.Combined{}.Schedule(topo, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunCompiledSingleMessage(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := request.Set{{Src: 0, Dst: 1}}
+	res := compile(t, torus, set)
+	out, err := sim.RunCompiled(res, []sim.Message{{Src: 0, Dst: 1, Flits: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degree 1, slot 0: flit f completes at slot f+1.
+	if out.Time != 10 {
+		t.Errorf("time = %d, want 10", out.Time)
+	}
+	if out.Degree != 1 {
+		t.Errorf("degree = %d, want 1", out.Degree)
+	}
+}
+
+// TestRunCompiledMatchesClosedForm: the slot-stepping simulation must agree
+// with the analytic finish time for every message.
+func TestRunCompiledMatchesClosedForm(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(23))
+	set, err := patterns.Random(rng, 64, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := compile(t, torus, set)
+	msgs := make([]sim.Message, len(set))
+	for i, r := range set {
+		msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: 1 + rng.Intn(40)}
+	}
+	out, err := sim.RunCompiled(res, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := res.Degree()
+	for i, m := range msgs {
+		u := res.Slot[request.Request{Src: network.NodeID(m.Src), Dst: network.NodeID(m.Dst)}]
+		want := sim.CompiledTimeClosedForm(u, k, m.Flits)
+		if out.Finish[i] != want {
+			t.Fatalf("message %d finish %d, closed form %d", i, out.Finish[i], want)
+		}
+	}
+}
+
+func TestRunCompiledRejectsUnscheduledMessage(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res := compile(t, torus, request.Set{{Src: 0, Dst: 1}})
+	if _, err := sim.RunCompiled(res, []sim.Message{{Src: 2, Dst: 3, Flits: 1}}); err == nil {
+		t.Error("message without a circuit accepted")
+	}
+}
+
+func TestRunCompiledRejectsBadMessages(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res := compile(t, torus, request.Set{{Src: 0, Dst: 1}})
+	if _, err := sim.RunCompiled(res, []sim.Message{{Src: 0, Dst: 1, Flits: 0}}); err == nil {
+		t.Error("zero-flit message accepted")
+	}
+	if _, err := sim.RunCompiled(res, []sim.Message{{Src: 1, Dst: 1, Flits: 1}}); err == nil {
+		t.Error("self-loop message accepted")
+	}
+}
+
+// TestRunCompiledTimeIsDegreeTimesFlits: with equal messages on every
+// circuit, total time is (maxFlits-1)*K + lastSlot + 1 <= K*maxFlits.
+func TestRunCompiledTimeBound(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	f := func(flits8 uint8, seed int64) bool {
+		flits := int(flits8%50) + 1
+		rng := rand.New(rand.NewSource(seed))
+		set, err := patterns.Random(rng, 64, 300)
+		if err != nil {
+			return false
+		}
+		res, err := schedule.Combined{}.Schedule(torus, set)
+		if err != nil {
+			return false
+		}
+		msgs := make([]sim.Message, len(set))
+		for i, r := range set {
+			msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: flits}
+		}
+		out, err := sim.RunCompiled(res, msgs)
+		if err != nil {
+			return false
+		}
+		k := res.Degree()
+		return out.Time <= k*flits && out.Time >= (flits-1)*k+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompiledTimeClosedForm(t *testing.T) {
+	cases := []struct{ u, k, flits, want int }{
+		{0, 1, 1, 1},
+		{0, 1, 10, 10},
+		{1, 2, 16, 32},
+		{3, 4, 1, 4},
+		{63, 64, 2, 128},
+	}
+	for _, c := range cases {
+		if got := sim.CompiledTimeClosedForm(c.u, c.k, c.flits); got != c.want {
+			t.Errorf("CompiledTimeClosedForm(%d,%d,%d) = %d, want %d", c.u, c.k, c.flits, got, c.want)
+		}
+	}
+}
+
+// TestCompiledConservation: every injected flit is delivered exactly once —
+// the sum of per-message flits equals total delivered work inferred from
+// finish times.
+func TestCompiledConservation(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := patterns.Ring(64)
+	res := compile(t, torus, set)
+	msgs := make([]sim.Message, len(set))
+	for i, r := range set {
+		msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: 5}
+	}
+	out, err := sim.RunCompiled(res, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if out.Finish[i] <= 0 {
+			t.Fatalf("message %d never finished", i)
+		}
+		if out.Finish[i] > out.Time {
+			t.Fatalf("message %d finished after the reported completion time", i)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestEfficiencyLoneMessage(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	// One 3-hop message at degree 1: the circuit is held from ack to
+	// release; useful = flits * 3 links.
+	out, err := sim.Dynamic{Topology: torus, Params: sim.DefaultParams(1)}.Run(
+		[]sim.Message{{Src: 0, Dst: 3, Flits: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.UsefulChannelSlots != 50*3 {
+		t.Errorf("useful = %d, want %d", out.UsefulChannelSlots, 150)
+	}
+	if out.HeldChannelSlots < out.UsefulChannelSlots {
+		t.Errorf("held %d below useful %d", out.HeldChannelSlots, out.UsefulChannelSlots)
+	}
+	eff := out.Efficiency()
+	if eff <= 0 || eff > 1 {
+		t.Errorf("efficiency %f out of range", eff)
+	}
+}
+
+// TestEfficiencyDropsWithDegree: at a fixed message size, raising the
+// fixed multiplexing degree leaves more of each held channel idle (one
+// flit per K slots), so efficiency falls — the paper's bandwidth-loss
+// argument against over-provisioned fixed degrees.
+func TestEfficiencyDropsWithDegree(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	gs, err := apps.GS(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 2.0
+	for _, k := range []int{1, 2, 10} {
+		out, err := sim.Dynamic{Topology: torus, Params: sim.DefaultParams(k)}.Run(gs.Messages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff := out.Efficiency()
+		t.Logf("GS K=%d: efficiency %.2f (useful %d, held %d, wasted %d)",
+			k, eff, out.UsefulChannelSlots, out.HeldChannelSlots, out.WastedChannelSlots)
+		if eff >= prev {
+			t.Errorf("K=%d: efficiency %.3f did not drop below %.3f", k, eff, prev)
+		}
+		prev = eff
+	}
+}
+
+func TestEfficiencyAccountedOnContention(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	tscf, err := apps.TSCF(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.Dynamic{Topology: torus, Params: sim.DefaultParams(5)}.Run(tscf.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.WastedChannelSlots == 0 {
+		t.Error("contended run should waste channel-slots on over-locking")
+	}
+	if out.Efficiency() <= 0 || out.Efficiency() > 1 {
+		t.Errorf("efficiency %f out of range", out.Efficiency())
+	}
+}
+
+func TestEfficiencyZeroOnEmptyRun(t *testing.T) {
+	r := &sim.DynamicResult{}
+	if r.Efficiency() != 0 {
+		t.Error("empty run efficiency should be 0")
+	}
+}

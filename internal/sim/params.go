@@ -1,0 +1,173 @@
+// Package sim is a slot-level simulator of a time-division-multiplexed
+// all-optical network. It evaluates the two control regimes the paper
+// compares in Section 4:
+//
+//   - Compiled communication: the compiler has already scheduled every
+//     connection of the (static) pattern into a TDM slot and loaded the
+//     switch programs, so every circuit exists when the communication phase
+//     starts. Messages stream one flit per TDM frame through their slot.
+//
+//   - Dynamic control: the network runs with a fixed multiplexing degree
+//     and circuits are established at runtime by a distributed path
+//     reservation protocol over an electronic shadow network (reservation,
+//     acknowledgement and release packets; see Section 4.1 of the paper).
+//
+// Time is measured in TDM slots throughout, matching the paper's unit. A
+// frame is Degree consecutive slots; a circuit assigned slot u carries one
+// flit in every frame's slot u.
+package sim
+
+import "fmt"
+
+// Mode selects the multiplexing technology. The paper evaluates TDM;
+// wavelength-division multiplexing (WDM) is provided as the natural
+// companion model (same connection scheduling, different data plane).
+type Mode int
+
+const (
+	// TDM shares each link in time: a circuit in slot u of a degree-K
+	// network moves one flit every K slots.
+	TDM Mode = iota
+	// WDM gives each circuit a full-rate wavelength channel: one flit per
+	// slot regardless of the multiplexing degree.
+	WDM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case TDM:
+		return "tdm"
+	case WDM:
+		return "wdm"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ReservationScheme selects how the dynamic protocol claims virtual
+// channels, the two classic variants of the distributed-reservation
+// literature the paper builds on ([15, 17]).
+type ReservationScheme int
+
+const (
+	// LockForward is the paper's Section 4.1 protocol: the reservation
+	// packet locks every available channel of each link on its way to the
+	// destination; the acknowledgement releases the non-selected ones.
+	// Aggressive locking avoids ack-time races at the price of
+	// over-reserving while the control packet is in flight.
+	LockForward ReservationScheme = iota
+	// LockBackward is the holding-free variant: the reservation packet
+	// only observes availability; the acknowledgement locks the selected
+	// channel on its way back and may itself fail if a competitor claimed
+	// the channel first (the race forward locking prevents), triggering a
+	// retry from the source.
+	LockBackward
+)
+
+func (r ReservationScheme) String() string {
+	switch r {
+	case LockForward:
+		return "lock-forward"
+	case LockBackward:
+		return "lock-backward"
+	default:
+		return fmt.Sprintf("ReservationScheme(%d)", int(r))
+	}
+}
+
+// Params are the simulator's system parameters. The paper's own parameter
+// list did not survive in the available text, so defaults are chosen to be
+// plausible for the hardware the paper assumes (electronic control an order
+// of magnitude slower than optical slot time) and are documented here; the
+// EXPERIMENTS.md table records the shape sensitivity.
+type Params struct {
+	// Mode is the multiplexing technology; the zero value is TDM, the
+	// paper's subject.
+	Mode Mode
+	// Degree is the TDM multiplexing degree. For compiled communication it
+	// is the degree of the compiled schedule; for dynamic control it is the
+	// fixed degree the network was built with (1, 2, 5, 10 in Table 5).
+	Degree int
+	// CtlHopDelay is the time, in slots, for a control packet (reservation,
+	// ack, nack, release) to be processed and forwarded across one hop of
+	// the electronic shadow network. Default 8.
+	CtlHopDelay int
+	// RetryBackoff is the base delay, in slots, a source waits after a
+	// failed reservation before retrying. The k-th retry of a message waits
+	// RetryBackoff*min(k,8) plus a deterministic per-message jitter.
+	// Default 16.
+	RetryBackoff int
+	// ShadowQueuing, when set, models contention on the electronic shadow
+	// network: each switch's control processor serves one packet at a
+	// time (a single queue, the head-of-line bottleneck of Sivalingam &
+	// Dowd that the paper cites), so concurrent control packets through
+	// one switch serialize. Off by default, matching the paper's
+	// light-shadow-traffic assumption.
+	ShadowQueuing bool
+	// Reservation selects the path-reservation variant; the zero value is
+	// the paper's forward-locking protocol.
+	Reservation ReservationScheme
+	// MaxTime aborts the simulation when the clock passes it, guarding
+	// against livelock. Default 50_000_000.
+	MaxTime int
+}
+
+// DefaultParams returns the documented defaults with the given multiplexing
+// degree.
+func DefaultParams(degree int) Params {
+	return Params{
+		Degree:       degree,
+		CtlHopDelay:  8,
+		RetryBackoff: 16,
+		MaxTime:      50_000_000,
+	}
+}
+
+func (p Params) validate() error {
+	if p.Degree < 1 {
+		return fmt.Errorf("sim: multiplexing degree %d < 1", p.Degree)
+	}
+	if p.Degree > 64 {
+		return fmt.Errorf("sim: multiplexing degree %d exceeds the 64-slot register model", p.Degree)
+	}
+	if p.CtlHopDelay < 1 {
+		return fmt.Errorf("sim: control hop delay %d < 1", p.CtlHopDelay)
+	}
+	if p.RetryBackoff < 1 {
+		return fmt.Errorf("sim: retry backoff %d < 1", p.RetryBackoff)
+	}
+	if p.MaxTime < 1 {
+		return fmt.Errorf("sim: max time %d < 1", p.MaxTime)
+	}
+	if p.Mode != TDM && p.Mode != WDM {
+		return fmt.Errorf("sim: unknown multiplexing mode %d", int(p.Mode))
+	}
+	if p.Reservation != LockForward && p.Reservation != LockBackward {
+		return fmt.Errorf("sim: unknown reservation scheme %d", int(p.Reservation))
+	}
+	return nil
+}
+
+// Message is one point-to-point transfer of Flits flits. A flit is the unit
+// transferred over a circuit in one slot.
+type Message struct {
+	Src, Dst int
+	Flits    int
+	// Start is the slot at which the message becomes ready at its source;
+	// zero means available when the communication phase begins. Non-zero
+	// starts model open-loop workloads for the latency-vs-load experiments.
+	Start int
+}
+
+func (m Message) validate() error {
+	if m.Flits < 1 {
+		return fmt.Errorf("sim: message %d->%d has %d flits", m.Src, m.Dst, m.Flits)
+	}
+	if m.Src == m.Dst {
+		return fmt.Errorf("sim: message %d->%d is a self-loop", m.Src, m.Dst)
+	}
+	if m.Start < 0 {
+		return fmt.Errorf("sim: message %d->%d starts at negative slot %d", m.Src, m.Dst, m.Start)
+	}
+	return nil
+}

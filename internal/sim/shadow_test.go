@@ -1,0 +1,77 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestShadowQueuingNoEffectOnLoneMessage(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	msg := []sim.Message{{Src: 0, Dst: 3, Flits: 5}}
+	plain := sim.DefaultParams(1)
+	queued := sim.DefaultParams(1)
+	queued.ShadowQueuing = true
+	a, err := sim.Dynamic{Topology: torus, Params: plain}.Run(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Dynamic{Topology: torus, Params: queued}.Run(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time {
+		t.Errorf("lone message: plain %d vs queued %d; no contention, times must match", a.Time, b.Time)
+	}
+}
+
+func TestShadowQueuingSlowsControlStorms(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	tscf, err := apps.TSCF(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := sim.DefaultParams(5)
+	queued := sim.DefaultParams(5)
+	queued.ShadowQueuing = true
+	a, err := sim.Dynamic{Topology: torus, Params: plain}.Run(tscf.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Dynamic{Topology: torus, Params: queued}.Run(tscf.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TimedOut {
+		t.Fatal("queued run timed out")
+	}
+	if b.Time <= a.Time {
+		t.Errorf("384 simultaneous reservations: queued shadow network (%d) should be slower than contention-free (%d)",
+			b.Time, a.Time)
+	}
+	t.Logf("TSCF dynamic K=5: contention-free control %d slots, queued control %d slots", a.Time, b.Time)
+}
+
+func TestShadowQueuingDeterministic(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	gs, err := apps.GS(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.DefaultParams(2)
+	p.ShadowQueuing = true
+	d := sim.Dynamic{Topology: torus, Params: p}
+	a, err := d.Run(gs.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Run(gs.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.Attempts != b.Attempts {
+		t.Error("queued simulation not deterministic")
+	}
+}

@@ -1,0 +1,226 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestRunCompiledWDMSingleMessage(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := patterns.AllToAll(64)
+	res := compile(t, torus, set)
+	if res.Degree() != 64 {
+		t.Fatalf("degree %d", res.Degree())
+	}
+	msgs := []sim.Message{{Src: 0, Dst: 37, Flits: 10}}
+	tdm, err := sim.RunCompiled(res, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wdm, err := sim.RunCompiledWDM(res, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WDM gives the circuit a full-rate channel: 10 slots regardless of
+	// the 64-way multiplexing that TDM pays for.
+	if wdm.Time != 10 {
+		t.Errorf("WDM time = %d, want 10", wdm.Time)
+	}
+	if tdm.Time <= wdm.Time {
+		t.Errorf("TDM (%d) should be slower than WDM (%d) for a lone message on a deep schedule", tdm.Time, wdm.Time)
+	}
+}
+
+func TestRunCompiledWDMFullPattern(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := patterns.AllToAll(64)
+	res := compile(t, torus, set)
+	msgs := make([]sim.Message, len(set))
+	for i, r := range set {
+		msgs[i] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: 4}
+	}
+	wdm, err := sim.RunCompiledWDM(res, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every circuit has its own wavelength, so the whole all-to-all takes
+	// just the message length.
+	if wdm.Time != 4 {
+		t.Errorf("WDM all-to-all time = %d, want 4", wdm.Time)
+	}
+}
+
+func TestCompiledStartTimesDelayMessages(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res := compile(t, torus, patterns.Ring(64))
+	msgs := []sim.Message{
+		{Src: 0, Dst: 1, Flits: 4},
+		{Src: 1, Dst: 2, Flits: 4, Start: 100},
+	}
+	out, err := sim.RunCompiled(res, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Finish[1] < 100+4 {
+		t.Errorf("delayed message finished at %d, cannot finish before %d", out.Finish[1], 104)
+	}
+	if out.Finish[0] > 10 {
+		t.Errorf("undelayed message finished at %d; should not wait for the delayed one", out.Finish[0])
+	}
+}
+
+func TestCompiledSameCircuitMessagesSerialize(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	res := compile(t, torus, patterns.Ring(64))
+	// Two messages on the same circuit: the circuit moves one flit per
+	// frame, so they cannot overlap.
+	msgs := []sim.Message{
+		{Src: 0, Dst: 1, Flits: 10},
+		{Src: 0, Dst: 1, Flits: 10},
+	}
+	out, err := sim.RunCompiled(res, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := res.Degree()
+	if out.Time < 20*k-k {
+		t.Errorf("two 10-flit messages on one circuit finished in %d slots; %d flit-opportunities needed", out.Time, 20)
+	}
+}
+
+func TestDynamicWDMMode(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	p := sim.DefaultParams(10)
+	p.Mode = sim.WDM
+	out, err := sim.Dynamic{Topology: torus, Params: p}.Run([]sim.Message{{Src: 0, Dst: 1, Flits: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WDM: control round trip + 100 full-rate slots.
+	want := 2*p.CtlHopDelay + 100
+	if out.Time != want {
+		t.Errorf("WDM dynamic time = %d, want %d", out.Time, want)
+	}
+	pT := sim.DefaultParams(10)
+	tdm, err := sim.Dynamic{Topology: torus, Params: pT}.Run([]sim.Message{{Src: 0, Dst: 1, Flits: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdm.Time <= out.Time {
+		t.Errorf("TDM K=10 (%d) should be slower than WDM with 10 wavelengths (%d)", tdm.Time, out.Time)
+	}
+}
+
+func TestDynamicStartTimes(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	p := sim.DefaultParams(1)
+	out, err := sim.Dynamic{Topology: torus, Params: p}.Run([]sim.Message{{Src: 0, Dst: 1, Flits: 3, Start: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 500 + 2*p.CtlHopDelay + 3
+	if out.Time != want {
+		t.Errorf("time = %d, want %d", out.Time, want)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if sim.TDM.String() != "tdm" || sim.WDM.String() != "wdm" {
+		t.Error("Mode.String broken")
+	}
+	if sim.Mode(7).String() != "Mode(7)" {
+		t.Error("unknown mode string broken")
+	}
+	p := sim.DefaultParams(2)
+	p.Mode = sim.Mode(7)
+	torus := topology.NewTorus(8, 8)
+	if _, err := (sim.Dynamic{Topology: torus, Params: p}).Run([]sim.Message{{Src: 0, Dst: 1, Flits: 1}}); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+func TestOpenLoopWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	msgs, err := sim.OpenLoop(rng, sim.OpenLoopConfig{Nodes: 64, MessagesPerNode: 10, Flits: 4, MeanGap: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 640 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	perSource := map[int]int{}
+	lastStart := map[int]int{}
+	for _, m := range msgs {
+		if m.Src == m.Dst {
+			t.Fatal("self-loop generated")
+		}
+		if m.Start <= lastStart[m.Src] {
+			t.Fatalf("source %d injections not strictly increasing", m.Src)
+		}
+		lastStart[m.Src] = m.Start
+		perSource[m.Src]++
+	}
+	for src, n := range perSource {
+		if n != 10 {
+			t.Fatalf("source %d injected %d messages", src, n)
+		}
+	}
+	if _, err := sim.OpenLoop(rng, sim.OpenLoopConfig{Nodes: 1, MessagesPerNode: 1, Flits: 1, MeanGap: 1}); err == nil {
+		t.Error("single-node workload accepted")
+	}
+}
+
+func TestOpenLoopLatencyCompiledFallbackVsDynamic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The section 3.3 dynamic-pattern strategy: serve unknown traffic with
+	// the predetermined AAPC configuration set (64 slots) and compare mean
+	// latency against runtime reservations at moderate load.
+	torus := topology.NewTorus(8, 8)
+	// Compiling the full all-to-all pattern yields exactly the AAPC
+	// decomposition (64 slots), i.e. the predetermined fallback schedule.
+	full := compile(t, torus, patterns.AllToAll(64))
+
+	rng := rand.New(rand.NewSource(2))
+	msgs, err := sim.OpenLoop(rng, sim.OpenLoopConfig{Nodes: 64, MessagesPerNode: 20, Flits: 2, MeanGap: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := sim.RunCompiled(full, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compLat, err := sim.MeanLatency(msgs, comp.Finish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := sim.Dynamic{Topology: torus, Params: sim.DefaultParams(10)}.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dynLat, err := sim.MeanLatency(msgs, dyn.Finish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mean latency at light load: AAPC fallback %.1f slots, dynamic K=10 %.1f slots", compLat, dynLat)
+	if compLat <= 0 || dynLat <= 0 {
+		t.Error("latencies must be positive")
+	}
+}
+
+func TestMeanLatencyErrors(t *testing.T) {
+	if _, err := sim.MeanLatency([]sim.Message{{Src: 0, Dst: 1, Flits: 1}}, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := sim.MeanLatency([]sim.Message{{Src: 0, Dst: 1, Flits: 1}}, []int{0}); err == nil {
+		t.Error("unfinished message accepted")
+	}
+	if v, err := sim.MeanLatency(nil, nil); err != nil || v != 0 {
+		t.Error("empty input should yield 0")
+	}
+}

@@ -1,0 +1,99 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness reports: mean, standard deviation, extrema and
+// percentiles over integer samples (degrees, slot counts, latencies).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    int
+	Max    int
+}
+
+// Summarize computes a Summary over the samples; an empty input yields the
+// zero Summary.
+func Summarize(samples []int) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(samples), Min: samples[0], Max: samples[0]}
+	sum := 0
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = float64(sum) / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, v := range samples {
+			d := float64(v) - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// String renders "mean ± std [min, max] (n)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.1f ± %.1f [%d, %d] (n=%d)", s.Mean, s.StdDev, s.Min, s.Max, s.N)
+}
+
+// Percentile returns the p-th percentile (0..100) of the samples using
+// nearest-rank on a sorted copy; it panics on an empty sample or an
+// out-of-range p, which are programming errors in the harness.
+func Percentile(samples []int, p float64) int {
+	if len(samples) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	sorted := append([]int(nil), samples...)
+	sort.Ints(sorted)
+	if p == 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	return sorted[rank-1]
+}
+
+// Histogram buckets samples into equal-width bins between min and max and
+// returns the counts; bins must be positive. Degenerate samples (all equal)
+// land in the first bin.
+func Histogram(samples []int, bins int) []int {
+	if bins < 1 {
+		panic("stats: non-positive bin count")
+	}
+	counts := make([]int, bins)
+	if len(samples) == 0 {
+		return counts
+	}
+	s := Summarize(samples)
+	width := float64(s.Max-s.Min) / float64(bins)
+	for _, v := range samples {
+		if width == 0 {
+			counts[0]++
+			continue
+		}
+		b := int(float64(v-s.Min) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}

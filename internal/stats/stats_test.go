@@ -1,0 +1,94 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := stats.Summarize([]int{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample std dev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Errorf("stddev = %f, want %f", s.StdDev, want)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := stats.Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	s := stats.Summarize([]int{42})
+	if s.Mean != 42 || s.StdDev != 0 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("single summary %+v", s)
+	}
+}
+
+func TestSummarizeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]int, len(raw))
+		for i, v := range raw {
+			samples[i] = int(v)
+		}
+		s := stats.Summarize(samples)
+		if s.Min > s.Max {
+			return false
+		}
+		if s.Mean < float64(s.Min) || s.Mean > float64(s.Max) {
+			return false
+		}
+		return s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := []int{10, 20, 30, 40, 50}
+	cases := map[float64]int{0: 10, 20: 10, 50: 30, 100: 50}
+	for p, want := range cases {
+		if got := stats.Percentile(samples, p); got != want {
+			t.Errorf("P%.0f = %d, want %d", p, got, want)
+		}
+	}
+	for _, bad := range []func(){
+		func() { stats.Percentile(nil, 50) },
+		func() { stats.Percentile(samples, -1) },
+		func() { stats.Percentile(samples, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := stats.Histogram([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 2)
+	if h[0]+h[1] != 10 || h[0] != 5 {
+		t.Errorf("histogram %v", h)
+	}
+	if h := stats.Histogram([]int{3, 3, 3}, 4); h[0] != 3 {
+		t.Errorf("degenerate histogram %v", h)
+	}
+	if h := stats.Histogram(nil, 3); h[0]+h[1]+h[2] != 0 {
+		t.Errorf("empty histogram %v", h)
+	}
+}

@@ -1,0 +1,159 @@
+// Package switchprog lowers a connection schedule to per-switch control
+// programs — the artifact compiled communication actually loads into the
+// network before a communication phase executes.
+//
+// Under TDM, each electro-optical switch is driven by a circular shift
+// register that cycles through K states, one per time slot. State k of a
+// switch is a partial crossbar setting: a mapping from input ports to
+// output ports realizing the slot-k configuration's circuits through that
+// switch. This package computes those states from a schedule.Result and
+// verifies they are crossbar-legal (no output port used twice per slot).
+package switchprog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/schedule"
+)
+
+// SwitchProgram is the shift-register content of one switch: for every TDM
+// slot, the crossbar setting as an input-port to output-port mapping.
+// Unmapped inputs are dark (no circuit enters through them in that slot).
+type SwitchProgram struct {
+	Node  network.NodeID
+	Slots []map[int]int
+}
+
+// Program is the compiled network control for one communication phase.
+type Program struct {
+	Topology network.Topology
+	Degree   int
+	Switches []SwitchProgram
+}
+
+// Compile lowers a schedule to switch programs. Every circuit contributes
+// one crossbar entry to each switch it traverses: PE-in to first link at
+// the source, link to link at intermediate switches, and last link to
+// PE-out at the destination.
+func Compile(res *schedule.Result) (*Program, error) {
+	t := res.Topology
+	prog := &Program{
+		Topology: t,
+		Degree:   res.Degree(),
+		Switches: make([]SwitchProgram, t.NumNodes()),
+	}
+	for n := range prog.Switches {
+		prog.Switches[n].Node = network.NodeID(n)
+		prog.Switches[n].Slots = make([]map[int]int, res.Degree())
+	}
+	setting := func(node network.NodeID, slot, in, out int) error {
+		sw := &prog.Switches[node]
+		if sw.Slots[slot] == nil {
+			sw.Slots[slot] = make(map[int]int)
+		}
+		if prev, ok := sw.Slots[slot][in]; ok && prev != out {
+			return fmt.Errorf("switchprog: switch %d slot %d input %d claimed for outputs %d and %d",
+				node, slot, in, prev, out)
+		}
+		for otherIn, otherOut := range sw.Slots[slot] {
+			if otherOut == out && otherIn != in {
+				return fmt.Errorf("switchprog: switch %d slot %d output %d claimed by inputs %d and %d",
+					node, slot, out, otherIn, in)
+			}
+		}
+		sw.Slots[slot][in] = out
+		return nil
+	}
+	for slot, config := range res.Configs {
+		for _, req := range config {
+			p, err := t.Route(req.Src, req.Dst)
+			if err != nil {
+				return nil, fmt.Errorf("switchprog: routing %v: %w", req, err)
+			}
+			in := network.PEPort
+			node := p.Src
+			for _, l := range p.Links {
+				li := t.Link(l)
+				if err := setting(node, slot, in, li.OutPort); err != nil {
+					return nil, err
+				}
+				node = li.To
+				in = li.InPort
+			}
+			if err := setting(node, slot, in, network.PEPort); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return prog, nil
+}
+
+// CircuitPorts traces the circuit of (src, dst) through the compiled
+// program at the given slot, returning the sequence of (node, inPort,
+// outPort) crossbar entries it uses; used by tests to confirm the lowered
+// program reconstructs every scheduled circuit.
+func (p *Program) CircuitPorts(src, dst network.NodeID, slot int) ([][3]int, error) {
+	path, err := p.Topology.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	var hops [][3]int
+	in := network.PEPort
+	node := path.Src
+	for _, l := range path.Links {
+		li := p.Topology.Link(l)
+		out, ok := p.Switches[node].Slots[slot][in]
+		if !ok || out != li.OutPort {
+			return nil, fmt.Errorf("switchprog: circuit %d->%d broken at switch %d slot %d", src, dst, node, slot)
+		}
+		hops = append(hops, [3]int{int(node), in, out})
+		node = li.To
+		in = li.InPort
+	}
+	out, ok := p.Switches[node].Slots[slot][in]
+	if !ok || out != network.PEPort {
+		return nil, fmt.Errorf("switchprog: circuit %d->%d not ejected at switch %d slot %d", src, dst, node, slot)
+	}
+	hops = append(hops, [3]int{int(node), in, out})
+	return hops, nil
+}
+
+// ActiveEntries returns the total number of crossbar entries across all
+// switches and slots, a proxy for control-register occupancy.
+func (p *Program) ActiveEntries() int {
+	n := 0
+	for _, sw := range p.Switches {
+		for _, m := range sw.Slots {
+			n += len(m)
+		}
+	}
+	return n
+}
+
+// Dump renders the program in a compact human-readable form, one line per
+// (switch, slot) with entries "in->out", for the CLI tools.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %s, multiplexing degree %d\n", p.Topology.Name(), p.Degree)
+	for _, sw := range p.Switches {
+		for slot, m := range sw.Slots {
+			if len(m) == 0 {
+				continue
+			}
+			ins := make([]int, 0, len(m))
+			for in := range m {
+				ins = append(ins, in)
+			}
+			sort.Ints(ins)
+			fmt.Fprintf(&b, "switch %3d slot %2d:", sw.Node, slot)
+			for _, in := range ins {
+				fmt.Fprintf(&b, " %d->%d", in, m[in])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

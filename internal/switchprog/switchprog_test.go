@@ -1,0 +1,144 @@
+package switchprog_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/switchprog"
+	"repro/internal/topology"
+)
+
+func compilePattern(t *testing.T, topo network.Topology, set request.Set) (*schedule.Result, *switchprog.Program) {
+	t.Helper()
+	res, err := schedule.Combined{}.Schedule(topo, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := switchprog.Compile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, prog
+}
+
+// TestEveryCircuitReconstructible: the compiled switch programs must
+// reproduce every scheduled circuit end to end in its assigned slot.
+func TestEveryCircuitReconstructible(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	rng := rand.New(rand.NewSource(17))
+	set, err := patterns.Random(rng, 64, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, prog := compilePattern(t, torus, set)
+	for r, slot := range res.Slot {
+		hops, err := prog.CircuitPorts(r.Src, r.Dst, slot)
+		if err != nil {
+			t.Fatalf("circuit %v: %v", r, err)
+		}
+		if len(hops) == 0 {
+			t.Fatalf("circuit %v has no hops", r)
+		}
+		// First hop enters from the PE port, last hop exits to it.
+		if hops[0][1] != network.PEPort {
+			t.Fatalf("circuit %v does not start at the PE port", r)
+		}
+		if hops[len(hops)-1][2] != network.PEPort {
+			t.Fatalf("circuit %v does not end at the PE port", r)
+		}
+	}
+}
+
+// TestCrossbarLegality: within one slot no switch output port is claimed
+// twice — guaranteed by construction, but verified independently here.
+func TestCrossbarLegality(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	_, prog := compilePattern(t, torus, patterns.AllToAll(64))
+	for _, sw := range prog.Switches {
+		for slot, m := range sw.Slots {
+			outs := map[int]bool{}
+			for _, out := range m {
+				if outs[out] {
+					t.Fatalf("switch %d slot %d: output port %d doubly claimed", sw.Node, slot, out)
+				}
+				outs[out] = true
+			}
+		}
+	}
+}
+
+func TestCircuitPortsRejectsWrongSlot(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set := patterns.Ring(64)
+	res, prog := compilePattern(t, torus, set)
+	r := set[0]
+	wrong := (res.Slot[r] + 1) % res.Degree()
+	if res.Degree() < 2 {
+		t.Skip("pattern compiled to a single slot")
+	}
+	if _, err := prog.CircuitPorts(r.Src, r.Dst, wrong); err == nil {
+		t.Errorf("circuit %v reported present in wrong slot %d", r, wrong)
+	}
+}
+
+func TestActiveEntriesCountsHops(t *testing.T) {
+	lin := topology.NewLinear(4)
+	set := request.Set{{Src: 0, Dst: 3}} // 3 links -> 4 switch entries
+	_, prog := compilePattern(t, lin, set)
+	if prog.ActiveEntries() != 4 {
+		t.Errorf("ActiveEntries() = %d, want 4", prog.ActiveEntries())
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	lin := topology.NewLinear(3)
+	set := request.Set{{Src: 0, Dst: 2}}
+	_, prog := compilePattern(t, lin, set)
+	out := prog.Dump()
+	if !strings.Contains(out, "linear-3") || !strings.Contains(out, "slot  0") {
+		t.Errorf("Dump output missing expected content:\n%s", out)
+	}
+	if !strings.Contains(out, "0->1") {
+		t.Errorf("Dump output missing crossbar entry:\n%s", out)
+	}
+}
+
+// peCount returns the number of PEs a pattern may address: all nodes for
+// direct networks, only the endpoints for the multistage Omega network.
+func peCount(topo network.Topology) int {
+	if o, ok := topo.(*topology.Omega); ok {
+		return o.N
+	}
+	return topo.NumNodes()
+}
+
+func TestCompileOnMultipleTopologies(t *testing.T) {
+	topos := []network.Topology{
+		topology.NewTorus(4, 4),
+		topology.NewMesh(4, 4),
+		topology.NewRing(8),
+		topology.NewHypercube(4),
+		topology.NewOmega(8),
+	}
+	for _, topo := range topos {
+		set := patterns.AllToAll(peCount(topo))
+		res, err := schedule.Greedy{}.Schedule(topo, set)
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+		prog, err := switchprog.Compile(res)
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+		for r, slot := range res.Slot {
+			if _, err := prog.CircuitPorts(r.Src, r.Dst, slot); err != nil {
+				t.Fatalf("%s: %v", topo.Name(), err)
+			}
+		}
+	}
+}

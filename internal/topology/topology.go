@@ -1,0 +1,78 @@
+// Package topology provides concrete switched-network topologies for the
+// compiled-communication study: the 2-D torus used throughout the paper's
+// evaluation, the linear array of the Fig. 3 example, and ring, mesh and
+// hypercube variants used by additional experiments.
+//
+// Every topology implements network.Topology with a deterministic routing
+// function. Routing is a compiler decision in compiled communication, so
+// the route for a (src, dst) pair never depends on runtime state.
+package topology
+
+import (
+	"fmt"
+)
+
+// TiePolicy decides the direction of travel along a ring dimension when the
+// source-to-destination offset is exactly half the ring size, i.e. when both
+// directions are shortest paths.
+type TiePolicy int
+
+const (
+	// TieBalanced alternates the direction with the parity of the source
+	// coordinate in the tied dimension, splitting tie traffic evenly over
+	// both directions. This balance is required to approach the N^3/8
+	// multiplexing-degree bound for all-to-all traffic on an NxN torus.
+	TieBalanced TiePolicy = iota
+	// TiePositive always takes the increasing direction.
+	TiePositive
+	// TieNegative always takes the decreasing direction.
+	TieNegative
+)
+
+func (tp TiePolicy) String() string {
+	switch tp {
+	case TieBalanced:
+		return "balanced"
+	case TiePositive:
+		return "positive"
+	case TieNegative:
+		return "negative"
+	default:
+		return fmt.Sprintf("TiePolicy(%d)", int(tp))
+	}
+}
+
+// ringOffset returns the signed hop count along a ring of size n from a to
+// b, choosing the shortest direction and applying the tie policy when the
+// distance is exactly n/2. The returned value is in [-(n-1)/2, n/2].
+func ringOffset(a, b, n int, tp TiePolicy) int {
+	d := ((b-a)%n + n) % n
+	switch {
+	case d == 0:
+		return 0
+	case 2*d < n:
+		return d
+	case 2*d > n:
+		return d - n
+	}
+	// Exact tie: distance n/2 in both directions.
+	switch tp {
+	case TiePositive:
+		return d
+	case TieNegative:
+		return d - n
+	default:
+		if a%2 == 0 {
+			return d
+		}
+		return d - n
+	}
+}
+
+// abs returns the absolute value of x.
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

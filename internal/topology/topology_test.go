@@ -1,0 +1,317 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/network"
+)
+
+func TestRingOffsetShortest(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				d := ringOffset(a, b, n, TieBalanced)
+				if (a+d+n)%n != b%n {
+					t.Fatalf("n=%d: offset %d from %d does not reach %d", n, d, a, b)
+				}
+				fwd := ((b-a)%n + n) % n
+				short := fwd
+				if n-fwd < short {
+					short = n - fwd
+				}
+				if abs(d) != short {
+					t.Fatalf("n=%d a=%d b=%d: |offset|=%d, shortest=%d", n, a, b, abs(d), short)
+				}
+			}
+		}
+	}
+}
+
+func TestRingOffsetTiePolicies(t *testing.T) {
+	n := 8
+	// Distance exactly n/2: positive policy goes +4, negative goes -4,
+	// balanced goes +4 from even sources and -4 from odd ones.
+	for a := 0; a < n; a++ {
+		b := (a + 4) % n
+		if got := ringOffset(a, b, n, TiePositive); got != 4 {
+			t.Errorf("TiePositive: offset(%d,%d)=%d, want 4", a, b, got)
+		}
+		if got := ringOffset(a, b, n, TieNegative); got != -4 {
+			t.Errorf("TieNegative: offset(%d,%d)=%d, want -4", a, b, got)
+		}
+		want := 4
+		if a%2 == 1 {
+			want = -4
+		}
+		if got := ringOffset(a, b, n, TieBalanced); got != want {
+			t.Errorf("TieBalanced: offset(%d,%d)=%d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestTiePolicyString(t *testing.T) {
+	cases := map[TiePolicy]string{TieBalanced: "balanced", TiePositive: "positive", TieNegative: "negative", TiePolicy(9): "TiePolicy(9)"}
+	for tp, want := range cases {
+		if tp.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(tp), tp.String(), want)
+		}
+	}
+}
+
+// checkLinkTable verifies that every link's LinkInfo is self-consistent:
+// IDs round-trip and out/in ports belong to distinct switches.
+func checkLinkTable(t *testing.T, topo network.Topology) {
+	t.Helper()
+	for id := 0; id < topo.NumLinks(); id++ {
+		li := topo.Link(network.LinkID(id))
+		if li.ID != network.LinkID(id) {
+			t.Fatalf("%s: link %d reports id %d", topo.Name(), id, li.ID)
+		}
+		if li.From == li.To {
+			t.Fatalf("%s: link %d is a self-loop at node %d", topo.Name(), id, li.From)
+		}
+		if int(li.From) < 0 || int(li.From) >= topo.NumNodes() || int(li.To) < 0 || int(li.To) >= topo.NumNodes() {
+			t.Fatalf("%s: link %d endpoints out of range", topo.Name(), id)
+		}
+		if li.OutPort == network.PEPort || li.InPort == network.PEPort {
+			t.Fatalf("%s: link %d uses the PE port", topo.Name(), id)
+		}
+	}
+}
+
+// checkPortUniqueness verifies that no two links claim the same (switch,
+// port) on either side — the physical wiring must be a matching.
+func checkPortUniqueness(t *testing.T, topo network.Topology) {
+	t.Helper()
+	outSeen := make(map[[2]int]network.LinkID)
+	inSeen := make(map[[2]int]network.LinkID)
+	for id := 0; id < topo.NumLinks(); id++ {
+		li := topo.Link(network.LinkID(id))
+		ok := [2]int{int(li.From), li.OutPort}
+		if prev, dup := outSeen[ok]; dup {
+			t.Fatalf("%s: links %d and %d share output port %v", topo.Name(), prev, id, ok)
+		}
+		outSeen[ok] = li.ID
+		ik := [2]int{int(li.To), li.InPort}
+		if prev, dup := inSeen[ik]; dup {
+			t.Fatalf("%s: links %d and %d share input port %v", topo.Name(), prev, id, ik)
+		}
+		inSeen[ik] = li.ID
+	}
+}
+
+func allTopologies() []network.Topology {
+	return []network.Topology{
+		NewTorus(4, 4), NewTorus(8, 8), NewTorus(4, 6),
+		NewLinear(2), NewLinear(9),
+		NewRing(3), NewRing(8),
+		NewMesh(4, 4), NewMesh(3, 5),
+		NewHypercube(1), NewHypercube(6),
+	}
+}
+
+func TestLinkTables(t *testing.T) {
+	for _, topo := range allTopologies() {
+		checkLinkTable(t, topo)
+		checkPortUniqueness(t, topo)
+	}
+}
+
+func TestRoutesAreValidEverywhere(t *testing.T) {
+	for _, topo := range allTopologies() {
+		n := topo.NumNodes()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				p, err := topo.Route(network.NodeID(s), network.NodeID(d))
+				if err != nil {
+					t.Fatalf("%s: Route(%d,%d): %v", topo.Name(), s, d, err)
+				}
+				if err := network.Validate(topo, p); err != nil {
+					t.Fatalf("%s: %v", topo.Name(), err)
+				}
+			}
+		}
+	}
+}
+
+func TestTorusCoordRoundTrip(t *testing.T) {
+	tr := NewTorus(5, 3)
+	for n := 0; n < tr.NumNodes(); n++ {
+		r, c := tr.Coord(network.NodeID(n))
+		if tr.Node(r, c) != network.NodeID(n) {
+			t.Fatalf("node %d -> (%d,%d) -> %d", n, r, c, tr.Node(r, c))
+		}
+	}
+	if tr.Node(-1, -1) != tr.Node(2, 4) {
+		t.Error("Node must wrap negative coordinates")
+	}
+}
+
+func TestTorusRouteLengthIsManhattanWithWrap(t *testing.T) {
+	tr := NewTorus(8, 8)
+	f := func(s, d uint8) bool {
+		sn := network.NodeID(int(s) % 64)
+		dn := network.NodeID(int(d) % 64)
+		if sn == dn {
+			return true
+		}
+		p, err := tr.Route(sn, dn)
+		if err != nil {
+			return false
+		}
+		dx, dy := tr.Offsets(sn, dn)
+		return p.Len() == abs(dx)+abs(dy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusDimensionOrder(t *testing.T) {
+	tr := NewTorus(8, 8)
+	// Route (0,0) -> (2,3): all X hops (ports 1/2) must precede Y hops.
+	p, err := tr.Route(tr.Node(0, 0), tr.Node(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenY := false
+	for _, l := range p.Links {
+		li := tr.Link(l)
+		isY := li.OutPort == PortYPlus || li.OutPort == PortYMinus
+		if isY {
+			seenY = true
+		} else if seenY {
+			t.Fatal("X hop after Y hop: not dimension-ordered")
+		}
+	}
+}
+
+func TestTorusWraparound(t *testing.T) {
+	tr := NewTorus(8, 8)
+	// (0,7) -> (0,0) should take the single +X wraparound link.
+	p, err := tr.Route(tr.Node(0, 7), tr.Node(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("wraparound route has %d links, want 1", p.Len())
+	}
+	li := tr.Link(p.Links[0])
+	if li.OutPort != PortXPlus {
+		t.Fatalf("wraparound used port %d, want X+", li.OutPort)
+	}
+}
+
+func TestLinearRouteIsDirect(t *testing.T) {
+	l := NewLinear(7)
+	p, err := l.Route(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("route 2->5 has %d links, want 3", p.Len())
+	}
+	p, err = l.Route(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("route 5->2 has %d links, want 3", p.Len())
+	}
+}
+
+func TestRingRouteShortest(t *testing.T) {
+	r := NewRing(8)
+	for s := 0; s < 8; s++ {
+		for d := 0; d < 8; d++ {
+			if s == d {
+				continue
+			}
+			p, err := r.Route(network.NodeID(s), network.NodeID(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fwd := ((d-s)%8 + 8) % 8
+			short := fwd
+			if 8-fwd < short {
+				short = 8 - fwd
+			}
+			if p.Len() != short {
+				t.Fatalf("ring route %d->%d has %d links, want %d", s, d, p.Len(), short)
+			}
+		}
+	}
+}
+
+func TestMeshNoWraparound(t *testing.T) {
+	m := NewMesh(4, 4)
+	p, err := m.Route(m.Node(0, 3), m.Node(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("mesh route (0,3)->(0,0) has %d links, want 3 (no wraparound)", p.Len())
+	}
+}
+
+func TestHypercubeRouteLengthIsHamming(t *testing.T) {
+	h := NewHypercube(5)
+	for s := 0; s < 32; s++ {
+		for d := 0; d < 32; d++ {
+			if s == d {
+				continue
+			}
+			p, err := h.Route(network.NodeID(s), network.NodeID(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hamming := 0
+			for x := s ^ d; x != 0; x &= x - 1 {
+				hamming++
+			}
+			if p.Len() != hamming {
+				t.Fatalf("hypercube route %d->%d has %d links, want %d", s, d, p.Len(), hamming)
+			}
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewTorus(1, 8) },
+		func() { NewLinear(1) },
+		func() { NewRing(2) },
+		func() { NewMesh(1, 2) },
+		func() { NewHypercube(0) },
+		func() { NewHypercube(21) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: constructor did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]network.Topology{
+		"torus-8x8":   NewTorus(8, 8),
+		"linear-5":    NewLinear(5),
+		"ring-8":      NewRing(8),
+		"mesh-4x3":    NewMesh(4, 3),
+		"hypercube-6": NewHypercube(6),
+	}
+	for want, topo := range cases {
+		if topo.Name() != want {
+			t.Errorf("Name() = %q, want %q", topo.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestTorus3DCoordRoundTrip(t *testing.T) {
+	tr := NewTorus3D(4, 4, 4)
+	for n := 0; n < tr.NumNodes(); n++ {
+		i, j, k := tr.Coord(network.NodeID(n))
+		if tr.Node(i, j, k) != network.NodeID(n) {
+			t.Fatalf("node %d -> (%d,%d,%d) -> %d", n, i, j, k, tr.Node(i, j, k))
+		}
+	}
+	if tr.Node(-1, -1, -1) != tr.Node(3, 3, 3) {
+		t.Error("Node must wrap negative coordinates")
+	}
+}
+
+func TestTorus3DLinkTable(t *testing.T) {
+	tr := NewTorus3D(4, 3, 2)
+	checkLinkTable(t, tr)
+	checkPortUniqueness(t, tr)
+}
+
+func TestTorus3DRoutesValid(t *testing.T) {
+	tr := NewTorus3D(3, 4, 2)
+	n := tr.NumNodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p, err := tr.Route(network.NodeID(s), network.NodeID(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := network.Validate(tr, p); err != nil {
+				t.Fatal(err)
+			}
+			di, dj, dk := tr.Offsets(network.NodeID(s), network.NodeID(d))
+			if p.Len() != abs(di)+abs(dj)+abs(dk) {
+				t.Fatalf("route %d->%d has %d links, want %d", s, d, p.Len(), abs(di)+abs(dj)+abs(dk))
+			}
+		}
+	}
+}
+
+func TestTorus3DDimensionOrder(t *testing.T) {
+	tr := NewTorus3D(4, 4, 4)
+	p, err := tr.Route(tr.Node(0, 0, 0), tr.Node(1, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("got %d hops", p.Len())
+	}
+	wantPorts := []int{Port3DXPlus, Port3DYPlus, Port3DZPlus}
+	for i, l := range p.Links {
+		if tr.Link(l).OutPort != wantPorts[i] {
+			t.Fatalf("hop %d uses port %d, want %d", i, tr.Link(l).OutPort, wantPorts[i])
+		}
+	}
+}
+
+func TestTorus3DWraparound(t *testing.T) {
+	tr := NewTorus3D(4, 4, 4)
+	p, err := tr.Route(tr.Node(3, 0, 0), tr.Node(0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("wraparound route has %d links, want 1", p.Len())
+	}
+}
+
+func TestTorus3DConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTorus3D(1,4,4) did not panic")
+		}
+	}()
+	NewTorus3D(1, 4, 4)
+}
+
+func TestTorus3DName(t *testing.T) {
+	if got := NewTorus3D(4, 4, 4).Name(); got != "torus3d-4x4x4" {
+		t.Errorf("Name() = %q", got)
+	}
+}

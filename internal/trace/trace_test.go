@@ -1,0 +1,121 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+func sampleProgram(t *testing.T) core.Program {
+	t.Helper()
+	gs, err := apps.GS(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tscf, err := apps.TSCF(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Program{
+		Name: "sample",
+		Phases: []core.Phase{
+			{Name: gs.Name, Messages: gs.Messages},
+			{Name: tscf.Name, Messages: tscf.Messages, Dynamic: true},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	prog := sampleProgram(t)
+	doc := trace.FromProgram(prog, 64)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := got.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != prog.Name || len(back.Phases) != len(prog.Phases) {
+		t.Fatalf("round trip changed structure: %+v", back)
+	}
+	for i := range prog.Phases {
+		if back.Phases[i].Dynamic != prog.Phases[i].Dynamic {
+			t.Errorf("phase %d dynamic flag lost", i)
+		}
+		if len(back.Phases[i].Messages) != len(prog.Phases[i].Messages) {
+			t.Fatalf("phase %d message count changed", i)
+		}
+		for j, m := range prog.Phases[i].Messages {
+			if back.Phases[i].Messages[j] != m {
+				t.Fatalf("phase %d message %d changed: %+v vs %+v", i, j, back.Phases[i].Messages[j], m)
+			}
+		}
+	}
+}
+
+func TestLoadedTraceCompiles(t *testing.T) {
+	doc := trace.FromProgram(sampleProgram(t), 64)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loaded.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := core.Compiler{Topology: topology.NewTorus(8, 8)}.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Phases) != 2 {
+		t.Fatalf("compiled %d phases", len(cp.Phases))
+	}
+	if !cp.Phases[1].UsedFallback {
+		t.Error("dynamic flag did not survive into compilation")
+	}
+}
+
+func TestReadRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"name":"x","pes":4,"bogus":1,"phases":[{"name":"p","messages":[{"src":0,"dst":1,"flits":1}]}]}`,
+		"no phases":     `{"name":"x","pes":4,"phases":[]}`,
+		"bad pes":       `{"name":"x","pes":1,"phases":[{"name":"p","messages":[{"src":0,"dst":1,"flits":1}]}]}`,
+		"self loop":     `{"name":"x","pes":4,"phases":[{"name":"p","messages":[{"src":1,"dst":1,"flits":1}]}]}`,
+		"zero flits":    `{"name":"x","pes":4,"phases":[{"name":"p","messages":[{"src":0,"dst":1,"flits":0}]}]}`,
+		"oob endpoint":  `{"name":"x","pes":4,"phases":[{"name":"p","messages":[{"src":0,"dst":9,"flits":1}]}]}`,
+		"neg start":     `{"name":"x","pes":4,"phases":[{"name":"p","messages":[{"src":0,"dst":1,"flits":1,"start":-1}]}]}`,
+		"unnamed phase": `{"name":"x","pes":4,"phases":[{"name":"","messages":[{"src":0,"dst":1,"flits":1}]}]}`,
+		"empty phase":   `{"name":"x","pes":4,"phases":[{"name":"p","messages":[]}]}`,
+		"not json":      `]`,
+	}
+	for name, doc := range cases {
+		if _, err := trace.Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadAcceptsMinimalDocument(t *testing.T) {
+	doc := `{"name":"m","pes":2,"phases":[{"name":"p","messages":[{"src":0,"dst":1,"flits":3}]}]}`
+	got, err := trace.Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phases[0].Messages[0].Flits != 3 {
+		t.Error("fields not decoded")
+	}
+}

@@ -1,0 +1,50 @@
+package ccomm
+
+import (
+	"math/rand"
+
+	"repro/internal/patterns"
+	"repro/internal/redist"
+)
+
+// Pattern constructors re-exported for the public API. See
+// internal/patterns and internal/redist for details.
+
+// RingPattern connects each of n logical PEs to both ring neighbors.
+func RingPattern(n int) RequestSet { return patterns.Ring(n) }
+
+// NearestNeighborPattern connects each PE of a logical w x h wraparound
+// grid to its four neighbors.
+func NearestNeighborPattern(w, h int) RequestSet { return patterns.NearestNeighbor2D(w, h) }
+
+// HypercubePattern connects each of n PEs (n a power of two) to its
+// log2(n) hypercube neighbors.
+func HypercubePattern(n int) (RequestSet, error) { return patterns.Hypercube(n) }
+
+// ShuffleExchangePattern connects each PE to its shuffle and exchange
+// partners.
+func ShuffleExchangePattern(n int) (RequestSet, error) { return patterns.ShuffleExchange(n) }
+
+// AllToAllPattern connects every PE to every other PE.
+func AllToAllPattern(n int) RequestSet { return patterns.AllToAll(n) }
+
+// RandomPattern draws n distinct uniformly random requests over the PEs.
+func RandomPattern(rng *rand.Rand, pes, n int) (RequestSet, error) {
+	return patterns.Random(rng, pes, n)
+}
+
+// Redistribution computes the communication pattern (and element volumes)
+// of moving a 3-D array between two block-cyclic distributions.
+type Redistribution = redist.Pattern
+
+// BlockCyclic builds a distribution of a 3-D array: per dimension, p PEs
+// with block size b (p = 1 leaves the dimension undistributed).
+func BlockCyclic(p0, b0, p1, b1, p2, b2 int) (redist.Dist, error) {
+	return redist.NewDist([3]redist.DimDist{{P: p0, B: b0}, {P: p1, B: b1}, {P: p2, B: b2}})
+}
+
+// Redistribute computes the redistribution pattern of an array with the
+// given shape between two distributions.
+func Redistribute(shape [3]int, from, to redist.Dist) (Redistribution, error) {
+	return redist.Redistribute(shape, from, to)
+}
