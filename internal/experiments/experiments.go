@@ -251,8 +251,17 @@ type Table3Row struct {
 	Improvement float64
 }
 
-// Table3 schedules the five classic patterns.
-func Table3(t network.Topology) ([]Table3Row, error) {
+// PatternEntry names one of Table 3's frequently used patterns.
+type PatternEntry struct {
+	Name string
+	Set  request.Set
+}
+
+// Table3Patterns returns the five classic patterns of Table 3 sized for the
+// topology's terminal count. Exported so the CLI tools can feed the same
+// pattern list through the public batch compiler (ccomm.Compiler.CompileAll)
+// that production phase compilation uses.
+func Table3Patterns(t network.Topology) ([]PatternEntry, error) {
 	nodes := network.TerminalCount(t)
 	hyper, err := patterns.Hypercube(nodes)
 	if err != nil {
@@ -266,28 +275,37 @@ func Table3(t network.Topology) ([]Table3Row, error) {
 	for side*side < nodes {
 		side++
 	}
-	entries := []struct {
-		name string
-		set  request.Set
-	}{
+	return []PatternEntry{
 		{"ring", patterns.Ring(nodes)},
 		{"nearest neighbor", patterns.NearestNeighbor2D(side, nodes/side)},
 		{"hypercube", hyper},
 		{"shuffle-exchange", shuffle},
 		{"all-to-all", patterns.AllToAll(nodes)},
+	}, nil
+}
+
+// Table3 schedules the five classic patterns, all concurrently.
+func Table3(t network.Topology) ([]Table3Row, error) {
+	entries, err := Table3Patterns(t)
+	if err != nil {
+		return nil, err
 	}
-	var rows []Table3Row
-	for _, e := range entries {
-		degs, err := degreesFor(t, e.set)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", e.name, err)
+	sets := make([]request.Set, len(entries))
+	for i, e := range entries {
+		sets[i] = e.Set
+	}
+	all, err := degreesForAll(t, sets)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, len(entries))
+	for i, e := range entries {
+		rows[i] = Table3Row{
+			Name:        e.Name,
+			Conns:       len(e.Set),
+			Degrees:     all[i],
+			Improvement: Improvement(float64(all[i][0]), float64(all[i][3])),
 		}
-		rows = append(rows, Table3Row{
-			Name:        e.name,
-			Conns:       len(e.set),
-			Degrees:     degs,
-			Improvement: Improvement(float64(degs[0]), float64(degs[3])),
-		})
 	}
 	return rows, nil
 }

@@ -12,6 +12,15 @@ import (
 func FuzzRedistribute(f *testing.F) {
 	f.Add(uint8(2), uint8(2), uint8(1), uint8(4), uint8(1), uint8(2), uint8(4), uint8(1))
 	f.Add(uint8(4), uint8(1), uint8(1), uint8(1), uint8(2), uint8(2), uint8(2), uint8(4))
+	// Identity redistribution: source and target distributions coincide, so
+	// every transfer is a processor-local (p, p) pair — the degenerate
+	// pattern whose requests all disappear as self-loops downstream, and
+	// whose repeated (s, d) pairs are pure route-cache hits when scheduled.
+	f.Add(uint8(2), uint8(2), uint8(1), uint8(4), uint8(2), uint8(2), uint8(1), uint8(4))
+	f.Add(uint8(3), uint8(0), uint8(0), uint8(3), uint8(3), uint8(0), uint8(0), uint8(3))
+	// Single-processor blocks: maximal duplication of communicating pairs
+	// (every element pair between the same two PEs), the Dedup stress case.
+	f.Add(uint8(0), uint8(3), uint8(3), uint8(0), uint8(3), uint8(3), uint8(0), uint8(0))
 	f.Fuzz(func(t *testing.T, p0, b0, p1, b1, q0, c0, q1, c1 uint8) {
 		norm := func(v uint8, max int) int {
 			n := 1 << (int(v) % 4)
@@ -58,6 +67,14 @@ func FuzzRedistribute(f *testing.F) {
 func FuzzShiftPattern(f *testing.F) {
 	f.Add(int8(1), int8(0), int8(-1))
 	f.Add(int8(-7), int8(3), int8(2))
+	// Zero offset: the shift degenerates to pure self-communication and the
+	// request set under Dedup collapses to nothing schedulable.
+	f.Add(int8(0), int8(0), int8(0))
+	// Offsets that are exact multiples of the per-PE block extent keep all
+	// traffic between the same few PE pairs — repeated (s, d) pairs that
+	// exercise the route cache and duplicate-request handling downstream.
+	f.Add(int8(4), int8(-4), int8(1))
+	f.Add(int8(8), int8(2), int8(-2))
 	f.Fuzz(func(t *testing.T, o0, o1, o2 int8) {
 		shape := [3]int{8, 8, 8}
 		d := redist.Dist{Dims: [3]redist.DimDist{{P: 2, B: 4}, {P: 4, B: 2}, {P: 2, B: 1}}}

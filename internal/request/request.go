@@ -92,11 +92,15 @@ func (s Set) Destinations() map[network.NodeID]int {
 	return m
 }
 
-// Routes computes the circuit path of every request in the set.
+// Routes computes the circuit path of every request in the set. Paths are
+// served from the process-wide route cache (see network.CachedRoute), so
+// repeated pairs — within one set or across scheduling runs on the same
+// topology value — are routed once. The returned paths share link slices
+// with the cache and must not be mutated.
 func (s Set) Routes(t network.Topology) ([]network.Path, error) {
 	paths := make([]network.Path, len(s))
 	for i, r := range s {
-		p, err := t.Route(r.Src, r.Dst)
+		p, err := network.CachedRoute(t, r.Src, r.Dst)
 		if err != nil {
 			return nil, fmt.Errorf("request %v: %w", r, err)
 		}

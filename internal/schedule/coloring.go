@@ -1,7 +1,7 @@
 package schedule
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/network"
 	"repro/internal/request"
@@ -27,16 +27,15 @@ type Coloring struct {
 // Name implements Scheduler.
 func (Coloring) Name() string { return "coloring" }
 
-// defaultPriority orders vertices by descending degree in the uncolored
-// subgraph (most-constrained first, Welsh-Powell style). The paper's text
-// describes the opposite ratio — see PaperRatioPriority — but in our
-// implementation that ratio schedules *worse* than plain greedy, while
-// degree ordering reproduces the paper's measured relationship (coloring
-// consistently below greedy on the Table 1 sweep). The ablation benchmark
-// BenchmarkAblationColoringPriority compares both.
-func defaultPriority(pathLen, uncoloredDeg int) float64 {
-	return float64(uncoloredDeg)
-}
+// The default priority (Priority == nil) orders vertices by descending
+// degree in the uncolored subgraph (most-constrained first, Welsh-Powell
+// style). The paper's text describes the opposite ratio — see
+// PaperRatioPriority — but in our implementation that ratio schedules
+// *worse* than plain greedy, while degree ordering reproduces the paper's
+// measured relationship (coloring consistently below greedy on the Table 1
+// sweep). The ablation benchmark BenchmarkAblationColoringPriority compares
+// both. Because the default priority is an integer degree, Schedule
+// implements it as a counting sort rather than a comparison sort.
 
 // PaperRatioPriority is the literal priority of Fig. 4's description: the
 // ratio of the connection's link count to its degree among uncolored
@@ -58,10 +57,6 @@ func (c Coloring) Schedule(t network.Topology, reqs request.Set) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	prio := c.Priority
-	if prio == nil {
-		prio = defaultPriority
-	}
 	g := BuildConflictGraph(t, paths)
 	n := g.Len()
 
@@ -70,33 +65,80 @@ func (c Coloring) Schedule(t network.Topology, reqs request.Set) (*Result, error
 		uncoloredDeg[i] = g.Degree(i)
 	}
 	colored := make([]bool, n)
-	ncset := make([]int, n) // uncolored vertex ids
-	for i := range ncset {
-		ncset[i] = i
-	}
 
 	var configs []request.Set
 	blocked := make([]uint64, g.Words())
-	for len(ncset) > 0 {
-		// Sort the uncolored set by current priority (line 6 of Fig. 4).
-		sort.SliceStable(ncset, func(a, b int) bool {
-			pa := prio(paths[ncset[a]].Len(), uncoloredDeg[ncset[a]])
-			pb := prio(paths[ncset[b]].Len(), uncoloredDeg[ncset[b]])
-			if pa != pb {
-				return pa > pb
+	cand := make([]int, 0, n)    // uncolored ids, ascending
+	ordered := make([]int, n)    // counting-sort output buffer
+	inConfig := make([]int, 0, n)
+	var cnt []int     // degree histogram for the default priority
+	var keys []float64 // per-vertex priorities for custom functions
+	if c.Priority == nil {
+		cnt = make([]int, n+1)
+	} else {
+		keys = make([]float64, n)
+	}
+	for remaining := n; remaining > 0; {
+		// Sort the uncolored set by current priority (line 6 of Fig. 4),
+		// ties broken by ascending vertex id so the order is total and any
+		// correct sort yields the same permutation. The default
+		// descending-degree priority sorts by counting: a stable bucket
+		// pass over the ascending-id candidate list lands each degree
+		// class in id order.
+		cand = cand[:0]
+		for v := 0; v < n; v++ {
+			if !colored[v] {
+				cand = append(cand, v)
 			}
-			return ncset[a] < ncset[b]
-		})
+		}
+		round := cand
+		if c.Priority == nil {
+			maxd := 0
+			for _, v := range cand {
+				d := uncoloredDeg[v]
+				cnt[d]++
+				if d > maxd {
+					maxd = d
+				}
+			}
+			start := 0
+			for d := maxd; d >= 0; d-- {
+				size := cnt[d]
+				cnt[d] = start
+				start += size
+			}
+			round = ordered[:len(cand)]
+			for _, v := range cand {
+				d := uncoloredDeg[v]
+				round[cnt[d]] = v
+				cnt[d]++
+			}
+			for d := 0; d <= maxd; d++ {
+				cnt[d] = 0
+			}
+		} else {
+			for _, v := range cand {
+				keys[v] = c.Priority(paths[v].Len(), uncoloredDeg[v])
+			}
+			slices.SortFunc(round, func(a, b int) int {
+				switch {
+				case keys[a] > keys[b]:
+					return -1
+				case keys[a] < keys[b]:
+					return 1
+				default:
+					return a - b
+				}
+			})
+		}
 		// WORK starts as the whole sorted NCSET; coloring a vertex removes
 		// its neighbors from WORK. "blocked" accumulates exactly those
 		// removed vertices: the union of the colored vertices' adjacency.
 		var config request.Set
-		inConfig := make([]int, 0, 64)
-		rest := ncset[:0]
+		inConfig = inConfig[:0]
 		clear(blocked)
-		for _, v := range ncset {
+		for _, v := range round {
 			if blocked[v/64]&(1<<uint(v%64)) != 0 {
-				rest = append(rest, v)
 				continue
 			}
 			inConfig = append(inConfig, v)
@@ -112,7 +154,7 @@ func (c Coloring) Schedule(t network.Topology, reqs request.Set) (*Result, error
 				}
 			})
 		}
-		ncset = rest
+		remaining -= len(inConfig)
 		configs = append(configs, config)
 	}
 	return newResult("coloring", t, configs), nil

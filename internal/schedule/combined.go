@@ -1,6 +1,8 @@
 package schedule
 
 import (
+	"sync"
+
 	"repro/internal/network"
 	"repro/internal/request"
 )
@@ -9,9 +11,25 @@ import (
 // whichever produces the smaller multiplexing degree. The paper's compiler
 // uses this algorithm in the simulation study: compiled communication can
 // afford to spend extra compile time for better runtime network utilization.
+//
+// By default the two member schedulers run concurrently, racing on separate
+// goroutines; they are pure functions of (topology, requests), so the only
+// shared state is the concurrency-safe route and decomposition caches. The
+// result is bit-identical to the sequential execution: the same schedules
+// are computed either way, and the winner is chosen by the same
+// deterministic rule — coloring wins ties, ordered AAPC must be strictly
+// better to be selected. Errors are equally deterministic: a coloring error
+// is reported first, exactly as in sequential order, regardless of which
+// goroutine failed first in wall-clock time.
 type Combined struct {
 	coloring Coloring
 	aapc     OrderedAAPC
+	// Sequential disables the two-goroutine fan-out and runs the member
+	// schedulers one after the other. Output is identical either way; the
+	// knob exists for the differential determinism tests, single-core
+	// deployments, and callers that already saturate every core with
+	// pattern-level parallelism.
+	Sequential bool
 }
 
 // Name implements Scheduler.
@@ -19,13 +37,31 @@ func (Combined) Name() string { return "combined" }
 
 // Schedule implements Scheduler.
 func (c Combined) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
-	col, err := c.coloring.Schedule(t, reqs)
-	if err != nil {
-		return nil, err
+	var col, ap *Result
+	var colErr, apErr error
+	if c.Sequential {
+		col, colErr = c.coloring.Schedule(t, reqs)
+		if colErr != nil {
+			return nil, colErr
+		}
+		ap, apErr = c.aapc.Schedule(t, reqs)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ap, apErr = c.aapc.Schedule(t, reqs)
+		}()
+		col, colErr = c.coloring.Schedule(t, reqs)
+		wg.Wait()
 	}
-	ap, err := c.aapc.Schedule(t, reqs)
-	if err != nil {
-		return nil, err
+	// Deterministic error order: coloring first, mirroring the sequential
+	// control flow.
+	if colErr != nil {
+		return nil, colErr
+	}
+	if apErr != nil {
+		return nil, apErr
 	}
 	best := col
 	if ap.Degree() < col.Degree() {

@@ -2,6 +2,8 @@ package schedule
 
 import (
 	"math/bits"
+	"runtime"
+	"sync"
 
 	"repro/internal/network"
 )
@@ -20,10 +22,38 @@ type ConflictGraph struct {
 	deg  []int
 }
 
+// Parallel-build knobs. They are read once at the start of every
+// BuildConflictGraph call; set them during initialization or from tests, not
+// concurrently with scheduling.
+var (
+	// ConflictGraphParallelCutoff is the vertex count below which the graph
+	// is built serially: for small request sets the inverted-index pass is
+	// already cheap and goroutine fan-out only adds overhead.
+	ConflictGraphParallelCutoff = 1024
+	// ConflictGraphWorkers is the number of row-construction workers for
+	// large graphs; 0 means runtime.GOMAXPROCS(0).
+	ConflictGraphWorkers = 0
+)
+
+// conflictGraphWorkers resolves the effective worker count.
+func conflictGraphWorkers() int {
+	if ConflictGraphWorkers > 0 {
+		return ConflictGraphWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // BuildConflictGraph constructs the conflict graph for pre-routed requests.
 // Instead of testing all O(|R|^2) pairs directly, it builds an inverted
 // index from each resource (directed link, source port, destination port) to
 // the requests occupying it; every pair sharing a resource is adjacent.
+//
+// For graphs of at least ConflictGraphParallelCutoff vertices the adjacency
+// rows are built by ConflictGraphWorkers goroutines, each owning a
+// contiguous shard of rows so no two workers ever write the same word. The
+// resulting graph is identical to the serial build: adjacency is a set, so
+// row content does not depend on insertion order, and degrees are the
+// row population counts either way.
 func BuildConflictGraph(t network.Topology, paths []network.Path) *ConflictGraph {
 	n := len(paths)
 	words := (n + 63) / 64
@@ -44,13 +74,58 @@ func BuildConflictGraph(t network.Topology, paths []network.Path) *ConflictGraph
 		byResource[nl+int(p.Src)] = append(byResource[nl+int(p.Src)], int32(i))
 		byResource[nl+nn+int(p.Dst)] = append(byResource[nl+nn+int(p.Dst)], int32(i))
 	}
-	for _, users := range byResource {
-		for a := 0; a < len(users); a++ {
-			for b := a + 1; b < len(users); b++ {
-				g.addEdge(int(users[a]), int(users[b]))
+
+	workers := conflictGraphWorkers()
+	if n < ConflictGraphParallelCutoff || workers <= 1 {
+		for _, users := range byResource {
+			for a := 0; a < len(users); a++ {
+				for b := a + 1; b < len(users); b++ {
+					g.addEdge(int(users[a]), int(users[b]))
+				}
 			}
 		}
+		return g
 	}
+
+	// Sharded build: worker w constructs rows [lo, hi) by scanning each of
+	// its vertices' resources and or-ing in that resource's other users.
+	// Writes stay within the worker's own rows (and their deg entries), so
+	// the shards share nothing; the double-visit of each edge (once from
+	// each endpoint) is the price of lock-free symmetry.
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				row := g.rows[i]
+				p := paths[i]
+				mark := func(users []int32) {
+					for _, j := range users {
+						row[int(j)/64] |= 1 << uint(int(j)%64)
+					}
+				}
+				for _, l := range p.Links {
+					mark(byResource[l])
+				}
+				mark(byResource[nl+int(p.Src)])
+				mark(byResource[nl+nn+int(p.Dst)])
+				// The vertex saw itself through every one of its resources.
+				row[i/64] &^= 1 << uint(i%64)
+				d := 0
+				for _, word := range row {
+					d += bits.OnesCount64(word)
+				}
+				g.deg[i] = d
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return g
 }
 

@@ -28,7 +28,7 @@ func Extend(r *Result, extra request.Set) (*Result, error) {
 		configs[k] = cfg.Clone()
 		occs[k] = network.NewOccupancy()
 		for _, req := range cfg {
-			p, err := r.Topology.Route(req.Src, req.Dst)
+			p, err := network.CachedRoute(r.Topology, req.Src, req.Dst)
 			if err != nil {
 				return nil, fmt.Errorf("schedule: extend: %w", err)
 			}
@@ -36,7 +36,7 @@ func Extend(r *Result, extra request.Set) (*Result, error) {
 		}
 	}
 	for _, req := range extra {
-		p, err := r.Topology.Route(req.Src, req.Dst)
+		p, err := network.CachedRoute(r.Topology, req.Src, req.Dst)
 		if err != nil {
 			return nil, fmt.Errorf("schedule: extend: %w", err)
 		}

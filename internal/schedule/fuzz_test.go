@@ -1,6 +1,7 @@
 package schedule_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/network"
@@ -14,6 +15,12 @@ import (
 func FuzzGreedyValidPartition(f *testing.F) {
 	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 0})
 	f.Add([]byte{0, 5, 0, 5, 0, 5})
+	// Route-cache stressors: the same (s, d) pair repeated many times hits
+	// the cache on every lookup after the first, and heavy duplication
+	// exercises the Dedup edge cases downstream consumers rely on.
+	f.Add([]byte{1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2, 1, 2})
+	f.Add([]byte{7, 8, 8, 7, 7, 8, 8, 7, 7, 8, 8, 7})
+	f.Add([]byte{0, 15, 15, 0, 0, 15, 3, 12, 12, 3, 3, 12, 0, 15})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		if len(raw) > 400 {
 			raw = raw[:400]
@@ -51,6 +58,11 @@ func FuzzGreedyValidPartition(f *testing.F) {
 // whose priority machinery has more state to get wrong.
 func FuzzColoringValidPartition(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	// Repeated pairs: duplicates are mutually conflicting (shared injection
+	// and ejection ports), forcing one configuration per copy while the
+	// route cache serves a single shared path for all of them.
+	f.Add([]byte{4, 9, 4, 9, 4, 9, 4, 9, 4, 9})
+	f.Add([]byte{2, 3, 3, 2, 2, 3, 3, 2, 11, 6, 6, 11, 11, 6})
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		if len(raw) > 300 {
 			raw = raw[:300]
@@ -69,6 +81,53 @@ func FuzzColoringValidPartition(f *testing.F) {
 			t.Fatal(err)
 		}
 		if err := res.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzCombinedParallelDeterminism differentially fuzzes the parallel
+// scheduling pipeline: for arbitrary request bytes, the goroutine-racing
+// Combined must return a schedule byte-identical to the sequential one, and
+// both must validate. Seeds skew toward duplicate-heavy sets, where the
+// route cache serves one path to both member schedulers at once and
+// Dedup-surviving duplicates take distinct slots.
+func FuzzCombinedParallelDeterminism(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{5, 10, 5, 10, 5, 10, 5, 10, 5, 10})
+	f.Add([]byte{1, 2, 2, 1, 1, 2, 2, 1, 9, 14, 14, 9, 9, 14})
+	f.Add([]byte{0, 15, 0, 14, 0, 13, 0, 12, 0, 11, 0, 10})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		torus := topology.NewTorus(4, 4)
+		var set request.Set
+		for i := 0; i+1 < len(raw); i += 2 {
+			s := network.NodeID(int(raw[i]) % 16)
+			d := network.NodeID(int(raw[i+1]) % 16)
+			if s != d {
+				set = append(set, request.Request{Src: s, Dst: d})
+			}
+		}
+		seq, err := schedule.Combined{Sequential: true}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := schedule.Combined{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Algorithm != par.Algorithm {
+			t.Fatalf("algorithm %q sequential vs %q parallel", seq.Algorithm, par.Algorithm)
+		}
+		if !reflect.DeepEqual(seq.Configs, par.Configs) {
+			t.Fatalf("parallel schedule diverged:\nsequential: %v\nparallel:   %v", seq.Configs, par.Configs)
+		}
+		if !reflect.DeepEqual(seq.Slot, par.Slot) {
+			t.Fatal("slot index diverged")
+		}
+		if err := par.Validate(set); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -3,6 +3,8 @@ package schedule
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/network"
 )
 
 // Metrics quantifies how well a schedule uses the multiplexed network, the
@@ -52,7 +54,7 @@ func ComputeMetrics(r *Result) (Metrics, error) {
 		m.SlotOccupancy[k] = len(cfg)
 		m.Requests += len(cfg)
 		for _, req := range cfg {
-			p, err := t.Route(req.Src, req.Dst)
+			p, err := network.CachedRoute(t, req.Src, req.Dst)
 			if err != nil {
 				return Metrics{}, err
 			}

@@ -93,17 +93,23 @@ func (o OrderedAAPC) Schedule(t network.Topology, reqs request.Set) (*Result, er
 	for i, k := range order {
 		pos[k] = i
 	}
-	idx := make([]int, len(reqs))
-	for i := range idx {
-		idx[i] = i
+	// Stable counting sort of the requests by phase position: requests of
+	// the same phase keep their relative order, exactly as a stable
+	// comparison sort would leave them, in O(n + phases).
+	cnt := make([]int, set.NumPhases()+1)
+	for _, k := range phase {
+		cnt[pos[k]+1]++
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return pos[phase[idx[a]]] < pos[phase[idx[b]]] })
-
+	for p := 1; p <= set.NumPhases(); p++ {
+		cnt[p] += cnt[p-1]
+	}
 	reordered := make(request.Set, len(reqs))
 	rpaths := make([]network.Path, len(reqs))
-	for i, j := range idx {
-		reordered[i] = reqs[j]
-		rpaths[i] = paths[j]
+	for j := range reqs {
+		p := pos[phase[j]]
+		reordered[cnt[p]] = reqs[j]
+		rpaths[cnt[p]] = paths[j]
+		cnt[p]++
 	}
 
 	// Line 8: greedy on the reordered request list.

@@ -79,7 +79,7 @@ func (r *Result) Validate(reqs request.Set) error {
 		}
 		occ := network.NewOccupancy()
 		for _, q := range c {
-			p, err := r.Topology.Route(q.Src, q.Dst)
+			p, err := network.CachedRoute(r.Topology, q.Src, q.Dst)
 			if err != nil {
 				return fmt.Errorf("schedule: config %d request %v: %w", k, q, err)
 			}

@@ -69,7 +69,7 @@ func Compile(res *schedule.Result) (*Program, error) {
 	}
 	for slot, config := range res.Configs {
 		for _, req := range config {
-			p, err := t.Route(req.Src, req.Dst)
+			p, err := network.CachedRoute(t, req.Src, req.Dst)
 			if err != nil {
 				return nil, fmt.Errorf("switchprog: routing %v: %w", req, err)
 			}
@@ -96,7 +96,7 @@ func Compile(res *schedule.Result) (*Program, error) {
 // outPort) crossbar entries it uses; used by tests to confirm the lowered
 // program reconstructs every scheduled circuit.
 func (p *Program) CircuitPorts(src, dst network.NodeID, slot int) ([][3]int, error) {
-	path, err := p.Topology.Route(src, dst)
+	path, err := network.CachedRoute(p.Topology, src, dst)
 	if err != nil {
 		return nil, err
 	}
