@@ -215,15 +215,18 @@ func BenchmarkTable5Dynamic(b *testing.B) {
 	for _, row := range table5Workloads(b) {
 		for _, k := range []int{1, 2, 5, 10} {
 			b.Run(fmt.Sprintf("%s/K=%d", row.name, k), func(b *testing.B) {
-				var last int
+				s, err := sim.NewSimulator(benchTorus, sim.DefaultParams(k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var out sim.DynamicResult
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					out, err := sim.Dynamic{Topology: benchTorus, Params: sim.DefaultParams(k)}.Run(row.msgs)
-					if err != nil {
+					if err := s.RunInto(row.msgs, &out); err != nil {
 						b.Fatal(err)
 					}
-					last = out.Time
 				}
-				b.ReportMetric(float64(last), "slots")
+				b.ReportMetric(float64(out.Time), "slots")
 			})
 		}
 	}

@@ -1,0 +1,170 @@
+// Command ccbench runs the pinned simulator benchmark set and writes the
+// results as BENCH_sim.json: single-run dynamic-control simulations on the
+// 8x8 torus (the acceptance workloads of the zero-allocation engine),
+// compiled-execution replays, and parallel-sweep wall clocks at increasing
+// worker counts. The JSON is the perf baseline a reviewer diffs across
+// commits; the committed BENCH_sim.json records the numbers of this
+// revision's machine.
+//
+// Usage:
+//
+//	ccbench                       # full run, ~200ms per benchmark
+//	ccbench -quick                # single iteration per benchmark (CI smoke)
+//	ccbench -o BENCH_sim.json     # write the report here (default)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"text/tabwriter"
+
+	"repro/internal/network"
+	"repro/internal/perf"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+var (
+	outFlag   = flag.String("o", "BENCH_sim.json", "output file; - means stdout only")
+	quickFlag = flag.Bool("quick", false, "run each benchmark once (CI smoke mode)")
+)
+
+// ringMessages is the light-contention acceptance workload: every terminal
+// of the 8x8 torus sends to its successor.
+func ringMessages(terminals, flits int) []sim.Message {
+	msgs := make([]sim.Message, terminals)
+	for i := range msgs {
+		msgs[i] = sim.Message{Src: i, Dst: (i + 1) % terminals, Flits: flits}
+	}
+	return msgs
+}
+
+// denseMessages is the heavy-contention acceptance workload; the generator
+// matches internal/sim's differential-test workload (seed 1996) so ccbench
+// and `go test -bench` measure the same simulation.
+func denseMessages(seed int64, terminals, count int) []sim.Message {
+	rng := rand.New(rand.NewSource(seed))
+	msgs := make([]sim.Message, count)
+	for i := range msgs {
+		src := rng.Intn(terminals)
+		dst := rng.Intn(terminals - 1)
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = sim.Message{Src: src, Dst: dst, Flits: 1 + rng.Intn(6), Start: rng.Intn(64)}
+	}
+	return msgs
+}
+
+func main() {
+	flag.Parse()
+	torus := topology.NewTorus(8, 8)
+	report := perf.NewReport(*quickFlag)
+
+	ring := ringMessages(64, 7)
+	dense := denseMessages(1996, 64, 192)
+
+	// Dynamic control, reused simulator: the zero-allocation hot path.
+	for _, w := range []struct {
+		name   string
+		degree int
+		msgs   []sim.Message
+	}{
+		{"dynamic/ring64/K=2", 2, ring},
+		{"dynamic/dense192/K=5", 5, dense},
+	} {
+		s, err := sim.NewSimulator(torus, sim.DefaultParams(w.degree))
+		check(err)
+		var res sim.DynamicResult
+		msgs := w.msgs
+		check(report.Run(w.name, func() error { return s.RunInto(msgs, &res) }))
+	}
+
+	// Dynamic control, fresh simulator per run: what a caller pays without
+	// reuse (construction, routing, first-run growth).
+	check(report.Run("dynamic-cold/ring64/K=2", func() error {
+		_, err := sim.Dynamic{Topology: torus, Params: sim.DefaultParams(2)}.Run(ring)
+		return err
+	}))
+
+	// Compiled execution replay on a reused CompiledSim.
+	ring32 := ringMessages(64, 32)
+	var set request.Set
+	for _, m := range ring32 {
+		set = append(set, request.Request{Src: network.NodeID(m.Src), Dst: network.NodeID(m.Dst)})
+	}
+	sched, err := schedule.Combined{}.Schedule(torus, set.Dedup())
+	check(err)
+	cs := sim.NewCompiledSim()
+	var out sim.CompiledResult
+	check(report.Run("compiled/ring64", func() error { return cs.RunInto(sched, ring32, sim.TDM, &out) }))
+
+	// Sweep wall clock: 16 open-loop trials, serial vs the full pool. Quick
+	// mode shrinks the trial count; the JSON records whichever ran.
+	trials := 16
+	if *quickFlag {
+		trials = 4
+	}
+	// Always measure a multi-worker rung even on one core (it can at best
+	// break even there, which the JSON then records honestly).
+	workerCounts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		w := workers
+		check(report.RunSweep("sweep/openloop64", w, trials, func() error {
+			return sim.Sweep(trials, w, 1996, func(trial int, rng *rand.Rand) error {
+				msgs, err := sim.OpenLoop(rng, sim.OpenLoopConfig{Nodes: 64, MessagesPerNode: 2, Flits: 2, MeanGap: 400})
+				if err != nil {
+					return err
+				}
+				s, err := sim.NewSimulator(torus, sim.DefaultParams(2))
+				if err != nil {
+					return err
+				}
+				var res sim.DynamicResult
+				return s.RunInto(msgs, &res)
+			})
+		}))
+	}
+
+	print(report)
+	if *outFlag != "-" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		check(err)
+		check(os.WriteFile(*outFlag, append(data, '\n'), 0o644))
+		fmt.Printf("\nwrote %s\n", *outFlag)
+	}
+}
+
+func print(r *perf.Report) {
+	fmt.Printf("ccbench: %s, GOMAXPROCS=%d, quick=%v\n\n", r.GoVersion, r.GOMAXPROCS, r.Quick)
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "benchmark\titers\tns/op\tB/op\tallocs/op\t")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%.1f\t\n", b.Name, b.Iterations, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	check(w.Flush())
+	if len(r.Sweeps) > 0 {
+		fmt.Println()
+		fmt.Fprintln(w, "sweep\tworkers\ttrials\twall ms\t")
+		for _, s := range r.Sweeps {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%.2f\t\n", s.Name, s.Workers, s.Trials, s.WallMs)
+		}
+		check(w.Flush())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+}

@@ -27,6 +27,7 @@ var (
 	trialsFlag  = flag.Int("trials", 100, "random patterns per Table 1 row")
 	redistsFlag = flag.Int("redists", 500, "random redistributions in Table 2")
 	seedFlag    = flag.Int64("seed", 1996, "random seed")
+	workersFlag = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the numbers are identical for any value")
 )
 
 func main() {
@@ -49,7 +50,7 @@ func main() {
 }
 
 func table1(torus *topology.Torus) {
-	rows, err := experiments.Table1(torus, experiments.Table1Config{Trials: *trialsFlag, Seed: *seedFlag})
+	rows, err := experiments.Table1(torus, experiments.Table1Config{Trials: *trialsFlag, Seed: *seedFlag, Workers: *workersFlag})
 	check(err)
 	fmt.Println("## Table 1 — random patterns (avg multiplexing degree)")
 	fmt.Println()
@@ -68,7 +69,7 @@ func table1(torus *topology.Torus) {
 }
 
 func table2(torus *topology.Torus) {
-	rows, err := experiments.Table2(torus, experiments.Table2Config{Redistributions: *redistsFlag, Seed: *seedFlag})
+	rows, err := experiments.Table2(torus, experiments.Table2Config{Redistributions: *redistsFlag, Seed: *seedFlag, Workers: *workersFlag})
 	check(err)
 	fmt.Println("## Table 2 — random block-cyclic redistributions (64³ array, 64 PEs)")
 	fmt.Println()
@@ -137,7 +138,7 @@ func table3(torus *topology.Torus) {
 }
 
 func table5(torus *topology.Torus) {
-	rows, err := experiments.Table5(torus, experiments.Table5Config{})
+	rows, err := experiments.Table5(torus, experiments.Table5Config{Workers: *workersFlag})
 	check(err)
 	fmt.Println("## Table 5 — compiled vs dynamic communication time (slots)")
 	fmt.Println()

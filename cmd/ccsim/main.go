@@ -31,6 +31,7 @@ var (
 	backoffFlag  = flag.Int("backoff", 16, "reservation retry backoff base (slots)")
 	queuedFlag   = flag.Bool("queued", false, "model contention on the electronic shadow network")
 	backwardFlag = flag.Bool("backward", false, "use the observe-then-lock (backward) reservation variant")
+	workersFlag  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS); the numbers are identical for any value")
 )
 
 func main() {
@@ -56,6 +57,7 @@ func main() {
 	rows, err := experiments.Table5(torus, experiments.Table5Config{
 		FixedDegrees: fixed,
 		Params:       params,
+		Workers:      *workersFlag,
 	})
 	check(err)
 

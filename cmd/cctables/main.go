@@ -32,6 +32,7 @@ var (
 	redistsFlag = flag.Int("redists", 500, "random redistributions in Table 2")
 	seedFlag    = flag.Int64("seed", 1996, "random seed")
 	spreadFlag  = flag.Bool("spread", false, "show mean±stddev in Table 1")
+	workersFlag = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the numbers are identical for any value")
 )
 
 func main() {
@@ -72,7 +73,7 @@ func header(w *tabwriter.Writer, first ...string) {
 
 func table1(torus *topology.Torus) {
 	fmt.Printf("Table 1: multiplexing degree for random patterns (8x8 torus, %d patterns per row)\n", *trialsFlag)
-	rows, err := experiments.Table1(torus, experiments.Table1Config{Trials: *trialsFlag, Seed: *seedFlag})
+	rows, err := experiments.Table1(torus, experiments.Table1Config{Trials: *trialsFlag, Seed: *seedFlag, Workers: *workersFlag})
 	check(err)
 	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
 	header(w, "conns")
@@ -96,7 +97,7 @@ func table1(torus *topology.Torus) {
 func table2(torus *topology.Torus) {
 	fmt.Println("Table 2: multiplexing degree for random data redistribution patterns")
 	fmt.Printf("(64^3 array over 64 PEs, %d random redistributions)\n", *redistsFlag)
-	rows, err := experiments.Table2(torus, experiments.Table2Config{Redistributions: *redistsFlag, Seed: *seedFlag})
+	rows, err := experiments.Table2(torus, experiments.Table2Config{Redistributions: *redistsFlag, Seed: *seedFlag, Workers: *workersFlag})
 	check(err)
 	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
 	header(w, "conns", "patterns")

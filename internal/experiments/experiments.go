@@ -76,6 +76,27 @@ func degreesForAll(t network.Topology, sets []request.Set) ([][]int, error) {
 	return out, nil
 }
 
+// RunSweep runs gen once per trial on sim.Sweep's worker pool and collects
+// the results in trial order. Each trial draws randomness only from its own
+// rng (seeded by sim.TrialSeed), so the returned slice is byte-identical for
+// any worker count; workers <= 0 means GOMAXPROCS. This is the engine behind
+// the trial loops of Tables 1, 2 and 5.
+func RunSweep[T any](trials, workers int, seed int64, gen func(trial int, rng *rand.Rand) (T, error)) ([]T, error) {
+	out := make([]T, trials)
+	err := sim.Sweep(trials, workers, seed, func(trial int, rng *rand.Rand) error {
+		v, err := gen(trial, rng)
+		if err != nil {
+			return err
+		}
+		out[trial] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Improvement is the paper's last column: the percentage reduction of the
 // combined algorithm's degree relative to greedy's.
 func Improvement(greedy, combined float64) float64 {
@@ -98,6 +119,9 @@ type Table1Config struct {
 	Seed int64
 	// Nodes is the PE count; zero means 64.
 	Nodes int
+	// Workers bounds the trial worker pool; zero means GOMAXPROCS. The
+	// results are identical for any value.
+	Workers int
 }
 
 // Table1Row is one row of Table 1.
@@ -122,18 +146,18 @@ func Table1(t network.Topology, cfg Table1Config) ([]Table1Row, error) {
 	if nodes == 0 {
 		nodes = 64
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	var rows []Table1Row
-	for _, n := range sizes {
-		sets := make([]request.Set, trials)
-		for trial := 0; trial < trials; trial++ {
-			set, err := patterns.Random(rng, nodes, n)
-			if err != nil {
-				return nil, err
-			}
-			sets[trial] = set
-		}
-		all, err := degreesForAll(t, sets)
+	for si, n := range sizes {
+		// Each row gets its own decorrelated seed, and each trial within it
+		// generates and schedules one pattern on the worker pool.
+		all, err := RunSweep(trials, cfg.Workers, sim.TrialSeed(cfg.Seed, si),
+			func(_ int, rng *rand.Rand) ([]int, error) {
+				set, err := patterns.Random(rng, nodes, n)
+				if err != nil {
+					return nil, err
+				}
+				return degreesFor(t, set)
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -167,6 +191,9 @@ type Table2Config struct {
 	Shape [3]int
 	// Procs is the PE count; zero means 64.
 	Procs int
+	// Workers bounds the trial worker pool; zero means GOMAXPROCS. The
+	// results are identical for any value.
+	Workers int
 }
 
 // Table2Row is one connection-count bucket of Table 2.
@@ -204,25 +231,32 @@ func Table2(t network.Topology, cfg Table2Config) ([]Table2Row, error) {
 	if procs == 0 {
 		procs = 64
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	rows := table2Buckets()
-	sets := make([]request.Set, n)
-	for i := 0; i < n; i++ {
+	// One trial = draw one redistribution and schedule it with every
+	// algorithm; bucketing happens afterwards, in trial order.
+	type t2trial struct {
+		conns   int
+		degrees []int
+	}
+	all, err := RunSweep(n, cfg.Workers, cfg.Seed, func(_ int, rng *rand.Rand) (t2trial, error) {
 		pat, _, _, err := redist.RandomRedistribution(rng, shape, procs)
 		if err != nil {
-			return nil, err
+			return t2trial{}, err
 		}
-		sets[i] = pat.Reqs
-	}
-	all, err := degreesForAll(t, sets)
+		degs, err := degreesFor(t, pat.Reqs)
+		if err != nil {
+			return t2trial{}, err
+		}
+		return t2trial{conns: len(pat.Reqs), degrees: degs}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	for i, degs := range all {
+	for _, tr := range all {
 		for r := range rows {
-			if len(sets[i]) >= rows[r].Lo && len(sets[i]) <= rows[r].Hi {
+			if tr.conns >= rows[r].Lo && tr.conns <= rows[r].Hi {
 				rows[r].Patterns++
-				for c, d := range degs {
+				for c, d := range tr.degrees {
 					rows[r].Degrees[c] += float64(d)
 				}
 				break
@@ -321,6 +355,10 @@ type Table5Config struct {
 	Params func(degree int) sim.Params
 	// GSSizes, P3MSizes select problem sizes; nil means the paper's.
 	GSSizes, P3MSizes []int
+	// Workers bounds the worker pool for the per-row scheduling and the
+	// per-(row, degree) dynamic simulations; zero means GOMAXPROCS. The
+	// results are identical for any value.
+	Workers int
 }
 
 // Table5Row is one workload row.
@@ -380,37 +418,71 @@ func Table5(t network.Topology, cfg Table5Config) ([]Table5Row, error) {
 		}
 	}
 
-	var rows []Table5Row
-	for _, w := range work {
+	// Phase 1: schedule every workload and simulate its compiled execution,
+	// one row per worker-pool trial (the work list is deterministic, so the
+	// rng is unused).
+	type prep struct {
+		degree, compiled int
+	}
+	preps, err := RunSweep(len(work), cfg.Workers, 0, func(i int, _ *rand.Rand) (prep, error) {
+		w := work[i]
 		set := (apps.Phase{Messages: w.msgs}).Pattern().Dedup()
 		res, err := schedule.Combined{}.Schedule(t, set)
 		if err != nil {
-			return nil, fmt.Errorf("%s %s: %w", w.pattern, w.size, err)
+			return prep{}, fmt.Errorf("%s %s: %w", w.pattern, w.size, err)
 		}
 		comp, err := sim.RunCompiled(res, w.msgs)
 		if err != nil {
-			return nil, fmt.Errorf("%s %s: %w", w.pattern, w.size, err)
+			return prep{}, fmt.Errorf("%s %s: %w", w.pattern, w.size, err)
 		}
+		return prep{degree: res.Degree(), compiled: comp.Time}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: every (workload, fixed degree) dynamic simulation is an
+	// independent cell; sweep them all on the pool. The simulator itself is
+	// deterministic, so cells carry no randomness either.
+	type cell struct {
+		time     int
+		timedOut bool
+	}
+	cells, err := RunSweep(len(work)*len(fixed), cfg.Workers, 0, func(ci int, _ *rand.Rand) (cell, error) {
+		w, k := work[ci/len(fixed)], fixed[ci%len(fixed)]
+		s, err := sim.NewSimulator(t, params(k))
+		if err != nil {
+			return cell{}, fmt.Errorf("%s %s K=%d: %w", w.pattern, w.size, k, err)
+		}
+		dyn, err := s.Run(w.msgs)
+		if err != nil {
+			return cell{}, fmt.Errorf("%s %s K=%d: %w", w.pattern, w.size, k, err)
+		}
+		return cell{time: dyn.Time, timedOut: dyn.TimedOut}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table5Row, len(work))
+	for i, w := range work {
 		row := Table5Row{
 			Pattern:  w.pattern,
 			Size:     w.size,
 			Conns:    len(w.msgs),
-			Degree:   res.Degree(),
-			Compiled: comp.Time,
+			Degree:   preps[i].degree,
+			Compiled: preps[i].compiled,
 			Dynamic:  make(map[int]int),
 		}
-		for _, k := range fixed {
-			dyn, err := sim.Dynamic{Topology: t, Params: params(k)}.Run(w.msgs)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s K=%d: %w", w.pattern, w.size, k, err)
-			}
-			if dyn.TimedOut {
+		for ki, k := range fixed {
+			c := cells[i*len(fixed)+ki]
+			if c.timedOut {
 				row.TimedOut = append(row.TimedOut, k)
 				continue
 			}
-			row.Dynamic[k] = dyn.Time
+			row.Dynamic[k] = c.time
 		}
-		rows = append(rows, row)
+		rows[i] = row
 	}
 	return rows, nil
 }

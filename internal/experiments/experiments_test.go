@@ -1,6 +1,7 @@
 package experiments_test
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/experiments"
@@ -139,6 +140,61 @@ func TestTable5Shape(t *testing.T) {
 					row.Pattern, row.Size, k, dt, row.Compiled)
 			}
 		}
+	}
+}
+
+// TestTablesDeterministicAcrossWorkers locks in the sweep-engine contract at
+// the table level: every randomized or simulated table must come out
+// byte-identical whether its trials ran serially or on a pool.
+func TestTablesDeterministicAcrossWorkers(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+
+	t1 := func(workers int) interface{} {
+		rows, err := experiments.Table1(torus, experiments.Table1Config{
+			Sizes: []int{400, 1600}, Trials: 6, Seed: 1996, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	t2 := func(workers int) interface{} {
+		rows, err := experiments.Table2(torus, experiments.Table2Config{
+			Redistributions: 20, Seed: 1996, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	t5 := func(workers int) interface{} {
+		rows, err := experiments.Table5(torus, experiments.Table5Config{
+			FixedDegrees: []int{2, 5}, GSSizes: []int{64}, P3MSizes: []int{32}, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	for _, tc := range []struct {
+		name string
+		run  func(workers int) interface{}
+	}{
+		{"table1", t1},
+		{"table2", t2},
+		{"table5", t5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.name == "table5" && testing.Short() {
+				t.Skip("short mode")
+			}
+			serial := tc.run(1)
+			for _, workers := range []int{4, 0} {
+				if got := tc.run(workers); !reflect.DeepEqual(serial, got) {
+					t.Fatalf("workers=%d: rows differ from the serial run", workers)
+				}
+			}
+		})
 	}
 }
 

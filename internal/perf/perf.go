@@ -1,0 +1,123 @@
+// Package perf is the repository's standalone micro-benchmark harness: it
+// measures ns/op and allocation rates of closures and serializes the numbers
+// as JSON, so cmd/ccbench can pin a benchmark set into BENCH_sim.json from a
+// plain binary (no `go test` run required, which keeps the CI smoke job and
+// local regeneration one command). It deliberately mirrors the shape of
+// testing.B output — ns/op, B/op, allocs/op — so the numbers line up with
+// `go test -bench -benchmem` runs of the same workloads.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// targetDuration is how long the measured loop of one benchmark aims to run
+// in full mode; long enough to flatten scheduler and timer noise without
+// making a ~10-entry suite slow.
+const targetDuration = 200 * time.Millisecond
+
+// maxIterations caps calibration so a pathologically fast closure cannot
+// spin the loop counter into the billions.
+const maxIterations = 1_000_000
+
+// Result is the measurement of one benchmark, in testing.B units.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// SweepResult is the wall-clock measurement of one parallel-sweep run; the
+// Workers axis is what shows the worker pool's scaling.
+type SweepResult struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	Trials  int     `json:"trials"`
+	WallMs  float64 `json:"wall_ms"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick"`
+	Benchmarks []Result      `json:"benchmarks"`
+	Sweeps     []SweepResult `json:"sweeps,omitempty"`
+}
+
+// NewReport stamps the environment of this process.
+func NewReport(quick bool) *Report {
+	return &Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+}
+
+// Run measures f and appends the result to the report. The closure is run
+// once untimed as a warm-up (letting lazily-built caches populate, exactly
+// like the warm-up iteration of the sim benchmarks), then a calibrated loop
+// is timed with the allocation counters read before and after. In quick mode
+// the loop is a single iteration — the CI smoke setting, where the point is
+// that the harness runs, not that the numbers are stable.
+func (r *Report) Run(name string, f func() error) error {
+	if err := f(); err != nil {
+		return fmt.Errorf("perf: %s: warm-up: %w", name, err)
+	}
+	iters := 1
+	if !r.Quick {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("perf: %s: calibration: %w", name, err)
+		}
+		per := time.Since(start)
+		if per <= 0 {
+			per = time.Nanosecond
+		}
+		iters = int(targetDuration / per)
+		if iters < 1 {
+			iters = 1
+		}
+		if iters > maxIterations {
+			iters = maxIterations
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return fmt.Errorf("perf: %s: iteration %d: %w", name, i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	r.Benchmarks = append(r.Benchmarks, Result{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+	})
+	return nil
+}
+
+// RunSweep times one wall-clock run of a sweep configuration and appends it.
+func (r *Report) RunSweep(name string, workers, trials int, f func() error) error {
+	start := time.Now()
+	if err := f(); err != nil {
+		return fmt.Errorf("perf: sweep %s workers=%d: %w", name, workers, err)
+	}
+	r.Sweeps = append(r.Sweeps, SweepResult{
+		Name:    name,
+		Workers: workers,
+		Trials:  trials,
+		WallMs:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+	return nil
+}

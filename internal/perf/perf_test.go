@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunMeasuresAllocations(t *testing.T) {
+	r := NewReport(false)
+	sink := make([][]byte, 0, 8)
+	if err := r.Run("allocating", func() error {
+		sink = sink[:0]
+		for i := 0; i < 4; i++ {
+			sink = append(sink, make([]byte, 1024))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Benchmarks[0]
+	if res.Name != "allocating" || res.Iterations < 1 {
+		t.Fatalf("bad result %+v", res)
+	}
+	// 4 slices of 1 KiB per op: the counters must see roughly that. The
+	// bounds are loose because the runtime batches allocations.
+	if res.AllocsPerOp < 3 || res.AllocsPerOp > 16 {
+		t.Errorf("allocs/op = %.1f, want ~4", res.AllocsPerOp)
+	}
+	if res.BytesPerOp < 4*1024 || res.BytesPerOp > 4*4096 {
+		t.Errorf("B/op = %.0f, want ~4096", res.BytesPerOp)
+	}
+	if res.NsPerOp <= 0 {
+		t.Errorf("ns/op = %.1f, want > 0", res.NsPerOp)
+	}
+}
+
+func TestQuickModeRunsOnce(t *testing.T) {
+	r := NewReport(true)
+	calls := 0
+	if err := r.Run("counted", func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up plus one measured iteration.
+	if calls != 2 {
+		t.Errorf("quick mode called the closure %d times, want 2", calls)
+	}
+	if r.Benchmarks[0].Iterations != 1 {
+		t.Errorf("quick mode recorded %d iterations, want 1", r.Benchmarks[0].Iterations)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	r := NewReport(true)
+	boom := errors.New("boom")
+	err := r.Run("failing", func() error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the closure's", err)
+	}
+	if len(r.Benchmarks) != 0 {
+		t.Error("failed benchmark recorded a result")
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	r := NewReport(true)
+	if err := r.Run("noop", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RunSweep("sweep", 4, 16, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"go_version"`, `"gomaxprocs"`, `"ns_per_op"`, `"allocs_per_op"`, `"wall_ms"`, `"workers"`} {
+		if !strings.Contains(string(out), key) {
+			t.Errorf("JSON missing %s: %s", key, out)
+		}
+	}
+}

@@ -97,25 +97,40 @@ func Redistribute(shape [3]int, from, to Dist) (Pattern, error) {
 			return Pattern{}, fmt.Errorf("redist: dimension %d has extent %d", i, n)
 		}
 	}
-	// counts[i][cs][cd] = number of indices x in dimension i owned by
-	// source coordinate cs under `from` and destination coordinate cd
-	// under `to`.
-	var counts [3]map[[2]int]int
+	// counts[i][cs*to.P+cd] = number of indices x in dimension i owned by
+	// source coordinate cs under `from` and destination coordinate cd under
+	// `to`. Dense per-dimension matrices (the coordinate spaces are tiny)
+	// iterate in index order, so Reqs comes out in one canonical order on
+	// every run — map iteration here used to scramble it, which leaked
+	// run-to-run jitter into every downstream scheduler and simulator.
+	var counts [3][]int
 	for i := 0; i < 3; i++ {
-		counts[i] = make(map[[2]int]int)
 		fd, td := from.Dims[i], to.Dims[i]
+		counts[i] = make([]int, fd.P*td.P)
 		for x := 0; x < shape[i]; x++ {
 			cs := (x / fd.B) % fd.P
 			cd := (x / td.B) % td.P
-			counts[i][[2]int{cs, cd}]++
+			counts[i][cs*td.P+cd]++
 		}
 	}
 	pat := Pattern{Volume: make(map[request.Request]int)}
 	for k0, n0 := range counts[0] {
+		if n0 == 0 {
+			continue
+		}
 		for k1, n1 := range counts[1] {
+			if n1 == 0 {
+				continue
+			}
 			for k2, n2 := range counts[2] {
-				src := (k0[0]*from.Dims[1].P+k1[0])*from.Dims[2].P + k2[0]
-				dst := (k0[1]*to.Dims[1].P+k1[1])*to.Dims[2].P + k2[1]
+				if n2 == 0 {
+					continue
+				}
+				s0, d0 := k0/to.Dims[0].P, k0%to.Dims[0].P
+				s1, d1 := k1/to.Dims[1].P, k1%to.Dims[1].P
+				s2, d2 := k2/to.Dims[2].P, k2%to.Dims[2].P
+				src := (s0*from.Dims[1].P+s1)*from.Dims[2].P + s2
+				dst := (d0*to.Dims[1].P+d1)*to.Dims[2].P + d2
 				if src == dst {
 					continue
 				}

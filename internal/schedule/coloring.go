@@ -68,10 +68,10 @@ func (c Coloring) Schedule(t network.Topology, reqs request.Set) (*Result, error
 
 	var configs []request.Set
 	blocked := make([]uint64, g.Words())
-	cand := make([]int, 0, n)    // uncolored ids, ascending
-	ordered := make([]int, n)    // counting-sort output buffer
+	cand := make([]int, 0, n) // uncolored ids, ascending
+	ordered := make([]int, n) // counting-sort output buffer
 	inConfig := make([]int, 0, n)
-	var cnt []int     // degree histogram for the default priority
+	var cnt []int      // degree histogram for the default priority
 	var keys []float64 // per-vertex priorities for custom functions
 	if c.Priority == nil {
 		cnt = make([]int, n+1)

@@ -1,0 +1,147 @@
+package sim
+
+// Simulation-engine benchmarks. BenchmarkDynamicOracle is the pre-refactor
+// implementation (oracle_test.go); BenchmarkDynamic is the zero-allocation
+// Simulator on the same workloads, so one `go test -bench 'Dynamic|Sweep'
+// -benchmem` run shows the before/after pair. cmd/ccbench pins a subset of
+// these into BENCH_sim.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// scheduleFor compiles the schedule covering the given messages.
+func scheduleFor(b *testing.B, torus *topology.Torus, msgs []Message) *schedule.Result {
+	b.Helper()
+	var set request.Set
+	for _, m := range msgs {
+		set = append(set, request.Request{Src: nodeID(m.Src), Dst: nodeID(m.Dst)})
+	}
+	res, err := schedule.Combined{}.Schedule(torus, set.Dedup())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// benchWorkloads are the single-run 8x8-torus workloads the acceptance
+// numbers quote: the 64-node ring (light contention) and a 192-message
+// hypercube-style random workload (heavy contention).
+func benchWorkloads() []struct {
+	name   string
+	degree int
+	msgs   []Message
+} {
+	ring := ringMessages(64, 7)
+	dense := randomMessages(rand.New(rand.NewSource(1996)), 64, 192)
+	return []struct {
+		name   string
+		degree int
+		msgs   []Message
+	}{
+		{"ring64/K=2", 2, ring},
+		{"dense192/K=5", 5, dense},
+	}
+}
+
+func BenchmarkDynamic(b *testing.B) {
+	torus := topology.NewTorus(8, 8)
+	for _, w := range benchWorkloads() {
+		b.Run(w.name, func(b *testing.B) {
+			s, err := NewSimulator(torus, DefaultParams(w.degree))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res DynamicResult
+			if err := s.RunInto(w.msgs, &res); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.RunInto(w.msgs, &res); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.Time), "slots")
+		})
+	}
+}
+
+func BenchmarkDynamicOracle(b *testing.B) {
+	torus := topology.NewTorus(8, 8)
+	for _, w := range benchWorkloads() {
+		b.Run(w.name, func(b *testing.B) {
+			params := DefaultParams(w.degree)
+			var last int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := runDynamicOracle(torus, params, w.msgs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Time
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last), "slots")
+		})
+	}
+}
+
+func BenchmarkCompiledSim(b *testing.B) {
+	torus := topology.NewTorus(8, 8)
+	msgs := ringMessages(64, 32)
+	sched := scheduleFor(b, torus, msgs)
+	b.Run("ring64-reused", func(b *testing.B) {
+		cs := NewCompiledSim()
+		var out CompiledResult
+		if err := cs.RunInto(sched, msgs, TDM, &out); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cs.RunInto(sched, msgs, TDM, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweep measures the worker-pool engine on a fixed 16-trial
+// dynamic-simulation sweep; the workers=N rungs show the wall-clock win of
+// parallel trials on multi-core machines (they can at best break even at
+// GOMAXPROCS=1).
+func BenchmarkSweep(b *testing.B) {
+	torus := topology.NewTorus(8, 8)
+	const trials = 16
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := Sweep(trials, workers, 1996, func(trial int, rng *rand.Rand) error {
+					msgs, err := OpenLoop(rng, OpenLoopConfig{Nodes: 64, MessagesPerNode: 2, Flits: 2, MeanGap: 400})
+					if err != nil {
+						return err
+					}
+					s, err := NewSimulator(torus, DefaultParams(2))
+					if err != nil {
+						return err
+					}
+					var res DynamicResult
+					return s.RunInto(msgs, &res)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,14 @@ import (
 	"repro/internal/schedule"
 )
 
+// circuitQueue carries the messages of one compiled circuit in start order;
+// a circuit moves one flit per opportunity, so same-circuit messages
+// serialize.
+type circuitQueue struct {
+	slot int
+	msgs []int // indices into the message slice, ordered by Start
+}
+
 // RunCompiledChecked simulates a compiled TDM phase like RunCompiled while
 // physically checking the data plane: in every slot it walks the path of
 // every transmitting circuit and asserts that no directed link carries two

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/request"
 	"repro/internal/schedule"
@@ -19,78 +18,202 @@ type CompiledResult struct {
 	Finish []int
 }
 
-// circuitQueue carries the messages of one compiled circuit in start order;
-// a circuit moves one flit per opportunity, so same-circuit messages
-// serialize.
-type circuitQueue struct {
-	slot int
-	msgs []int // indices into the message slice, ordered by Start
+// CompiledSim is a reusable engine for the compiled-communication data
+// plane. Like Simulator it owns flat preallocated arrays — per-circuit
+// message queues, per-slot circuit groups, remaining-flit counters — so
+// repeated runs reuse the same storage. Messages of one circuit serialize
+// in start order; a TDM circuit moves one flit in its slot of every frame,
+// a WDM circuit one flit every slot.
+//
+// A CompiledSim is NOT safe for concurrent use; give each sweep worker its
+// own.
+type CompiledSim struct {
+	idx       map[request.Request]int32 // circuit index per (src, dst)
+	slots     []int32                   // per circuit: assigned TDM slot
+	qhead     []int32                   // per circuit: head index into order
+	qend      []int32                   // per circuit: end index (exclusive)
+	order     []int32                   // message indices grouped by circuit, start-ordered
+	remaining []int32                   // per message: flits still to deliver
+	slotOff   []int32                   // per TDM slot: offset into slotCircuits
+	slotCirc  []int32                   // circuit ids grouped by slot
+	counts    []int32                   // scratch for the grouping counting sorts
 }
 
-// runCompiled is the shared data-plane loop for both multiplexing modes.
-// In TDM mode a circuit's opportunity comes once per frame (its slot); in
-// WDM mode every circuit owns a full-rate wavelength and moves one flit
-// every slot.
-func runCompiled(res *schedule.Result, msgs []Message, mode Mode) (*CompiledResult, error) {
+// NewCompiledSim returns an empty reusable compiled-communication engine.
+func NewCompiledSim() *CompiledSim {
+	return &CompiledSim{idx: make(map[request.Request]int32)}
+}
+
+// Run executes the compiled data plane into a fresh result.
+func (cs *CompiledSim) Run(res *schedule.Result, msgs []Message, mode Mode) (*CompiledResult, error) {
+	out := &CompiledResult{}
+	if err := cs.RunInto(res, msgs, mode, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// grow reslices an int32 buffer to n, reallocating only when capacity is
+// exceeded.
+func grow(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// RunInto is Run with a caller-owned result; out and every internal buffer
+// are reused across calls.
+func (cs *CompiledSim) RunInto(res *schedule.Result, msgs []Message, mode Mode, out *CompiledResult) error {
 	k := res.Degree()
 	if k == 0 {
-		return nil, fmt.Errorf("sim: empty schedule")
+		return fmt.Errorf("sim: empty schedule")
 	}
-	byCircuit := make(map[request.Request]*circuitQueue)
+
+	// Assign a dense circuit index to every distinct (src, dst) and count
+	// the messages per circuit.
+	clear(cs.idx)
+	cs.slots = cs.slots[:0]
 	total := 0
+	cs.remaining = grow(cs.remaining, len(msgs))
+	cs.counts = grow(cs.counts, len(msgs))
+	circuitOf := cs.counts // per message: its circuit
 	for i, m := range msgs {
 		if err := m.validate(); err != nil {
-			return nil, err
+			return err
 		}
 		r := request.Request{Src: nodeID(m.Src), Dst: nodeID(m.Dst)}
-		q, ok := byCircuit[r]
+		c, ok := cs.idx[r]
 		if !ok {
 			u, scheduled := res.Slot[r]
 			if !scheduled {
-				return nil, fmt.Errorf("sim: message %d->%d has no circuit in the compiled schedule", m.Src, m.Dst)
+				return fmt.Errorf("sim: message %d->%d has no circuit in the compiled schedule", m.Src, m.Dst)
 			}
-			q = &circuitQueue{slot: u}
-			byCircuit[r] = q
+			c = int32(len(cs.slots))
+			cs.slots = append(cs.slots, int32(u))
+			cs.idx[r] = c
 		}
-		q.msgs = append(q.msgs, i)
+		circuitOf[i] = c
+		cs.remaining[i] = int32(m.Flits)
 		total += m.Flits
 	}
-	queues := make([]*circuitQueue, 0, len(byCircuit))
-	for _, q := range byCircuit {
-		sort.SliceStable(q.msgs, func(a, b int) bool { return msgs[q.msgs[a]].Start < msgs[q.msgs[b]].Start })
-		queues = append(queues, q)
+	nc := len(cs.slots)
+
+	// Group message indices by circuit (counting sort keeps input order,
+	// i.e. the grouping is stable), then order each circuit's window by
+	// Start with an in-place stable insertion sort — windows are short and
+	// already sorted in the common all-start-at-zero workloads.
+	cs.qhead = grow(cs.qhead, nc+1)
+	cs.qend = grow(cs.qend, nc)
+	cs.order = grow(cs.order, len(msgs))
+	for c := 0; c <= nc; c++ {
+		cs.qhead[c] = 0
+	}
+	for _, c := range circuitOf[:len(msgs)] {
+		cs.qhead[c]++
+	}
+	off := int32(0)
+	for c := 0; c < nc; c++ {
+		n := cs.qhead[c]
+		cs.qhead[c] = off
+		off += n
+	}
+	for i := range msgs {
+		c := circuitOf[i]
+		cs.order[cs.qhead[c]] = int32(i)
+		cs.qhead[c]++
+	}
+	start := int32(0)
+	for c := 0; c < nc; c++ {
+		end := cs.qhead[c]
+		cs.qend[c] = end
+		w := cs.order[start:end]
+		for i := 1; i < len(w); i++ {
+			j := i
+			for j > 0 && msgs[w[j-1]].Start > msgs[w[j]].Start {
+				w[j-1], w[j] = w[j], w[j-1]
+				j--
+			}
+		}
+		cs.qhead[c] = start
+		start = end
+	}
+	cs.qhead = cs.qhead[:nc]
+
+	// Group circuits by TDM slot so each frame position scans only the
+	// circuits that may move in it (in WDM mode every circuit moves every
+	// slot and the grouping is bypassed).
+	if mode == TDM {
+		cs.slotOff = grow(cs.slotOff, k+1)
+		cs.slotCirc = grow(cs.slotCirc, nc)
+		for u := 0; u <= k; u++ {
+			cs.slotOff[u] = 0
+		}
+		for _, u := range cs.slots {
+			cs.slotOff[u]++
+		}
+		off = 0
+		for u := 0; u < k; u++ {
+			n := cs.slotOff[u]
+			cs.slotOff[u] = off
+			off += n
+		}
+		cs.slotOff[k] = off
+		tmp := cs.slotOff
+		for c, u := range cs.slots {
+			cs.slotCirc[tmp[u]] = int32(c)
+			tmp[u]++
+		}
+		// Restore the offsets shifted by the fill pass.
+		for u := k; u > 0; u-- {
+			cs.slotOff[u] = cs.slotOff[u-1]
+		}
+		cs.slotOff[0] = 0
+	} else {
+		cs.slotCirc = grow(cs.slotCirc, nc)
+		for c := 0; c < nc; c++ {
+			cs.slotCirc[c] = int32(c)
+		}
 	}
 
-	remaining := make([]int, len(msgs))
-	for i, m := range msgs {
-		remaining[i] = m.Flits
+	if cap(out.Finish) < len(msgs) {
+		out.Finish = make([]int, len(msgs))
+	} else {
+		out.Finish = out.Finish[:len(msgs)]
+		for i := range out.Finish {
+			out.Finish[i] = 0
+		}
 	}
-	finish := make([]int, len(msgs))
+	out.Degree = k
 	last := 0
 	for t := 0; total > 0; t++ {
-		for _, q := range queues {
-			if len(q.msgs) == 0 {
+		group := cs.slotCirc[:len(cs.slots)]
+		if mode == TDM {
+			u := t % k
+			group = cs.slotCirc[cs.slotOff[u]:cs.slotOff[u+1]]
+		}
+		for _, c := range group {
+			h := cs.qhead[c]
+			if h == cs.qend[c] {
 				continue
 			}
-			if mode == TDM && t%k != q.slot {
-				continue
-			}
-			i := q.msgs[0]
+			i := cs.order[h]
 			if msgs[i].Start > t {
 				continue
 			}
-			remaining[i]--
+			cs.remaining[i]--
 			total--
-			if remaining[i] == 0 {
-				finish[i] = t + 1 // delivered at the end of slot t
+			if cs.remaining[i] == 0 {
+				out.Finish[i] = t + 1 // delivered at the end of slot t
 				if t+1 > last {
 					last = t + 1
 				}
-				q.msgs = q.msgs[1:]
+				cs.qhead[c] = h + 1
 			}
 		}
 	}
-	return &CompiledResult{Time: last, Degree: k, Finish: finish}, nil
+	out.Time = last
+	return nil
 }
 
 // RunCompiled simulates a communication phase under compiled communication
@@ -106,7 +229,7 @@ func runCompiled(res *schedule.Result, msgs []Message, mode Mode) (*CompiledResu
 // data plane stays observable; the equivalence with the closed form is
 // asserted by tests.
 func RunCompiled(res *schedule.Result, msgs []Message) (*CompiledResult, error) {
-	return runCompiled(res, msgs, TDM)
+	return NewCompiledSim().Run(res, msgs, TDM)
 }
 
 // RunCompiledWDM simulates the same compiled schedule on a
@@ -115,7 +238,7 @@ func RunCompiled(res *schedule.Result, msgs []Message) (*CompiledResult, error) 
 // circuit moves one flit per slot. The multiplexing degree then costs
 // hardware (wavelengths) instead of time.
 func RunCompiledWDM(res *schedule.Result, msgs []Message) (*CompiledResult, error) {
-	return runCompiled(res, msgs, WDM)
+	return NewCompiledSim().Run(res, msgs, WDM)
 }
 
 // CompiledTimeClosedForm predicts the finish time of a lone message with

@@ -1,12 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-	"math/bits"
-
-	"repro/internal/network"
-)
+import "repro/internal/network"
 
 func nodeID(i int) network.NodeID { return network.NodeID(i) }
 
@@ -50,63 +44,6 @@ func (r *DynamicResult) Efficiency() float64 {
 	return float64(r.UsefulChannelSlots) / float64(denom)
 }
 
-// event kinds of the dynamic-control simulation.
-const (
-	evStart    = iota // source begins (or retries) the head message's reservation
-	evResHop          // reservation packet arrives at the entry of path hop i
-	evAckHop          // acknowledgement packet finishes processing hop i (walking back)
-	evNackHop         // negative ack walks back across hop i, unlocking
-	evDataDone        // last flit delivered at destination
-	evRelHop          // release packet frees hop i's channel
-	evAbortHop        // backward-reservation ack race lost: unlock hop i walking up
-)
-
-type event struct {
-	time int
-	kind int
-	msg  int // message index
-	hop  int // path hop index for the *_Hop kinds
-	seq  int // tie-breaker for determinism
-}
-
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
-}
-
-// linkState tracks one directed link's virtual channels. Bits of free are
-// the slots not reserved and not locked by an in-flight reservation.
-type linkState struct {
-	free uint64
-}
-
-// msgState tracks one message through the protocol.
-type msgState struct {
-	links    []network.LinkID
-	flits    int
-	carried  uint64 // slot mask carried by the reservation packet
-	locked   []uint64
-	lockTime []int // per hop, when the current locks were taken
-	attempts int
-	slot     int // allocated TDM slot once acknowledged
-	finish   int
-	done     bool
-}
-
 // Dynamic simulates the distributed path-reservation protocol of Section
 // 4.1 on the given topology with a fixed multiplexing degree.
 //
@@ -130,6 +67,10 @@ type msgState struct {
 // single-queue head-of-line behavior the paper attributes to dynamic
 // control); a source starts its next reservation when its previous
 // message's final flit has been sent.
+//
+// Dynamic is a convenience wrapper that builds a fresh Simulator per Run;
+// sweeps that run many simulations should hold a Simulator (or one per
+// worker) and call RunInto to stay allocation-free.
 type Dynamic struct {
 	Topology network.Topology
 	Params   Params
@@ -137,245 +78,11 @@ type Dynamic struct {
 
 // Run executes the protocol for the given messages.
 func (d Dynamic) Run(msgs []Message) (*DynamicResult, error) {
-	if err := d.Params.validate(); err != nil {
+	s, err := NewSimulator(d.Topology, d.Params)
+	if err != nil {
 		return nil, err
 	}
-	k := d.Params.Degree
-	fullMask := uint64(1)<<uint(k) - 1
-	hopDelay := d.Params.CtlHopDelay
-
-	links := make([]linkState, d.Topology.NumLinks())
-	for i := range links {
-		links[i].free = fullMask
-	}
-
-	states := make([]msgState, len(msgs))
-	queues := make(map[network.NodeID][]int) // per-source FIFO of message indices
-	order := make([]network.NodeID, 0)
-	for i, m := range msgs {
-		if err := m.validate(); err != nil {
-			return nil, err
-		}
-		p, err := d.Topology.Route(nodeID(m.Src), nodeID(m.Dst))
-		if err != nil {
-			return nil, fmt.Errorf("sim: message %d->%d: %w", m.Src, m.Dst, err)
-		}
-		states[i] = msgState{
-			links:    p.Links,
-			flits:    m.Flits,
-			locked:   make([]uint64, len(p.Links)),
-			lockTime: make([]int, len(p.Links)),
-		}
-		src := nodeID(m.Src)
-		if _, ok := queues[src]; !ok {
-			order = append(order, src)
-		}
-		queues[src] = append(queues[src], i)
-	}
-
-	var q eventQueue
-	seq := 0
-	push := func(t, kind, msg, hop int) {
-		heap.Push(&q, event{time: t, kind: kind, msg: msg, hop: hop, seq: seq})
-		seq++
-	}
-	// Kick off the head message of every source queue when it becomes
-	// ready.
-	for _, src := range order {
-		head := queues[src][0]
-		push(msgs[head].Start, evStart, head, 0)
-	}
-
-	res := &DynamicResult{Finish: make([]int, len(msgs))}
-	remaining := len(msgs)
-	startNext := func(t, msg int) {
-		// The source of msg may begin its next queued message once it is
-		// ready.
-		src := nodeID(msgs[msg].Src)
-		fifo := queues[src]
-		if len(fifo) == 0 || fifo[0] != msg {
-			return // defensive; the head is always the in-flight message
-		}
-		queues[src] = fifo[1:]
-		if len(queues[src]) > 0 {
-			next := queues[src][0]
-			at := t
-			if msgs[next].Start > at {
-				at = msgs[next].Start
-			}
-			push(at, evStart, next, 0)
-		}
-	}
-
-	// busyUntil models the per-switch control processor when shadow-network
-	// queuing is enabled: one control packet served at a time.
-	var busyUntil []int
-	if d.Params.ShadowQueuing {
-		busyUntil = make([]int, d.Topology.NumNodes())
-	}
-
-	for q.Len() > 0 {
-		e := heap.Pop(&q).(event)
-		if e.time > d.Params.MaxTime {
-			res.TimedOut = true
-			res.Time = d.Params.MaxTime
-			return res, nil
-		}
-		st := &states[e.msg]
-		if busyUntil != nil {
-			switch e.kind {
-			case evResHop, evAckHop, evNackHop, evRelHop, evAbortHop:
-				li := d.Topology.Link(st.links[e.hop])
-				node := li.From
-				if e.kind == evAckHop || e.kind == evNackHop {
-					node = li.To // backward-moving packets are served downstream
-				}
-				if busyUntil[node] > e.time {
-					push(busyUntil[node], e.kind, e.msg, e.hop)
-					continue
-				}
-				busyUntil[node] = e.time + hopDelay
-			}
-		}
-		switch e.kind {
-		case evStart:
-			st.attempts++
-			res.Attempts++
-			st.carried = fullMask
-			push(e.time+hopDelay, evResHop, e.msg, 0)
-
-		case evResHop:
-			l := &links[st.links[e.hop]]
-			avail := l.free & st.carried
-			if avail == 0 {
-				// Blocked: unlock everything reserved so far on the way
-				// back and retry after a backoff.
-				res.Blocked++
-				if e.hop == 0 {
-					push(e.time+d.backoff(st.attempts, e.msg), evStart, e.msg, 0)
-				} else {
-					push(e.time+hopDelay, evNackHop, e.msg, e.hop-1)
-				}
-				continue
-			}
-			if d.Params.Reservation == LockForward {
-				l.free &^= avail
-				st.locked[e.hop] = avail
-				st.lockTime[e.hop] = e.time
-			}
-			st.carried = avail
-			if e.hop == len(st.links)-1 {
-				// Destination reached: select the lowest carried channel
-				// and acknowledge backward.
-				st.slot = lowestBit(st.carried)
-				push(e.time+hopDelay, evAckHop, e.msg, e.hop)
-			} else {
-				push(e.time+hopDelay, evResHop, e.msg, e.hop+1)
-			}
-
-		case evNackHop:
-			l := &links[st.links[e.hop]]
-			l.free |= st.locked[e.hop]
-			res.WastedChannelSlots += (e.time - st.lockTime[e.hop]) * bits.OnesCount64(st.locked[e.hop])
-			st.locked[e.hop] = 0
-			if e.hop == 0 {
-				push(e.time+d.backoff(st.attempts, e.msg), evStart, e.msg, 0)
-			} else {
-				push(e.time+hopDelay, evNackHop, e.msg, e.hop-1)
-			}
-
-		case evAckHop:
-			l := &links[st.links[e.hop]]
-			sel := uint64(1) << uint(st.slot)
-			if d.Params.Reservation == LockBackward {
-				// The reservation only observed availability; the ack must
-				// win the channel now and can lose the race to a
-				// competitor that acked first.
-				if l.free&sel == 0 {
-					res.Blocked++ // ack race lost (backward locking)
-					// Unlock the hops this ack already claimed (above the
-					// failure point) and tell the source to retry; nothing
-					// below this hop was ever locked.
-					if e.hop+1 < len(st.links) {
-						push(e.time+hopDelay, evAbortHop, e.msg, e.hop+1)
-					}
-					push(e.time+(e.hop+1)*hopDelay+d.backoff(st.attempts, e.msg), evStart, e.msg, 0)
-					continue
-				}
-				l.free &^= sel
-				st.locked[e.hop] = sel
-				st.lockTime[e.hop] = e.time
-			} else {
-				// Release the locked-but-not-selected channels of this
-				// hop; the selected channel stays allocated to the
-				// circuit.
-				released := st.locked[e.hop] &^ sel
-				l.free |= released
-				res.WastedChannelSlots += (e.time - st.lockTime[e.hop]) * bits.OnesCount64(released)
-				st.locked[e.hop] = sel
-			}
-			if e.hop == 0 {
-				// Ack reached the source: transmit. Under TDM one flit
-				// completes in the circuit's slot of every frame; under
-				// WDM the circuit owns a full-rate wavelength.
-				var finish int
-				if d.Params.Mode == WDM {
-					finish = e.time + st.flits
-				} else {
-					first := align(e.time, st.slot, k)
-					finish = first + 1 + (st.flits-1)*k
-				}
-				push(finish, evDataDone, e.msg, 0)
-			} else {
-				push(e.time+hopDelay, evAckHop, e.msg, e.hop-1)
-			}
-
-		case evDataDone:
-			st.done = true
-			st.finish = e.time
-			res.UsefulChannelSlots += st.flits * len(st.links)
-			res.Finish[e.msg] = e.time
-			if e.time > res.Time {
-				res.Time = e.time
-			}
-			remaining--
-			// Free the circuit hop by hop and let the source proceed with
-			// its next message.
-			push(e.time+hopDelay, evRelHop, e.msg, 0)
-			startNext(e.time, e.msg)
-
-		case evRelHop:
-			l := &links[st.links[e.hop]]
-			l.free |= st.locked[e.hop]
-			res.HeldChannelSlots += (e.time - st.lockTime[e.hop]) * bits.OnesCount64(st.locked[e.hop])
-			st.locked[e.hop] = 0
-			if e.hop < len(st.links)-1 {
-				push(e.time+hopDelay, evRelHop, e.msg, e.hop+1)
-			}
-
-		case evAbortHop:
-			l := &links[st.links[e.hop]]
-			l.free |= st.locked[e.hop]
-			res.WastedChannelSlots += (e.time - st.lockTime[e.hop]) * bits.OnesCount64(st.locked[e.hop])
-			st.locked[e.hop] = 0
-			if e.hop < len(st.links)-1 {
-				push(e.time+hopDelay, evAbortHop, e.msg, e.hop+1)
-			}
-		}
-	}
-	if remaining != 0 {
-		return nil, fmt.Errorf("sim: %d messages never completed (internal error)", remaining)
-	}
-	// Conservation invariant: after every circuit is torn down, every
-	// virtual channel of every link must be free again. A leak here would
-	// mean the protocol lost track of a lock.
-	for i := range links {
-		if links[i].free != fullMask {
-			return nil, fmt.Errorf("sim: link %d leaked channels (free mask %b, want %b)",
-				i, links[i].free, fullMask)
-		}
-	}
-	return res, nil
+	return s.Run(msgs)
 }
 
 // backoff computes the retry delay for a message's k-th attempt: a growing
@@ -384,12 +91,12 @@ func (d Dynamic) Run(msgs []Message) (*DynamicResult, error) {
 // colliding reservations that retry in lockstep would otherwise collide
 // forever (livelock), which dense patterns such as the P3M 26-neighbor
 // exchange trigger reliably.
-func (d Dynamic) backoff(attempts, msg int) int {
+func backoff(base, attempts, msg int) int {
 	step := attempts
 	if step > 8 {
 		step = 8
 	}
-	window := d.Params.RetryBackoff * step
+	window := base * step
 	h := uint64(msg)*0x9E3779B97F4A7C15 + uint64(attempts)*0xff51afd7ed558ccd
 	h ^= h >> 33
 	h *= 0xc4ceb9fe1a85ec53
@@ -402,13 +109,4 @@ func align(start, slot, k int) int {
 	r := start % k
 	d := (slot - r + k) % k
 	return start + d
-}
-
-func lowestBit(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }

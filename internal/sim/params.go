@@ -123,7 +123,13 @@ func DefaultParams(degree int) Params {
 	}
 }
 
-func (p Params) validate() error {
+// Validate checks the parameters for the nonsensical values that would
+// otherwise surface only as a silent timeout or an endless run (zero slot
+// lengths, non-positive control latency, MaxTime < 1, degrees outside the
+// 64-slot register model). Every error names the offending parameter and
+// its value. NewSimulator and Dynamic.Run call it; construction-time
+// callers can invoke it directly to fail fast.
+func (p Params) Validate() error {
 	if p.Degree < 1 {
 		return fmt.Errorf("sim: multiplexing degree %d < 1", p.Degree)
 	}

@@ -1,0 +1,68 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestParamsValidate is the table-driven contract for the exported
+// validator: every nonsensical parameter is rejected with an error that
+// names it, and the documented defaults pass at every legal degree.
+func TestParamsValidate(t *testing.T) {
+	base := sim.DefaultParams(4)
+	mutate := func(f func(*sim.Params)) sim.Params {
+		p := base
+		f(&p)
+		return p
+	}
+	cases := []struct {
+		name    string
+		params  sim.Params
+		wantErr string // substring of the error; empty means valid
+	}{
+		{"defaults", base, ""},
+		{"degree-1", sim.DefaultParams(1), ""},
+		{"degree-64", sim.DefaultParams(64), ""},
+		{"wdm", mutate(func(p *sim.Params) { p.Mode = sim.WDM }), ""},
+		{"backward", mutate(func(p *sim.Params) { p.Reservation = sim.LockBackward }), ""},
+
+		{"zero-degree", mutate(func(p *sim.Params) { p.Degree = 0 }), "degree"},
+		{"negative-degree", mutate(func(p *sim.Params) { p.Degree = -3 }), "degree"},
+		{"degree-overflows-register", mutate(func(p *sim.Params) { p.Degree = 65 }), "64-slot register"},
+		{"zero-hop-delay", mutate(func(p *sim.Params) { p.CtlHopDelay = 0 }), "hop delay"},
+		{"negative-hop-delay", mutate(func(p *sim.Params) { p.CtlHopDelay = -8 }), "hop delay"},
+		{"zero-backoff", mutate(func(p *sim.Params) { p.RetryBackoff = 0 }), "backoff"},
+		{"negative-backoff", mutate(func(p *sim.Params) { p.RetryBackoff = -1 }), "backoff"},
+		{"zero-max-time", mutate(func(p *sim.Params) { p.MaxTime = 0 }), "max time"},
+		{"negative-max-time", mutate(func(p *sim.Params) { p.MaxTime = -50 }), "max time"},
+		{"unknown-mode", mutate(func(p *sim.Params) { p.Mode = sim.Mode(9) }), "mode"},
+		{"unknown-scheme", mutate(func(p *sim.Params) { p.Reservation = sim.ReservationScheme(9) }), "reservation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.params.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted %+v", tc.params)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not name the parameter (want substring %q)", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNewSimulatorRejectsBadInputs: construction surfaces the same
+// validation, plus the nil-topology case.
+func TestNewSimulatorRejectsBadInputs(t *testing.T) {
+	if _, err := sim.NewSimulator(nil, sim.DefaultParams(1)); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
