@@ -22,7 +22,9 @@ import (
 	"runtime"
 	"text/tabwriter"
 
+	"repro/internal/fault"
 	"repro/internal/network"
+	"repro/internal/patterns"
 	"repro/internal/perf"
 	"repro/internal/request"
 	"repro/internal/schedule"
@@ -104,6 +106,29 @@ func main() {
 	cs := sim.NewCompiledSim()
 	var out sim.CompiledResult
 	check(report.Run("compiled/ring64", func() error { return cs.RunInto(sched, ring32, sim.TDM, &out) }))
+
+	// Recompile-after-failure: the host-side reaction to a link failure —
+	// mask the dead links, reschedule the surviving traffic, lower it to
+	// switch programs and verify the light trace. Each iteration builds a
+	// fresh masked view, so the routes are recomputed cold, as they would
+	// be for a failure the compiler has never seen.
+	hyper, err := patterns.Hypercube(64)
+	check(err)
+	failset := fault.SetOf(fault.RandomLinkPlan(torus, 1996, 6, 0))
+	check(report.Run("fault/recompile/hypercube64", func() error {
+		_, _, err := fault.Recompile(fault.NewMasked(torus, failset), hyper, nil)
+		return err
+	}))
+
+	// Dynamic control under fault injection on a reused simulator: the
+	// mid-run teardown/reroute machinery on top of the ring workload.
+	{
+		s, err := sim.NewSimulator(torus, sim.DefaultParams(2))
+		check(err)
+		plan := fault.SimPlan(torus, fault.RandomLinkPlan(torus, 7, 4, 50))
+		var res sim.DynamicResult
+		check(report.Run("fault/dynamic/ring64/K=2", func() error { return s.RunFaulted(ring, plan, &res) }))
+	}
 
 	// Sweep wall clock: 16 open-loop trials, serial vs the full pool. Quick
 	// mode shrinks the trial count; the JSON records whichever ran.

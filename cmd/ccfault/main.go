@@ -1,0 +1,108 @@
+// Command ccfault prints the fault-degradation table: how compiled
+// communication and dynamic control degrade on the 8x8 time-multiplexed
+// torus as link failures accumulate mid-phase. The compiled side pays an
+// explicit recompile-and-reload stall per failure burst (optionally
+// overlapped with the predetermined AAPC fallback); the dynamic side pays
+// reservation aborts, reroutes over the surviving links, and outright
+// message loss when a pair is disconnected. The data comes from
+// internal/experiments.FaultTable; this command only renders it.
+//
+// Usage:
+//
+//	ccfault                          # default table: 1,2,4,8 link faults
+//	ccfault -faults 4,16,64 -trials 20
+//	ccfault -fallback -detect 64 -compile 256
+//	ccfault -alg combined -stride 5 -flits 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+var (
+	faultsFlag   = flag.String("faults", "1,2,4,8", "injected link-failure counts, one table row each")
+	trialsFlag   = flag.Int("trials", 50, "random fault plans averaged per row")
+	seedFlag     = flag.Int64("seed", 1996, "fault plan seed")
+	strideFlag   = flag.Int("stride", 9, "workload: shift-by-stride permutation")
+	flitsFlag    = flag.Int("flits", 32, "workload: flits per message")
+	degreeFlag   = flag.Int("degree", 0, "dynamic-control multiplexing degree (0 = match the healthy compiled degree)")
+	maxSlotFlag  = flag.Int("maxslot", 0, "latest fault-injection slot (0 = half the healthy compiled time)")
+	algFlag      = flag.String("alg", "coloring", "recompilation scheduler: greedy, coloring, aapc, combined")
+	detectFlag   = flag.Int("detect", 0, "failure-detection latency (slots)")
+	compileFlag  = flag.Int("compile", 0, "host recompilation time (slots)")
+	perSlotFlag  = flag.Int("reload-perslot", core.DefaultReconfigCost.PerSlot, "register reload cost per TDM slot of the recompiled schedule")
+	barrierFlag  = flag.Int("reload-barrier", core.DefaultReconfigCost.Barrier, "register reload synchronization barrier (slots)")
+	fallbackFlag = flag.Bool("fallback", false, "overlap recompilation stalls with the predetermined AAPC fallback")
+	workersFlag  = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the table is identical for any value")
+)
+
+func scheduler(name string) (schedule.Scheduler, error) {
+	for _, s := range experiments.Algorithms() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown scheduler %q (want greedy, coloring, aapc or combined)", name)
+}
+
+func main() {
+	flag.Parse()
+	counts, err := cliutil.ParseIntList(*faultsFlag)
+	usage(err)
+	for _, n := range counts {
+		if n < 1 {
+			usage(fmt.Errorf("fault count %d < 1", n))
+		}
+	}
+	alg, err := scheduler(*algFlag)
+	usage(err)
+
+	torus := topology.NewTorus(8, 8)
+	res, err := experiments.FaultTable(torus, experiments.FaultConfig{
+		FaultCounts: counts,
+		Trials:      *trialsFlag,
+		Seed:        *seedFlag,
+		Stride:      *strideFlag,
+		Flits:       *flitsFlag,
+		Degree:      *degreeFlag,
+		MaxSlot:     *maxSlotFlag,
+		Recovery: fault.Options{
+			Scheduler:    alg,
+			Reconfig:     core.ReconfigCost{PerSlot: *perSlotFlag, Barrier: *barrierFlag},
+			DetectSlots:  *detectFlag,
+			CompileSlots: *compileFlag,
+			Fallback:     *fallbackFlag,
+		},
+		Workers: *workersFlag,
+	})
+	check(err)
+
+	fmt.Printf("fault degradation on the 8x8 torus: shift-by-%d, %d flits, %d trials/row, scheduler %s\n",
+		*strideFlag, *flitsFlag, *trialsFlag, *algFlag)
+	fmt.Print(experiments.FormatFaultTable(res))
+}
+
+// usage rejects bad command-line input with exit status 2, matching the
+// other CLIs; check reports runtime failures with exit status 1.
+func usage(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccfault:", err)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccfault:", err)
+		os.Exit(1)
+	}
+}

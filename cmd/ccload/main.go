@@ -20,10 +20,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
-	"strings"
 	"text/tabwriter"
 
+	"repro/internal/cliutil"
 	"repro/internal/patterns"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -51,9 +50,9 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(w, "mean gap\toffered load\taapc fallback\tdyn fwd\tdyn bwd\t")
-	for _, part := range strings.Split(*gapsFlag, ",") {
-		gap, err := strconv.Atoi(strings.TrimSpace(part))
-		check(err)
+	gaps, err := cliutil.ParseIntList(*gapsFlag)
+	check(err)
+	for _, gap := range gaps {
 		rng := rand.New(rand.NewSource(*seedFlag))
 		msgs, err := sim.OpenLoop(rng, sim.OpenLoopConfig{
 			Nodes: 64, MessagesPerNode: *messagesFlag, Flits: *flitsFlag, MeanGap: gap,

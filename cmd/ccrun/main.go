@@ -17,11 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"text/tabwriter"
 
 	"repro/internal/apps"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -101,14 +100,8 @@ func run(path string) {
 	prog, err := doc.Program()
 	check(err)
 
-	var fixed []int
-	if *degreesFlag != "" {
-		for _, part := range strings.Split(*degreesFlag, ",") {
-			k, err := strconv.Atoi(strings.TrimSpace(part))
-			check(err)
-			fixed = append(fixed, k)
-		}
-	}
+	fixed, err := cliutil.ParseIntList(*degreesFlag)
+	check(err)
 
 	// The 8x8 torus hosts 64 PEs; reject traces for other machine sizes.
 	if doc.PEs != 64 {

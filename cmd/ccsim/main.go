@@ -16,10 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"text/tabwriter"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -36,12 +35,8 @@ var (
 
 func main() {
 	flag.Parse()
-	var fixed []int
-	for _, part := range strings.Split(*degreesFlag, ",") {
-		k, err := strconv.Atoi(strings.TrimSpace(part))
-		check(err)
-		fixed = append(fixed, k)
-	}
+	fixed, err := cliutil.ParseIntList(*degreesFlag)
+	check(err)
 	params := func(k int) sim.Params {
 		p := sim.DefaultParams(k)
 		p.CtlHopDelay = *hopFlag

@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/network"
 	"repro/internal/patterns"
 	"repro/internal/request"
@@ -67,15 +67,15 @@ func main() {
 			slots = append(slots, 1)
 		}
 	} else {
-		for _, part := range strings.Split(*slotsFlag, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			check(err)
+		parsed, err := cliutil.ParseIntList(*slotsFlag)
+		check(err)
+		for _, v := range parsed {
 			if v < 0 || v >= res.Degree() {
 				fmt.Fprintf(os.Stderr, "ccviz: slot %d outside degree %d\n", v, res.Degree())
 				os.Exit(2)
 			}
-			slots = append(slots, v)
 		}
+		slots = parsed
 	}
 	for _, k := range slots {
 		fmt.Printf("\nslot %d: S = circuit source, D = destination, * = both, + = transit only, . = idle\n", k)

@@ -1,0 +1,30 @@
+// Package cliutil holds the small flag-parsing helpers the cmd/ tools
+// share, so list-valued flags behave identically everywhere.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseIntList parses a comma-separated integer list ("1,2, 5") into its
+// values, tolerating whitespace around each element. An empty (or
+// all-whitespace) string yields nil, so optional list flags can distinguish
+// "not given" from "given badly". Empty elements ("1,,2") are errors, as is
+// anything strconv.Atoi rejects; the error names the offending element.
+func ParseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for i, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: element %d of %q: %w", i+1, s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIntList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"", nil, false},
+		{"   ", nil, false},
+		{"5", []int{5}, false},
+		{"1,2,5", []int{1, 2, 5}, false},
+		{" 1 , 2 ,\t10", []int{1, 2, 10}, false},
+		{"-3,0,3", []int{-3, 0, 3}, false},
+		{"1,,2", nil, true},
+		{"1,2,", nil, true},
+		{"a,b", nil, true},
+		{"1.5", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseIntList(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseIntList(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseIntList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseIntList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -21,10 +21,12 @@ type ReconfigCost struct {
 // barrier.
 var DefaultReconfigCost = ReconfigCost{PerSlot: 1, Barrier: 16}
 
-// cost returns the slots needed to switch into a phase of the given degree.
-func (rc ReconfigCost) cost(degree int) int {
+// Cost returns the slots needed to switch into a phase of the given degree.
+func (rc ReconfigCost) Cost(degree int) int {
 	return rc.PerSlot*degree + rc.Barrier
 }
+
+func (rc ReconfigCost) cost(degree int) int { return rc.Cost(degree) }
 
 // IterationTime simulates one full iteration of the compiled program: each
 // phase pays its reconfiguration cost (registers + barrier) and then runs

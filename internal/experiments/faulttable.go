@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// FaultConfig parameterizes the fault-degradation sweep: how compiled
+// communication (recompile-and-reload) and dynamic control (retry and
+// reroute) degrade as link failures accumulate.
+type FaultConfig struct {
+	// FaultCounts lists the injected-failure counts, one table row each;
+	// nil means {1, 2, 4, 8}.
+	FaultCounts []int
+	// Trials is the number of random fault plans averaged per row; zero
+	// means 50.
+	Trials int
+	// Seed drives the fault-plan generator.
+	Seed int64
+	// Stride and Flits shape the workload: a shift-by-Stride permutation
+	// (every terminal sends Flits flits). Zeros mean 9 and 32.
+	Stride, Flits int
+	// Degree is the dynamic protocol's multiplexing degree; zero means the
+	// healthy compiled schedule's degree, so both sides multiplex alike.
+	Degree int
+	// MaxSlot is the latest injection slot; zero means half the healthy
+	// compiled phase time, so faults land mid-phase.
+	MaxSlot int
+	// Recovery configures the compiled side's recompilation path.
+	Recovery fault.Options
+	// Workers bounds the trial worker pool; zero means GOMAXPROCS. The
+	// results are identical for any value.
+	Workers int
+}
+
+// FaultRow is one row of the degradation table: trial means for one
+// injected-failure count.
+type FaultRow struct {
+	Faults int
+	Trials int
+
+	// Compiled side: recompile-and-reload recovery.
+	CompiledTotal  float64 // end-to-end slots including stalls
+	CompiledStall  float64 // detect + recompile + reload slots
+	CompiledDegree float64 // degraded multiplexing degree
+	CompiledLost   float64 // disconnected messages
+	FallbackFlits  float64 // flits the predetermined fallback moved
+
+	// Dynamic side: retries and reroutes on the thinned network.
+	DynamicTime     float64
+	DynamicAborts   float64 // attempts torn down by faults
+	DynamicRerouted float64
+	DynamicLost     float64
+	DynamicTimedOut int // trials that hit MaxTime (excluded from DynamicTime)
+}
+
+// FaultTableResult is the degradation table plus its healthy baselines.
+type FaultTableResult struct {
+	HealthyCompiled int // fault-free compiled phase slots
+	HealthyDegree   int
+	HealthyDynamic  int // fault-free dynamic protocol slots
+	DynamicDegree   int
+	Rows            []FaultRow
+}
+
+// FaultTable sweeps fault plans over one workload and reports, per
+// injected-failure count, the mean degradation of compiled recovery
+// (fault.RecoverCompiled) and of the dynamic protocol
+// (sim.Simulator.RunFaulted). Each trial derives its fault plan only from
+// (Seed, row, trial), so the table is byte-identical for any worker count.
+func FaultTable(t network.Topology, cfg FaultConfig) (*FaultTableResult, error) {
+	counts := cfg.FaultCounts
+	if counts == nil {
+		counts = []int{1, 2, 4, 8}
+	}
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 50
+	}
+	stride := cfg.Stride
+	if stride == 0 {
+		stride = 9
+	}
+	flits := cfg.Flits
+	if flits == 0 {
+		flits = 32
+	}
+	nodes := network.TerminalCount(t)
+	msgs := make([]sim.Message, nodes)
+	for i := range msgs {
+		msgs[i] = sim.Message{Src: i, Dst: (i + stride) % nodes, Flits: flits}
+	}
+
+	// Healthy baselines fix the defaults the sweep scales against.
+	base, err := fault.RecoverCompiled(t, msgs, nil, cfg.Recovery)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fault table baseline: %w", err)
+	}
+	degree := cfg.Degree
+	if degree == 0 {
+		degree = base.HealthyDegree
+	}
+	maxSlot := cfg.MaxSlot
+	if maxSlot == 0 {
+		maxSlot = base.HealthyTime / 2
+	}
+	dynBase, err := sim.Dynamic{Topology: t, Params: sim.DefaultParams(degree)}.Run(msgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fault table baseline: %w", err)
+	}
+	out := &FaultTableResult{
+		HealthyCompiled: base.HealthyTime,
+		HealthyDegree:   base.HealthyDegree,
+		HealthyDynamic:  dynBase.Time,
+		DynamicDegree:   degree,
+	}
+
+	type trialResult struct {
+		rec      *fault.Recovery
+		dyn      sim.DynamicResult
+		timedOut bool
+	}
+	for row, nf := range counts {
+		all, err := RunSweep(trials, cfg.Workers, sim.TrialSeed(cfg.Seed, row),
+			func(_ int, rng *rand.Rand) (trialResult, error) {
+				plan := fault.RandomLinkPlan(t, rng.Int63(), nf, maxSlot)
+				rec, err := fault.RecoverCompiled(t, msgs, plan, cfg.Recovery)
+				if err != nil {
+					return trialResult{}, err
+				}
+				s, err := sim.NewSimulator(t, sim.DefaultParams(degree))
+				if err != nil {
+					return trialResult{}, err
+				}
+				var dyn sim.DynamicResult
+				if err := s.RunFaulted(msgs, fault.SimPlan(t, plan), &dyn); err != nil {
+					return trialResult{}, err
+				}
+				dyn.Finish = nil // only aggregates are tabulated
+				return trialResult{rec: rec, dyn: dyn, timedOut: dyn.TimedOut}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		r := FaultRow{Faults: nf, Trials: trials}
+		dynOK := 0
+		for _, tr := range all {
+			r.CompiledTotal += float64(tr.rec.TotalTime)
+			r.CompiledStall += float64(tr.rec.StallSlots)
+			r.CompiledDegree += float64(tr.rec.DegradedDegree)
+			r.CompiledLost += float64(tr.rec.Lost)
+			r.FallbackFlits += float64(tr.rec.FallbackFlits)
+			r.DynamicAborts += float64(tr.dyn.FaultAborts)
+			r.DynamicRerouted += float64(tr.dyn.Rerouted)
+			r.DynamicLost += float64(tr.dyn.Lost)
+			if tr.timedOut {
+				r.DynamicTimedOut++
+			} else {
+				r.DynamicTime += float64(tr.dyn.Time)
+				dynOK++
+			}
+		}
+		n := float64(trials)
+		r.CompiledTotal /= n
+		r.CompiledStall /= n
+		r.CompiledDegree /= n
+		r.CompiledLost /= n
+		r.FallbackFlits /= n
+		r.DynamicAborts /= n
+		r.DynamicRerouted /= n
+		r.DynamicLost /= n
+		if dynOK > 0 {
+			r.DynamicTime /= float64(dynOK)
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, nil
+}
+
+// FormatFaultTable renders the degradation table the way cmd/ccfault prints
+// it. Rendering lives next to the sweep so the byte-identical-across-workers
+// guarantee can be asserted on the exact user-visible output.
+func FormatFaultTable(res *FaultTableResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "healthy: compiled %d slots (degree %d), dynamic %d slots (degree %d)\n\n",
+		res.HealthyCompiled, res.HealthyDegree, res.HealthyDynamic, res.DynamicDegree)
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "faults\tcompiled total\tstall\tdegree\tlost\tfallback flits\tdynamic time\taborts\trerouted\tlost\ttimeouts")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%d\n",
+			r.Faults, r.CompiledTotal, r.CompiledStall, r.CompiledDegree, r.CompiledLost,
+			r.FallbackFlits, r.DynamicTime, r.DynamicAborts, r.DynamicRerouted, r.DynamicLost,
+			r.DynamicTimedOut)
+	}
+	w.Flush()
+	return b.String()
+}

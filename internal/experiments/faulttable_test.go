@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/topology"
+)
+
+// TestFaultTableDeterministicAcrossWorkers pins the fault sweep's central
+// guarantee: the rendered degradation table is byte-identical whatever the
+// worker count (and, under -race, that the parallel sweep is clean).
+func TestFaultTableDeterministicAcrossWorkers(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	cfg := FaultConfig{
+		FaultCounts: []int{1, 3},
+		Trials:      6,
+		Seed:        7,
+		Stride:      3,
+		Flits:       8,
+		Recovery:    fault.Options{Fallback: true, DetectSlots: 16, CompileSlots: 64},
+	}
+	var tables []string
+	for _, workers := range []int{1, 4} {
+		cfg.Workers = workers
+		res, err := FaultTable(torus, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, FormatFaultTable(res))
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("degradation table depends on the worker count:\n--- workers=1\n%s--- workers=4\n%s", tables[0], tables[1])
+	}
+}
+
+func TestFaultTableShape(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	res, err := FaultTable(torus, FaultConfig{FaultCounts: []int{2}, Trials: 3, Seed: 1, Stride: 3, Flits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Faults != 2 || res.Rows[0].Trials != 3 {
+		t.Fatalf("table shape wrong: %+v", res)
+	}
+	if res.HealthyCompiled <= 0 || res.HealthyDynamic <= 0 || res.HealthyDegree <= 0 {
+		t.Fatalf("healthy baselines missing: %+v", res)
+	}
+	r := res.Rows[0]
+	if r.CompiledTotal < float64(res.HealthyCompiled) {
+		t.Fatalf("mean degraded time %.1f below healthy %d", r.CompiledTotal, res.HealthyCompiled)
+	}
+	if r.CompiledStall <= 0 {
+		t.Fatalf("no recovery stall recorded: %+v", r)
+	}
+}

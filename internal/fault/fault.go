@@ -1,0 +1,299 @@
+// Package fault is the failure subsystem of the compiled-communication
+// stack: it models link, node and per-channel failures, generates
+// deterministic seeded injection schedules, presents a fault-masked view of
+// any topology that the schedulers and the switch compiler can recompile
+// against unchanged, and quantifies the cost of recovering — the explicit
+// recompile-and-reload penalty the compiled approach pays for a network
+// change, versus the reservation failures and retries dynamic control pays.
+//
+// The standing critique of compiled communication is exactly that any
+// change to the network, including a failed fiber, invalidates the compiled
+// schedule. This package makes that trade-off measurable: RecoverCompiled
+// replays a phase up to the failure instant, recompiles the surviving
+// traffic on the masked topology (verified by light trace), optionally
+// overlaps the recompilation stall with the predetermined AAPC fallback
+// (the SWOT-style overlap), and reports degraded degree, lost messages and
+// recovery latency. internal/sim's RunFaulted is the dynamic-control
+// counterpart; internal/experiments.FaultTable sweeps both.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/network"
+)
+
+// Kind classifies a failure.
+type Kind int
+
+const (
+	// LinkFault takes down one directed inter-switch link (all channels).
+	LinkFault Kind = iota
+	// NodeFault takes down a whole switch: every link into or out of it,
+	// and any circuit originating or terminating at its PE.
+	NodeFault
+	// ChannelFault takes down a subset of one link's virtual channels (TDM
+	// slots or wavelengths); the link survives at reduced capacity.
+	ChannelFault
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkFault:
+		return "link"
+	case NodeFault:
+		return "node"
+	case ChannelFault:
+		return "channel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AllChannels is the channel mask denoting every virtual channel of a link.
+const AllChannels = ^uint64(0)
+
+// Event is one fail-at-slot-T injection: at slot Slot, the named resource
+// fails permanently. Events are the unit of deterministic fault schedules —
+// a []Event fully describes an experiment's failure history.
+type Event struct {
+	// Slot is the TDM slot at which the failure manifests.
+	Slot int
+	// Kind selects which of Link/Node/Channels below is meaningful.
+	Kind Kind
+	// Link is the failed link (LinkFault, ChannelFault).
+	Link network.LinkID
+	// Node is the failed switch (NodeFault).
+	Node network.NodeID
+	// Channels is the failed channel mask (ChannelFault); ignored otherwise.
+	Channels uint64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case NodeFault:
+		return fmt.Sprintf("slot %d: node %d fails", e.Slot, e.Node)
+	case ChannelFault:
+		return fmt.Sprintf("slot %d: link %d channels %#x fail", e.Slot, e.Link, e.Channels)
+	default:
+		return fmt.Sprintf("slot %d: link %d fails", e.Slot, e.Link)
+	}
+}
+
+// Set is an accumulated failure state: which links are fully down, which
+// nodes are down, and which channels of surviving links are down. The
+// zero-value Set is not usable; call NewSet.
+type Set struct {
+	links    map[network.LinkID]uint64 // failed channel mask; AllChannels = whole link
+	nodes    map[network.NodeID]bool
+	numLink  int // count of fully-failed links (cheap Empty/String)
+	numCh    int // count of partially-failed links
+	numNodes int
+}
+
+// NewSet returns an empty failure set.
+func NewSet() *Set {
+	return &Set{links: make(map[network.LinkID]uint64), nodes: make(map[network.NodeID]bool)}
+}
+
+// FailLink marks a whole link failed.
+func (s *Set) FailLink(l network.LinkID) {
+	if s.links[l] != AllChannels {
+		if _, partial := s.links[l]; partial {
+			s.numCh--
+		}
+		s.numLink++
+	}
+	s.links[l] = AllChannels
+}
+
+// FailChannels marks a subset of a link's channels failed. Accumulates with
+// earlier channel failures of the same link; a mask of AllChannels is a
+// whole-link failure.
+func (s *Set) FailChannels(l network.LinkID, mask uint64) {
+	if mask == 0 {
+		return
+	}
+	prev, had := s.links[l]
+	next := prev | mask
+	if next == AllChannels {
+		s.FailLink(l)
+		return
+	}
+	if !had {
+		s.numCh++
+	}
+	s.links[l] = next
+}
+
+// FailNode marks a switch failed.
+func (s *Set) FailNode(n network.NodeID) {
+	if !s.nodes[n] {
+		s.numNodes++
+	}
+	s.nodes[n] = true
+}
+
+// Apply folds one injection event into the set (ignoring its slot — a Set
+// is the state after every applied event has fired).
+func (s *Set) Apply(e Event) {
+	switch e.Kind {
+	case LinkFault:
+		s.FailLink(e.Link)
+	case NodeFault:
+		s.FailNode(e.Node)
+	case ChannelFault:
+		s.FailChannels(e.Link, e.Channels)
+	}
+}
+
+// SetOf builds the failure state after all the given events have fired.
+func SetOf(events []Event) *Set {
+	s := NewSet()
+	for _, e := range events {
+		s.Apply(e)
+	}
+	return s
+}
+
+// LinkFailed reports whether the link is fully down.
+func (s *Set) LinkFailed(l network.LinkID) bool { return s.links[l] == AllChannels }
+
+// FailedChannels returns the failed channel mask of a link (0 = healthy,
+// AllChannels = whole link down).
+func (s *Set) FailedChannels(l network.LinkID) uint64 { return s.links[l] }
+
+// NodeFailed reports whether the switch is down.
+func (s *Set) NodeFailed(n network.NodeID) bool { return s.nodes[n] }
+
+// Empty reports whether nothing has failed.
+func (s *Set) Empty() bool { return s.numLink == 0 && s.numCh == 0 && s.numNodes == 0 }
+
+// Blocks reports whether a link is unusable for routing: the link itself is
+// fully down or either endpoint switch is down. Partially-failed links
+// still route (at reduced capacity).
+func (s *Set) Blocks(li network.LinkInfo) bool {
+	return s.LinkFailed(li.ID) || s.nodes[li.From] || s.nodes[li.To]
+}
+
+// BlocksPath reports whether a circuit path crosses any failed resource:
+// a down endpoint switch, a down transit switch, or a fully-failed link.
+func (s *Set) BlocksPath(t network.Topology, p network.Path) bool {
+	if s.nodes[p.Src] || s.nodes[p.Dst] {
+		return true
+	}
+	for _, l := range p.Links {
+		if s.Blocks(t.Link(l)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	out := NewSet()
+	for l, m := range s.links {
+		out.links[l] = m
+	}
+	for n := range s.nodes {
+		out.nodes[n] = true
+	}
+	out.numLink, out.numCh, out.numNodes = s.numLink, s.numCh, s.numNodes
+	return out
+}
+
+// String summarizes the set deterministically (sorted resource ids).
+func (s *Set) String() string {
+	if s.Empty() {
+		return "no faults"
+	}
+	var parts []string
+	if s.numLink > 0 || s.numCh > 0 {
+		ids := make([]int, 0, len(s.links))
+		for l := range s.links {
+			ids = append(ids, int(l))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if m := s.links[network.LinkID(id)]; m == AllChannels {
+				parts = append(parts, fmt.Sprintf("L%d", id))
+			} else {
+				parts = append(parts, fmt.Sprintf("L%d/%#x", id, m))
+			}
+		}
+	}
+	if s.numNodes > 0 {
+		ids := make([]int, 0, len(s.nodes))
+		for n := range s.nodes {
+			ids = append(ids, int(n))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			parts = append(parts, fmt.Sprintf("N%d", id))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// splitmix64 is the SplitMix64 finalizer — the same mixing construction as
+// sim.TrialSeed, so fault schedules compose with the sweep engine's
+// decorrelated trial seeding.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// stream is a tiny deterministic SplitMix64 generator for injection plans.
+type stream struct{ state uint64 }
+
+func (s *stream) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return splitmix64(s.state)
+}
+
+// intn returns a uniform value in [0, n) from the stream.
+func (s *stream) intn(n int) int { return int(s.next() % uint64(n)) }
+
+// RandomLinkPlan derives a reproducible injection schedule from (topology,
+// seed): n distinct links, each failing at a slot uniform in [0, maxSlot].
+// The plan depends only on the arguments — never on scheduling, worker
+// count or call order — and is returned sorted by slot (ties by link id) so
+// it can be applied as a timeline.
+func RandomLinkPlan(t network.Topology, seed int64, n, maxSlot int) []Event {
+	nl := t.NumLinks()
+	if n > nl {
+		n = nl
+	}
+	if maxSlot < 0 {
+		maxSlot = 0
+	}
+	rng := &stream{state: uint64(seed)}
+	chosen := make(map[int]bool, n)
+	events := make([]Event, 0, n)
+	for len(events) < n {
+		l := rng.intn(nl)
+		if chosen[l] {
+			continue
+		}
+		chosen[l] = true
+		events = append(events, Event{
+			Slot: rng.intn(maxSlot + 1),
+			Kind: LinkFault,
+			Link: network.LinkID(l),
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Slot != events[j].Slot {
+			return events[i].Slot < events[j].Slot
+		}
+		return events[i].Link < events[j].Link
+	})
+	return events
+}

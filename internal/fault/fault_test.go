@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+func TestSetAccumulation(t *testing.T) {
+	s := NewSet()
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	s.FailChannels(3, 0b0011)
+	if s.LinkFailed(3) {
+		t.Fatal("partial channel failure reported as whole-link")
+	}
+	if got := s.FailedChannels(3); got != 0b0011 {
+		t.Fatalf("FailedChannels = %#x", got)
+	}
+	s.FailChannels(3, 0b0100)
+	if got := s.FailedChannels(3); got != 0b0111 {
+		t.Fatalf("accumulated FailedChannels = %#x", got)
+	}
+	s.FailLink(3)
+	if !s.LinkFailed(3) || s.FailedChannels(3) != AllChannels {
+		t.Fatal("FailLink did not promote to whole-link failure")
+	}
+	s.FailNode(7)
+	if !s.NodeFailed(7) || s.NodeFailed(8) {
+		t.Fatal("node failure state wrong")
+	}
+	if s.Empty() {
+		t.Fatal("non-empty set reports empty")
+	}
+	// FailChannels with the full mask is a whole-link failure.
+	s.FailChannels(9, AllChannels)
+	if !s.LinkFailed(9) {
+		t.Fatal("AllChannels mask did not fail the link")
+	}
+}
+
+func TestSetBlocks(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	s := NewSet()
+	s.FailNode(5)
+	for id := 0; id < torus.NumLinks(); id++ {
+		li := torus.Link(network.LinkID(id))
+		touches := li.From == 5 || li.To == 5
+		if s.Blocks(li) != touches {
+			t.Fatalf("link %d (%d->%d): Blocks = %v, want %v", id, li.From, li.To, s.Blocks(li), touches)
+		}
+	}
+	p, err := torus.Route(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSet()
+	s2.FailLink(p.Links[0])
+	if !s2.BlocksPath(torus, p) {
+		t.Fatal("path over failed link not blocked")
+	}
+	s3 := NewSet()
+	s3.FailChannels(p.Links[0], 1)
+	if s3.BlocksPath(torus, p) {
+		t.Fatal("partially-failed link should not block routing")
+	}
+}
+
+func TestSetCloneAndString(t *testing.T) {
+	s := NewSet()
+	s.FailLink(4)
+	s.FailChannels(2, 0b10)
+	s.FailNode(1)
+	c := s.Clone()
+	c.FailLink(8)
+	if s.LinkFailed(8) {
+		t.Fatal("clone aliases original")
+	}
+	if got, want := s.String(), "L2/0x2,L4,N1"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if NewSet().String() != "no faults" {
+		t.Fatal("empty-set String")
+	}
+}
+
+func TestRandomLinkPlanDeterministic(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	a := RandomLinkPlan(torus, 42, 6, 100)
+	b := RandomLinkPlan(torus, 42, 6, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical seeds differ:\n%v\n%v", a, b)
+	}
+	c := RandomLinkPlan(torus, 43, 6, 100)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the same plan")
+	}
+	if len(a) != 6 {
+		t.Fatalf("plan has %d events, want 6", len(a))
+	}
+	seen := map[network.LinkID]bool{}
+	last := -1
+	for _, e := range a {
+		if e.Kind != LinkFault {
+			t.Fatalf("unexpected kind %v", e.Kind)
+		}
+		if seen[e.Link] {
+			t.Fatalf("duplicate link %d", e.Link)
+		}
+		seen[e.Link] = true
+		if e.Slot < 0 || e.Slot > 100 {
+			t.Fatalf("slot %d outside [0, 100]", e.Slot)
+		}
+		if e.Slot < last {
+			t.Fatal("plan not sorted by slot")
+		}
+		last = e.Slot
+	}
+	// Requesting more faults than links clamps to the link count.
+	small := topology.NewTorus(2, 2)
+	if got := len(RandomLinkPlan(small, 1, 1000, 10)); got != small.NumLinks() {
+		t.Fatalf("clamped plan has %d events, want %d", got, small.NumLinks())
+	}
+}
+
+func TestSetOf(t *testing.T) {
+	events := []Event{
+		{Slot: 3, Kind: LinkFault, Link: 7},
+		{Slot: 5, Kind: NodeFault, Node: 2},
+		{Slot: 9, Kind: ChannelFault, Link: 11, Channels: 0b101},
+	}
+	s := SetOf(events)
+	if !s.LinkFailed(7) || !s.NodeFailed(2) || s.FailedChannels(11) != 0b101 {
+		t.Fatalf("SetOf state wrong: %s", s)
+	}
+}

@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func TestMaskedRouteHealthyPassthrough(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	m := NewMasked(torus, NewSet())
+	for _, pair := range [][2]int{{0, 1}, {0, 63}, {17, 42}} {
+		want, err := torus.Route(network.NodeID(pair[0]), network.NodeID(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Route(network.NodeID(pair[0]), network.NodeID(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Links) != len(want.Links) {
+			t.Fatalf("%v: masked route differs from base on a healthy network", pair)
+		}
+		for i := range want.Links {
+			if got.Links[i] != want.Links[i] {
+				t.Fatalf("%v: masked route differs at hop %d", pair, i)
+			}
+		}
+	}
+	if m.Name() != torus.Name() {
+		t.Fatalf("healthy mask renames topology: %q", m.Name())
+	}
+	if m.NumNodes() != torus.NumNodes() || m.NumLinks() != torus.NumLinks() {
+		t.Fatal("masked dimensions differ")
+	}
+}
+
+func TestMaskedRouteDetours(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	direct, err := torus.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSet()
+	s.FailLink(direct.Links[0])
+	m := NewMasked(torus, s)
+	p, err := m.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Validate(torus, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.Links {
+		if s.LinkFailed(l) {
+			t.Fatalf("masked route uses failed link %d", l)
+		}
+	}
+}
+
+func TestMaskedRouteFailedEndpoints(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	s := NewSet()
+	s.FailNode(9)
+	m := NewMasked(torus, s)
+	if _, err := m.Route(9, 0); !errors.Is(err, network.ErrNoRoute) {
+		t.Fatalf("route from failed node: %v", err)
+	}
+	if _, err := m.Route(0, 9); !errors.Is(err, network.ErrNoRoute) {
+		t.Fatalf("route to failed node: %v", err)
+	}
+	// Transit through the failed node must detour.
+	p, err := m.Route(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.Links {
+		li := torus.Link(l)
+		if li.From == 9 || li.To == 9 {
+			t.Fatalf("masked route transits failed node 9 via link %d", l)
+		}
+	}
+	// Structural errors keep their identity.
+	if _, err := m.Route(3, 3); !errors.Is(err, network.ErrSelfLoop) {
+		t.Fatalf("self loop: %v", err)
+	}
+	if _, err := m.Route(0, 999); !errors.Is(err, network.ErrBadNode) {
+		t.Fatalf("bad node: %v", err)
+	}
+}
+
+// TestMaskedSchedulable proves the scheduling stack runs unchanged on a
+// masked topology: a pattern scheduled on a degraded 8x8 torus validates
+// (conflict-freedom uses the masked routes) for every algorithm.
+func TestMaskedSchedulable(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	events := RandomLinkPlan(torus, 7, 5, 0)
+	m := NewMasked(torus, SetOf(events))
+	var reqs request.Set
+	for i := 0; i < 64; i++ {
+		reqs = append(reqs, request.Request{Src: network.NodeID(i), Dst: network.NodeID((i + 9) % 64)})
+	}
+	for _, sched := range []schedule.Scheduler{schedule.Greedy{}, schedule.Coloring{}, schedule.OrderedAAPC{}, schedule.Combined{}} {
+		res, err := sched.Schedule(m, reqs)
+		if err != nil {
+			t.Fatalf("%s on masked topology: %v", sched.Name(), err)
+		}
+		if err := res.Validate(reqs); err != nil {
+			t.Fatalf("%s schedule invalid on masked topology: %v", sched.Name(), err)
+		}
+		for _, cfg := range res.Configs {
+			for _, q := range cfg {
+				p, err := network.CachedRoute(m, q.Src, q.Dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Faults.BlocksPath(torus, p) {
+					t.Fatalf("%s scheduled %v over a failed resource", sched.Name(), q)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func shiftMsgs(n, stride, flits int) []sim.Message {
+	msgs := make([]sim.Message, n)
+	for i := 0; i < n; i++ {
+		msgs[i] = sim.Message{Src: i, Dst: (i + stride) % n, Flits: flits}
+	}
+	return msgs
+}
+
+func TestRecoverCompiledNoFaults(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	msgs := shiftMsgs(64, 9, 32)
+	rec, err := RecoverCompiled(torus, msgs, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalTime != rec.HealthyTime {
+		t.Fatalf("fault-free TotalTime %d != HealthyTime %d", rec.TotalTime, rec.HealthyTime)
+	}
+	if rec.Delivered != len(msgs) || rec.Lost != 0 || len(rec.Bursts) != 0 {
+		t.Fatalf("fault-free recovery off: %+v", rec)
+	}
+}
+
+// TestRecoverCompiledDelivery is the differential guarantee of the fault
+// subsystem: after link failures mid-phase, the recompiled network delivers
+// every message that still has a surviving route — only disconnected
+// messages may be written off.
+func TestRecoverCompiledDelivery(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	msgs := shiftMsgs(64, 9, 32)
+	plan := RandomLinkPlan(torus, 11, 8, 60)
+	rec, err := RecoverCompiled(torus, msgs, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := NewMasked(torus, SetOf(plan))
+	for i, m := range msgs {
+		_, rerr := masked.Route(network.NodeID(m.Src), network.NodeID(m.Dst))
+		deliverable := rerr == nil
+		if deliverable && rec.Finish[i] == 0 {
+			t.Fatalf("message %d (%d->%d) deliverable but never delivered", i, m.Src, m.Dst)
+		}
+		if !deliverable {
+			if !errors.Is(rerr, network.ErrNoRoute) {
+				t.Fatal(rerr)
+			}
+			if rec.Finish[i] != 0 {
+				t.Fatalf("message %d (%d->%d) has no surviving route but finished at %d", i, m.Src, m.Dst, rec.Finish[i])
+			}
+		}
+	}
+	if rec.Delivered+rec.Lost != len(msgs) {
+		t.Fatalf("Delivered %d + Lost %d != %d", rec.Delivered, rec.Lost, len(msgs))
+	}
+	if len(rec.Bursts) == 0 || rec.StallSlots == 0 {
+		t.Fatalf("faults mid-phase but no recovery episode recorded: %+v", rec)
+	}
+	if rec.TotalTime <= rec.HealthyTime {
+		t.Fatalf("degraded time %d not above healthy %d", rec.TotalTime, rec.HealthyTime)
+	}
+}
+
+func TestRecoverCompiledNodeLoss(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	msgs := shiftMsgs(64, 1, 16)
+	plan := []Event{{Slot: 5, Kind: NodeFault, Node: 27}}
+	rec, err := RecoverCompiled(torus, msgs, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the two messages touching the dead switch are lost (27->28
+	// and 26->27); the rest must be delivered.
+	if rec.Lost != 2 {
+		t.Fatalf("Lost = %d, want 2", rec.Lost)
+	}
+	for i := range msgs {
+		touches := msgs[i].Src == 27 || msgs[i].Dst == 27
+		if touches != (rec.Finish[i] == 0) {
+			t.Fatalf("message %d (%d->%d): finish %d", i, msgs[i].Src, msgs[i].Dst, rec.Finish[i])
+		}
+	}
+}
+
+func TestRecoverCompiledFallbackOverlap(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	msgs := shiftMsgs(64, 9, 32)
+	plan := RandomLinkPlan(torus, 3, 4, 40)
+	slow := Options{DetectSlots: 200, CompileSlots: 800}
+	without, err := RecoverCompiled(torus, msgs, plan, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.Fallback = true
+	with, err := RecoverCompiled(torus, msgs, plan, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.FallbackFlits == 0 {
+		t.Fatal("fallback enabled but served no flits")
+	}
+	if with.TotalTime > without.TotalTime {
+		t.Fatalf("fallback made recovery slower: %d > %d", with.TotalTime, without.TotalTime)
+	}
+	if with.Delivered < without.Delivered {
+		t.Fatalf("fallback lost deliveries: %d < %d", with.Delivered, without.Delivered)
+	}
+}
+
+func TestRecoverCompiledDeterministic(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	msgs := shiftMsgs(64, 9, 32)
+	plan := RandomLinkPlan(torus, 5, 6, 80)
+	a, err := RecoverCompiled(torus, msgs, plan, Options{Fallback: true, DetectSlots: 64, CompileSlots: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RecoverCompiled(torus, msgs, plan, Options{Fallback: true, DetectSlots: 64, CompileSlots: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical recoveries differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSimPlanExpansion(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	plan := []Event{
+		{Slot: 2, Kind: LinkFault, Link: 5},
+		{Slot: 4, Kind: ChannelFault, Link: 6, Channels: 0b11},
+		{Slot: 7, Kind: NodeFault, Node: 9},
+	}
+	evs := SimPlan(torus, plan)
+	var incident int
+	for id := 0; id < torus.NumLinks(); id++ {
+		li := torus.Link(network.LinkID(id))
+		if li.From == 9 || li.To == 9 {
+			incident++
+		}
+	}
+	if len(evs) != 2+incident {
+		t.Fatalf("expanded to %d events, want %d", len(evs), 2+incident)
+	}
+	if evs[0] != (sim.FaultEvent{Slot: 2, Link: 5}) {
+		t.Fatalf("link fault mangled: %+v", evs[0])
+	}
+	if evs[1] != (sim.FaultEvent{Slot: 4, Link: 6, Mask: 0b11}) {
+		t.Fatalf("channel fault mangled: %+v", evs[1])
+	}
+	for _, e := range evs[2:] {
+		li := torus.Link(e.Link)
+		if li.From != 9 && li.To != 9 {
+			t.Fatalf("node expansion includes unrelated link %d", e.Link)
+		}
+		if e.Slot != 7 || e.Mask != 0 {
+			t.Fatalf("node expansion event wrong: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package network
+
+import "fmt"
+
+// ErrNoRoute is returned when no path survives between two nodes — every
+// route from src to dst crosses an excluded (typically failed) link.
+var ErrNoRoute = fmt.Errorf("network: no surviving route")
+
+// BFSRoute computes a shortest path from src to dst using only the links
+// for which avoid returns false. It is the fallback router of the fault
+// subsystem: when a topology's deterministic compile-time route crosses a
+// failed link, BFSRoute finds a detour over the surviving fibers, so a
+// connection fails only when the failure set actually disconnects its
+// endpoints.
+//
+// The search is deterministic: links are relaxed in increasing LinkID order,
+// so for a fixed topology and avoid predicate every call returns the same
+// path. avoid == nil means no link is excluded (plain shortest path).
+//
+// BFSRoute builds the adjacency index on every call (O(links)); it is meant
+// for the recovery path, not for hot loops. Callers that reroute many pairs
+// against one failure set should wrap the topology in a masked view and use
+// CachedRoute.
+func BFSRoute(t Topology, src, dst NodeID, avoid func(LinkInfo) bool) (Path, error) {
+	n := t.NumNodes()
+	if int(src) < 0 || int(src) >= n || int(dst) < 0 || int(dst) >= n {
+		return Path{}, ErrBadNode
+	}
+	if src == dst {
+		return Path{}, ErrSelfLoop
+	}
+	// Outgoing links per node, in LinkID order (the loop below visits ids in
+	// increasing order, so each adjacency list is naturally sorted).
+	nl := t.NumLinks()
+	deg := make([]int32, n+1)
+	infos := make([]LinkInfo, nl)
+	use := make([]bool, nl)
+	for id := 0; id < nl; id++ {
+		li := t.Link(LinkID(id))
+		infos[id] = li
+		if avoid != nil && avoid(li) {
+			continue
+		}
+		use[id] = true
+		deg[li.From+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	adj := make([]int32, deg[n])
+	fill := make([]int32, n)
+	copy(fill, deg[:n])
+	for id := 0; id < nl; id++ {
+		if !use[id] {
+			continue
+		}
+		from := infos[id].From
+		adj[fill[from]] = int32(id)
+		fill[from]++
+	}
+
+	// Standard BFS; parent[v] is the link that first reached v.
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, src)
+	parent[src] = -2 // visited, no incoming link
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		if u == dst {
+			break
+		}
+		for _, id := range adj[deg[u]:deg[u+1]] {
+			v := infos[id].To
+			if parent[v] != -1 {
+				continue
+			}
+			parent[v] = id
+			queue = append(queue, v)
+		}
+	}
+	if parent[dst] == -1 {
+		return Path{}, fmt.Errorf("%w from %d to %d", ErrNoRoute, src, dst)
+	}
+	// Walk the parent chain backward and reverse.
+	var links []LinkID
+	for v := dst; v != src; {
+		id := parent[v]
+		links = append(links, LinkID(id))
+		v = infos[id].From
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return Path{Src: src, Dst: dst, Links: links}, nil
+}

@@ -1,0 +1,103 @@
+package network_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/topology"
+)
+
+func TestBFSRouteMatchesShortestDistance(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	for src := 0; src < 64; src += 7 {
+		for dst := 0; dst < 64; dst++ {
+			if src == dst {
+				continue
+			}
+			want, err := torus.Route(network.NodeID(src), network.NodeID(dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := network.BFSRoute(torus, network.NodeID(src), network.NodeID(dst), nil)
+			if err != nil {
+				t.Fatalf("BFSRoute(%d, %d): %v", src, dst, err)
+			}
+			if got.Len() != want.Len() {
+				t.Fatalf("BFSRoute(%d, %d) length %d, dimension-order route %d", src, dst, got.Len(), want.Len())
+			}
+			if err := network.Validate(torus, got); err != nil {
+				t.Fatalf("BFSRoute(%d, %d): %v", src, dst, err)
+			}
+		}
+	}
+}
+
+func TestBFSRouteAvoidsLinks(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	// Kill every link on the default route; BFS must find a detour that
+	// avoids all of them.
+	direct, err := torus.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := make(map[network.LinkID]bool, len(direct.Links))
+	for _, l := range direct.Links {
+		dead[l] = true
+	}
+	avoid := func(li network.LinkInfo) bool { return dead[li.ID] }
+	p, err := network.BFSRoute(torus, 0, 3, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.Validate(torus, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range p.Links {
+		if dead[l] {
+			t.Fatalf("detour uses avoided link %d", l)
+		}
+	}
+}
+
+func TestBFSRouteDeterministic(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	avoid := func(li network.LinkInfo) bool { return li.ID%5 == 0 }
+	a, err := network.BFSRoute(torus, 1, 50, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := network.BFSRoute(torus, 1, 50, avoid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Links) != len(b.Links) {
+			t.Fatalf("run %d: length %d != %d", i, len(b.Links), len(a.Links))
+		}
+		for j := range a.Links {
+			if a.Links[j] != b.Links[j] {
+				t.Fatalf("run %d: link %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBFSRouteDisconnected(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	// Sever every link touching node 5: no route can reach it.
+	avoid := func(li network.LinkInfo) bool { return li.From == 5 || li.To == 5 }
+	if _, err := network.BFSRoute(torus, 0, 5, avoid); !errors.Is(err, network.ErrNoRoute) {
+		t.Fatalf("got %v, want ErrNoRoute", err)
+	}
+	if _, err := network.BFSRoute(torus, 5, 0, avoid); !errors.Is(err, network.ErrNoRoute) {
+		t.Fatalf("got %v, want ErrNoRoute", err)
+	}
+	// Errors for bad endpoints keep their usual identity.
+	if _, err := network.BFSRoute(torus, 0, 99, nil); !errors.Is(err, network.ErrBadNode) {
+		t.Fatalf("got %v, want ErrBadNode", err)
+	}
+	if _, err := network.BFSRoute(torus, 3, 3, nil); !errors.Is(err, network.ErrSelfLoop) {
+		t.Fatalf("got %v, want ErrSelfLoop", err)
+	}
+}

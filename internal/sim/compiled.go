@@ -65,9 +65,46 @@ func grow(buf []int32, n int) []int32 {
 // RunInto is Run with a caller-owned result; out and every internal buffer
 // are reused across calls.
 func (cs *CompiledSim) RunInto(res *schedule.Result, msgs []Message, mode Mode, out *CompiledResult) error {
+	_, err := cs.runBounded(res, msgs, mode, -1, out)
+	return err
+}
+
+// RunUntil is RunInto stopped at the start of slot stop: only slots
+// 0..stop-1 execute. It returns the per-message flit counts still
+// undelivered when the clock hit stop (all zeros if the pattern finished
+// early); messages with remaining flits have Finish == 0. This is the
+// partial-progress primitive of fault recovery: a failure at slot T is
+// simulated by running the healthy schedule until T, recompiling, and
+// re-running the remainders on the degraded schedule.
+//
+// The returned slice is freshly allocated when any message is unfinished
+// (nil when the phase completed), so callers may keep it across further
+// runs of the engine.
+func (cs *CompiledSim) RunUntil(res *schedule.Result, msgs []Message, mode Mode, stop int, out *CompiledResult) ([]int, error) {
+	if stop < 0 {
+		return nil, fmt.Errorf("sim: negative stop slot %d", stop)
+	}
+	total, err := cs.runBounded(res, msgs, mode, stop, out)
+	if err != nil {
+		return nil, err
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	rem := make([]int, len(msgs))
+	for i := range msgs {
+		rem[i] = int(cs.remaining[i])
+	}
+	return rem, nil
+}
+
+// runBounded is the engine shared by RunInto (limit < 0: run to completion)
+// and RunUntil (limit >= 0: run slots [0, limit)). It returns the number of
+// flits still undelivered.
+func (cs *CompiledSim) runBounded(res *schedule.Result, msgs []Message, mode Mode, limit int, out *CompiledResult) (int, error) {
 	k := res.Degree()
 	if k == 0 {
-		return fmt.Errorf("sim: empty schedule")
+		return 0, fmt.Errorf("sim: empty schedule")
 	}
 
 	// Assign a dense circuit index to every distinct (src, dst) and count
@@ -80,14 +117,14 @@ func (cs *CompiledSim) RunInto(res *schedule.Result, msgs []Message, mode Mode, 
 	circuitOf := cs.counts // per message: its circuit
 	for i, m := range msgs {
 		if err := m.validate(); err != nil {
-			return err
+			return 0, err
 		}
 		r := request.Request{Src: nodeID(m.Src), Dst: nodeID(m.Dst)}
 		c, ok := cs.idx[r]
 		if !ok {
 			u, scheduled := res.Slot[r]
 			if !scheduled {
-				return fmt.Errorf("sim: message %d->%d has no circuit in the compiled schedule", m.Src, m.Dst)
+				return 0, fmt.Errorf("sim: message %d->%d has no circuit in the compiled schedule", m.Src, m.Dst)
 			}
 			c = int32(len(cs.slots))
 			cs.slots = append(cs.slots, int32(u))
@@ -186,7 +223,7 @@ func (cs *CompiledSim) RunInto(res *schedule.Result, msgs []Message, mode Mode, 
 	}
 	out.Degree = k
 	last := 0
-	for t := 0; total > 0; t++ {
+	for t := 0; total > 0 && (limit < 0 || t < limit); t++ {
 		group := cs.slotCirc[:len(cs.slots)]
 		if mode == TDM {
 			u := t % k
@@ -213,7 +250,7 @@ func (cs *CompiledSim) RunInto(res *schedule.Result, msgs []Message, mode Mode, 
 		}
 	}
 	out.Time = last
-	return nil
+	return total, nil
 }
 
 // RunCompiled simulates a communication phase under compiled communication

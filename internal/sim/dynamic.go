@@ -30,6 +30,16 @@ type DynamicResult struct {
 	// reservations and returned unused (forward locking reserves every
 	// free channel until the ack releases the non-selected ones).
 	WastedChannelSlots int
+	// Lost counts messages a fault disconnected for good: no path of
+	// surviving links joins their endpoints. Lost messages keep Finish == 0
+	// and do not count against TimedOut. Always 0 outside RunFaulted.
+	Lost int
+	// Rerouted counts fault-forced route changes: the deterministic route
+	// died under a message and a surviving detour was found.
+	Rerouted int
+	// FaultAborts counts in-flight attempts (reservation in progress or
+	// circuit transmitting) torn down by a fault.
+	FaultAborts int
 }
 
 // Efficiency returns the fraction of occupied channel-slots that carried

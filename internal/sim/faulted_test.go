@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+func faultParams() Params { return DefaultParams(2) }
+
+// routeOf returns the deterministic route the simulator will use.
+func routeOf(t *testing.T, top network.Topology, src, dst int) network.Path {
+	t.Helper()
+	p, err := top.Route(network.NodeID(src), network.NodeID(dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunFaultedEmptyMatchesRunInto(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	s, err := NewSimulator(torus, faultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{{Src: 0, Dst: 5, Flits: 8}, {Src: 3, Dst: 9, Flits: 4}, {Src: 0, Dst: 10, Flits: 2}}
+	var plain, faulted DynamicResult
+	if err := s.RunInto(msgs, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFaulted(msgs, nil, &faulted); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, faulted) {
+		t.Fatalf("fault-free RunFaulted differs from RunInto:\n%+v\n%+v", plain, faulted)
+	}
+}
+
+func TestRunFaultedReroutes(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	s, err := NewSimulator(torus, faultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := routeOf(t, torus, 0, 3)
+	msgs := []Message{{Src: 0, Dst: 3, Flits: 1000}}
+	// Kill the first link of the route mid-transmission.
+	faults := []FaultEvent{{Slot: 200, Link: direct.Links[0]}}
+	var res DynamicResult
+	if err := s.RunFaulted(msgs, faults, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Fatalf("lost %d messages on a connected network", res.Lost)
+	}
+	if res.Rerouted != 1 {
+		t.Fatalf("Rerouted = %d, want 1", res.Rerouted)
+	}
+	if res.FaultAborts != 1 {
+		t.Fatalf("FaultAborts = %d, want 1", res.FaultAborts)
+	}
+	if res.Finish[0] == 0 || res.TimedOut {
+		t.Fatalf("message not delivered after reroute: %+v", res)
+	}
+	// The detour is longer (or equal) and the restart costs time: delivery
+	// must be later than the healthy run's.
+	var healthy DynamicResult
+	if err := s.RunInto(msgs, &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish[0] <= healthy.Finish[0] {
+		t.Fatalf("faulted finish %d not after healthy finish %d", res.Finish[0], healthy.Finish[0])
+	}
+}
+
+func TestRunFaultedLostAndQueueSkip(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	s, err := NewSimulator(torus, faultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever node 5 from the network at slot 10: every incident link dies.
+	var faults []FaultEvent
+	for id := 0; id < torus.NumLinks(); id++ {
+		li := torus.Link(network.LinkID(id))
+		if li.From == 5 || li.To == 5 {
+			faults = append(faults, FaultEvent{Slot: 10, Link: li.ID})
+		}
+	}
+	// Source 0 queues a doomed message to 5 and then one to 10; the doomed
+	// one must be declared lost and the queue must move on.
+	msgs := []Message{
+		{Src: 0, Dst: 5, Flits: 500},
+		{Src: 0, Dst: 10, Flits: 5},
+	}
+	var res DynamicResult
+	if err := s.RunFaulted(msgs, faults, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 1 {
+		t.Fatalf("Lost = %d, want 1", res.Lost)
+	}
+	if res.Finish[0] != 0 {
+		t.Fatalf("lost message has finish time %d", res.Finish[0])
+	}
+	if res.Finish[1] == 0 || res.TimedOut {
+		t.Fatalf("queued successor of a lost message never delivered: %+v", res)
+	}
+}
+
+func TestRunFaultedWaitingMessageLost(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	s, err := NewSimulator(torus, faultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults []FaultEvent
+	for id := 0; id < torus.NumLinks(); id++ {
+		li := torus.Link(network.LinkID(id))
+		if li.From == 6 || li.To == 6 {
+			faults = append(faults, FaultEvent{Slot: 3, Link: li.ID})
+		}
+	}
+	// The doomed message is still queued behind a long one when its
+	// destination dies; it must be skipped, not started.
+	msgs := []Message{
+		{Src: 1, Dst: 2, Flits: 300},
+		{Src: 1, Dst: 6, Flits: 5},
+		{Src: 1, Dst: 13, Flits: 5},
+	}
+	var res DynamicResult
+	if err := s.RunFaulted(msgs, faults, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 1 || res.Finish[1] != 0 {
+		t.Fatalf("waiting doomed message: Lost=%d Finish=%v", res.Lost, res.Finish)
+	}
+	if res.Finish[0] == 0 || res.Finish[2] == 0 || res.TimedOut {
+		t.Fatalf("deliverable messages stalled: %+v", res)
+	}
+}
+
+func TestRunFaultedPartialChannel(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	s, err := NewSimulator(torus, faultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := routeOf(t, torus, 0, 1)
+	msgs := []Message{{Src: 0, Dst: 1, Flits: 400}}
+	// Channel 0 of the first link dies mid-flight; the circuit holds the
+	// lowest free channel, so it breaks and must re-reserve channel 1.
+	faults := []FaultEvent{{Slot: 50, Link: direct.Links[0], Mask: 1}}
+	var res DynamicResult
+	if err := s.RunFaulted(msgs, faults, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Rerouted != 0 {
+		t.Fatalf("partial channel fault should not lose or reroute: %+v", res)
+	}
+	if res.FaultAborts != 1 {
+		t.Fatalf("FaultAborts = %d, want 1", res.FaultAborts)
+	}
+	if res.Finish[0] == 0 || res.TimedOut {
+		t.Fatalf("message not delivered on the surviving channel: %+v", res)
+	}
+}
+
+func TestRunFaultedDeterministic(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	s, err := NewSimulator(torus, faultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []Message
+	for i := 0; i < 64; i++ {
+		msgs = append(msgs, Message{Src: i, Dst: (i + 9) % 64, Flits: 64})
+	}
+	var faults []FaultEvent
+	for _, l := range []network.LinkID{3, 40, 77, 120} {
+		faults = append(faults, FaultEvent{Slot: 30, Link: l})
+	}
+	var a, b DynamicResult
+	if err := s.RunFaulted(msgs, faults, &a); err != nil {
+		t.Fatal(err)
+	}
+	finishA := append([]int(nil), a.Finish...)
+	if err := s.RunFaulted(msgs, faults, &b); err != nil {
+		t.Fatal(err)
+	}
+	a.Finish = finishA
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical faulted runs differ:\n%+v\n%+v", a, b)
+	}
+	if a.FaultAborts == 0 && a.Rerouted == 0 {
+		t.Fatal("fault plan did not perturb the run; test is vacuous")
+	}
+}
+
+func TestRunFaultedBadFault(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	s, err := NewSimulator(torus, faultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{{Src: 0, Dst: 1, Flits: 1}}
+	var res DynamicResult
+	if err := s.RunFaulted(msgs, []FaultEvent{{Slot: 0, Link: 9999}}, &res); err == nil {
+		t.Fatal("out-of-range fault link accepted")
+	}
+	if err := s.RunFaulted(msgs, []FaultEvent{{Slot: -1, Link: 0}}, &res); err == nil {
+		t.Fatal("negative fault slot accepted")
+	}
+}
+
+func TestRunUntilPartialProgress(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	msgs := []Message{{Src: 0, Dst: 5, Flits: 10}, {Src: 3, Dst: 9, Flits: 2}}
+	sched, err := schedule.Combined{}.Schedule(torus, request.Set{{Src: 0, Dst: 5}, {Src: 3, Dst: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCompiledSim()
+	full, err := cs.Run(sched, msgs, TDM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop halfway: some flits must remain, and finished messages keep
+	// their full-run finish times.
+	var out CompiledResult
+	rem, err := cs.RunUntil(sched, msgs, TDM, full.Time/2, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem == nil {
+		t.Fatal("no remaining flits at half time")
+	}
+	totalRem := 0
+	for i, r := range rem {
+		if r < 0 || r > msgs[i].Flits {
+			t.Fatalf("remaining[%d] = %d out of range", i, r)
+		}
+		totalRem += r
+		if r == 0 && out.Finish[i] != full.Finish[i] {
+			t.Fatalf("finished message %d: bounded finish %d != full finish %d", i, out.Finish[i], full.Finish[i])
+		}
+		if r > 0 && out.Finish[i] != 0 {
+			t.Fatalf("unfinished message %d has finish %d", i, out.Finish[i])
+		}
+	}
+	if totalRem == 0 {
+		t.Fatal("rem returned but sums to zero")
+	}
+	// Stopping after the natural end is a no-op.
+	rem, err = cs.RunUntil(sched, msgs, TDM, full.Time+1, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem != nil {
+		t.Fatalf("remaining flits after the phase completed: %v", rem)
+	}
+	if out.Time != full.Time {
+		t.Fatalf("bounded Time %d != full Time %d", out.Time, full.Time)
+	}
+}

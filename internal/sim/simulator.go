@@ -16,22 +16,37 @@ const (
 	evDataDone        // last flit delivered at destination
 	evRelHop          // release packet frees hop i's channel
 	evAbortHop        // backward-reservation ack race lost: unlock hop i walking up
+	evFault           // a fault event fires (msg indexes the fault list, not a message)
+)
+
+// Message lifecycle states (simMsg.state). Waiting messages sit in their
+// source's FIFO with no events in flight; active ones have protocol events
+// pending; lost ones were disconnected by a fault and will never deliver.
+const (
+	stWaiting = iota
+	stActive
+	stDone
+	stLost
 )
 
 // event is one pending protocol action. Events order by (time, seq); seq is
 // the global push counter, so ties replay in insertion order and every run
-// of the same input is identical.
+// of the same input is identical. gen snapshots the message's generation at
+// push time: a fault that tears a message down bumps the generation, which
+// cancels every event the torn-down attempt still had in flight.
 type event struct {
 	time int
 	seq  int32
 	kind int32
 	msg  int32
 	hop  int32
+	gen  int32
 }
 
 // simMsg tracks one message through the protocol. The locked/lockTime
 // slices are windows into the Simulator's flat per-hop buffers; links
-// aliases the (immutable) cached route.
+// aliases the (immutable) cached route until a fault forces a reroute, after
+// which they are message-owned.
 type simMsg struct {
 	links    []network.LinkID
 	locked   []uint64
@@ -41,6 +56,8 @@ type simMsg struct {
 	attempts int
 	slot     int   // allocated TDM slot once acknowledged
 	next     int32 // next queued message of the same source; -1 at the tail
+	gen      int32 // bumped by fault teardown; stale events are discarded
+	state    int8  // stWaiting / stActive / stDone / stLost
 }
 
 // Simulator is a reusable engine for the dynamic-control protocol of
@@ -63,9 +80,10 @@ type Simulator struct {
 	linkTo   []int32
 
 	// Per-run state, reset at the top of RunInto.
-	links     []uint64 // free-channel mask per directed link
-	busyUntil []int    // per-switch control processor (ShadowQueuing only)
-	lastOf    []int32  // per-source FIFO tail while chaining messages
+	links      []uint64 // free-channel mask per directed link
+	busyUntil  []int    // per-switch control processor (ShadowQueuing only)
+	lastOf     []int32  // per-source FIFO tail while chaining messages
+	failedMask []uint64 // failed-channel mask per link; nil until RunFaulted
 
 	states   []simMsg
 	locked   []uint64 // flat per-hop lock masks, windowed into states
@@ -122,6 +140,11 @@ func (s *Simulator) Run(msgs []Message) (*DynamicResult, error) {
 // slice) is reset and reused, so a steady-state loop of RunInto calls on
 // one Simulator performs no heap allocation.
 func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
+	return s.run(msgs, nil, res)
+}
+
+// run is the shared engine behind RunInto and RunFaulted.
+func (s *Simulator) run(msgs []Message, faults []FaultEvent, res *DynamicResult) error {
 	k := s.params.Degree
 	hopDelay := s.params.CtlHopDelay
 	s.reset(len(msgs))
@@ -151,6 +174,8 @@ func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
 		st.attempts = 0
 		st.slot = 0
 		st.next = -1
+		st.gen = 0
+		st.state = stWaiting
 		totalHops += len(p.Links)
 	}
 	if cap(s.locked) < totalHops {
@@ -172,10 +197,32 @@ func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
 		off += n
 	}
 
+	// Faults go on the heap before any message event: a fault at slot T
+	// outranks every same-slot protocol action, so the failure is visible to
+	// everything that fires at T.
+	if len(faults) > 0 {
+		if len(s.failedMask) < len(s.links) {
+			s.failedMask = make([]uint64, len(s.links))
+		}
+		for i, f := range faults {
+			if int(f.Link) < 0 || int(f.Link) >= len(s.links) {
+				return fmt.Errorf("sim: fault %d: link %d out of range [0, %d)", i, f.Link, len(s.links))
+			}
+			if f.Slot < 0 {
+				return fmt.Errorf("sim: fault %d: negative slot %d", i, f.Slot)
+			}
+			if f.Slot > s.params.MaxTime {
+				continue // can never affect the run; skip to avoid a spurious timeout
+			}
+			s.push(f.Slot, evFault, int32(i), 0)
+		}
+	}
+
 	// Chain each source's messages into a FIFO (input order, the paper's
 	// single-queue head-of-line model) and kick off every head.
 	for i, m := range msgs {
 		if last := s.lastOf[m.Src]; last < 0 {
+			s.states[i].state = stActive
 			s.push(m.Start, evStart, int32(i), 0)
 		} else {
 			s.states[last].next = int32(i)
@@ -191,7 +238,14 @@ func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
 			res.Time = s.params.MaxTime
 			return nil
 		}
+		if e.kind == evFault {
+			s.applyFault(faults[e.msg], e.time, msgs, res, &remaining)
+			continue
+		}
 		st := &s.states[e.msg]
+		if e.gen != st.gen {
+			continue // this attempt was torn down by a fault
+		}
 		if s.busyUntil != nil {
 			switch e.kind {
 			case evResHop, evAckHop, evNackHop, evRelHop, evAbortHop:
@@ -246,7 +300,7 @@ func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
 
 		case evNackHop:
 			l := &s.links[st.links[e.hop]]
-			*l |= st.locked[e.hop]
+			*l |= s.alive(st.links[e.hop], st.locked[e.hop])
 			res.WastedChannelSlots += (e.time - st.lockTime[e.hop]) * bits.OnesCount64(st.locked[e.hop])
 			st.locked[e.hop] = 0
 			if e.hop == 0 {
@@ -281,7 +335,7 @@ func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
 				// hop; the selected channel stays allocated to the
 				// circuit.
 				released := st.locked[e.hop] &^ sel
-				*l |= released
+				*l |= s.alive(st.links[e.hop], released)
 				res.WastedChannelSlots += (e.time - st.lockTime[e.hop]) * bits.OnesCount64(released)
 				st.locked[e.hop] = sel
 			}
@@ -308,20 +362,15 @@ func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
 				res.Time = e.time
 			}
 			remaining--
+			st.state = stDone
 			// Free the circuit hop by hop and let the source proceed with
 			// its next message.
 			s.push(e.time+hopDelay, evRelHop, e.msg, 0)
-			if next := st.next; next >= 0 {
-				at := e.time
-				if msgs[next].Start > at {
-					at = msgs[next].Start
-				}
-				s.push(at, evStart, next, 0)
-			}
+			s.startSuccessor(st, e.time, msgs)
 
 		case evRelHop:
 			l := &s.links[st.links[e.hop]]
-			*l |= st.locked[e.hop]
+			*l |= s.alive(st.links[e.hop], st.locked[e.hop])
 			res.HeldChannelSlots += (e.time - st.lockTime[e.hop]) * bits.OnesCount64(st.locked[e.hop])
 			st.locked[e.hop] = 0
 			if int(e.hop) < len(st.links)-1 {
@@ -330,7 +379,7 @@ func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
 
 		case evAbortHop:
 			l := &s.links[st.links[e.hop]]
-			*l |= st.locked[e.hop]
+			*l |= s.alive(st.links[e.hop], st.locked[e.hop])
 			res.WastedChannelSlots += (e.time - st.lockTime[e.hop]) * bits.OnesCount64(st.locked[e.hop])
 			st.locked[e.hop] = 0
 			if int(e.hop) < len(st.links)-1 {
@@ -342,15 +391,46 @@ func (s *Simulator) RunInto(msgs []Message, res *DynamicResult) error {
 		return fmt.Errorf("sim: %d messages never completed (internal error)", remaining)
 	}
 	// Conservation invariant: after every circuit is torn down, every
-	// virtual channel of every link must be free again. A leak here would
-	// mean the protocol lost track of a lock.
+	// surviving virtual channel of every link must be free again. A leak
+	// here would mean the protocol lost track of a lock.
 	for i := range s.links {
-		if s.links[i] != s.fullMask {
+		want := s.fullMask
+		if s.failedMask != nil {
+			want &^= s.failedMask[i]
+		}
+		if s.links[i] != want {
 			return fmt.Errorf("sim: link %d leaked channels (free mask %b, want %b)",
-				i, s.links[i], s.fullMask)
+				i, s.links[i], want)
 		}
 	}
 	return nil
+}
+
+// alive masks out a link's failed channels from a lock mask being returned
+// to the free pool; failed channels simply vanish rather than becoming
+// allocatable again.
+func (s *Simulator) alive(l network.LinkID, mask uint64) uint64 {
+	if s.failedMask == nil {
+		return mask
+	}
+	return mask &^ s.failedMask[l]
+}
+
+// startSuccessor activates the next queued message of st's source FIFO,
+// skipping messages a fault has already declared lost.
+func (s *Simulator) startSuccessor(st *simMsg, at int, msgs []Message) {
+	next := st.next
+	for next >= 0 && s.states[next].state == stLost {
+		next = s.states[next].next
+	}
+	if next < 0 {
+		return
+	}
+	if msgs[next].Start > at {
+		at = msgs[next].Start
+	}
+	s.states[next].state = stActive
+	s.push(at, evStart, next, 0)
 }
 
 // reset restores the per-run arrays, pre-sizing the event heap from the
@@ -368,6 +448,9 @@ func (s *Simulator) reset(numMsgs int) {
 		for i := range s.busyUntil {
 			s.busyUntil[i] = 0
 		}
+	}
+	for i := range s.failedMask {
+		s.failedMask[i] = 0
 	}
 	if want := 2 * numMsgs; cap(s.heap) < want {
 		s.heap = make([]event, 0, want)
@@ -395,13 +478,20 @@ func resetResult(res *DynamicResult, numMsgs int) {
 	res.UsefulChannelSlots = 0
 	res.HeldChannelSlots = 0
 	res.WastedChannelSlots = 0
+	res.Lost = 0
+	res.Rerouted = 0
+	res.FaultAborts = 0
 }
 
 // push inserts an event into the 4-ary heap. A 4-ary layout halves the
 // tree depth of the binary heap.Interface version it replaced and, being
 // monomorphic, needs no interface boxing per event.
 func (s *Simulator) push(t, kind int, msg, hop int32) {
-	e := event{time: t, seq: s.seq, kind: int32(kind), msg: msg, hop: hop}
+	var gen int32
+	if kind != evFault {
+		gen = s.states[msg].gen
+	}
+	e := event{time: t, seq: s.seq, kind: int32(kind), msg: msg, hop: hop, gen: gen}
 	s.seq++
 	h := append(s.heap, e)
 	i := len(h) - 1

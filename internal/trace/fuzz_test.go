@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes through the trace reader. Invariants:
+// Read never panics, a document it accepts always passes Validate, converts
+// to a core.Program, and survives a Write/Read round trip unchanged (the
+// interchange format is self-consistent, not merely parseable).
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(`{"name":"p","pes":4,"phases":[{"name":"a","messages":[{"src":0,"dst":1,"flits":2}]}]}`))
+	f.Add([]byte(`{"name":"x","pes":64,"phases":[{"name":"ph","dynamic":true,"messages":[{"src":5,"dst":9,"flits":1,"start":3}]}]}`))
+	f.Add([]byte(`{"pes":2,"phases":[]}`))
+	f.Add([]byte(`{"name":"bad","pes":4,"phases":[{"name":"a","messages":[{"src":0,"dst":0,"flits":1}]}]}`))
+	f.Add([]byte(`{"name":"neg","pes":4,"phases":[{"name":"a","messages":[{"src":0,"dst":1,"flits":-1}]}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"name":"u","pes":4,"phases":[{"name":"a","messages":[{"src":0,"dst":1,"flits":2}]}],"extra":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := doc.Validate(); verr != nil {
+			t.Fatalf("Read accepted a document Validate rejects: %v", verr)
+		}
+		if _, perr := doc.Program(); perr != nil {
+			t.Fatalf("accepted document does not convert to a program: %v", perr)
+		}
+		var buf strings.Builder
+		if werr := Write(&buf, doc); werr != nil {
+			t.Fatalf("accepted document does not re-encode: %v", werr)
+		}
+		again, rerr := Read(strings.NewReader(buf.String()))
+		if rerr != nil {
+			t.Fatalf("round-tripped document rejected: %v\n%s", rerr, buf.String())
+		}
+		if !reflect.DeepEqual(doc, again) {
+			t.Fatalf("round trip changed the document:\n%#v\n%#v", doc, again)
+		}
+	})
+}
