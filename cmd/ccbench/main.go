@@ -14,22 +14,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"text/tabwriter"
 
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/patterns"
 	"repro/internal/perf"
 	"repro/internal/request"
 	"repro/internal/schedule"
+	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 var (
@@ -128,6 +134,42 @@ func main() {
 		plan := fault.SimPlan(torus, fault.RandomLinkPlan(torus, 7, 4, 50))
 		var res sim.DynamicResult
 		check(report.Run("fault/dynamic/ring64/K=2", func() error { return s.RunFaulted(ring, plan, &res) }))
+	}
+
+	// Serving layer: the compile daemon end to end over loopback HTTP — a
+	// cold compile (a fresh content key every iteration) vs a cache hit of
+	// the same artifact. The spread between the two is the amortization the
+	// content-addressed cache buys a long-running daemon.
+	{
+		svc, err := service.New(service.Config{Topology: torus})
+		check(err)
+		ts := httptest.NewServer(svc)
+		c := &client.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+		doc := trace.FromProgram(core.Program{
+			Name:   "ring64",
+			Phases: []core.Phase{{Name: "ring", Messages: ring}},
+		}, 64)
+		ctx := context.Background()
+		cold := 0
+		check(report.Run("service/compile-miss/ring64", func() error {
+			cold++
+			d := doc
+			d.Name = fmt.Sprintf("ring64-cold-%d", cold)
+			_, _, err := c.Compile(ctx, d, client.Options{})
+			return err
+		}))
+		if _, _, err := c.Compile(ctx, doc, client.Options{}); err != nil {
+			check(err)
+		}
+		check(report.Run("service/compile-hit/ring64", func() error {
+			resp, _, err := c.Compile(ctx, doc, client.Options{})
+			if err == nil && resp.Cache != service.CacheHit {
+				return fmt.Errorf("expected a cache hit, got %q", resp.Cache)
+			}
+			return err
+		}))
+		ts.Close()
+		svc.Close()
 	}
 
 	// Sweep wall clock: 16 open-loop trials, serial vs the full pool. Quick

@@ -46,12 +46,7 @@ var (
 )
 
 func scheduler(name string) (schedule.Scheduler, error) {
-	for _, s := range experiments.Algorithms() {
-		if s.Name() == name {
-			return s, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown scheduler %q (want greedy, coloring, aapc or combined)", name)
+	return cliutil.ParseScheduler(name)
 }
 
 func main() {

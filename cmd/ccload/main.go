@@ -1,6 +1,9 @@
-// Command ccload sweeps offered load with an open-loop random workload and
-// prints mean message latency under three ways of serving traffic that is
-// unknown at compile time:
+// Command ccload drives load at the compiled-communication stack, in one of
+// two modes.
+//
+// Sweep mode (default) sweeps offered load with an open-loop random workload
+// and prints mean message latency under three ways of serving traffic that
+// is unknown at compile time:
 //
 //   - the compiled AAPC fallback (the paper's section 3.3 strategy: a
 //     predetermined all-to-all configuration set gives every PE a slot to
@@ -9,24 +12,41 @@
 //   - dynamic path reservation with the backward (observe-then-lock)
 //     variant.
 //
+// Stress mode (-server URL) is an open-loop HTTP driver for a ccserved
+// daemon: it posts trace documents at a fixed rate, cycling through a
+// configurable number of distinct programs (distinct cache keys), and
+// reports latency percentiles, cache-state counts and 429 rejections.
+//
 // Usage:
 //
 //	ccload
-//	ccload -flits 4 -messages 30 -degree 5 -gaps 3200,1600,800,400,200
+//	ccload -flits 4 -messages 30 -degree 5 -gaps 3200,1600,800,400,200 -json
+//	ccload -server http://localhost:8080 -requests 200 -rate 100 -distinct 8 -verify
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"text/tabwriter"
+	"time"
 
+	"repro/internal/apps"
 	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/patterns"
 	"repro/internal/schedule"
+	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 var (
@@ -35,31 +55,50 @@ var (
 	degreeFlag   = flag.Int("degree", 10, "fixed multiplexing degree for dynamic control")
 	gapsFlag     = flag.String("gaps", "3200,1600,800,400,200", "mean inter-arrival gaps (slots), heaviest last")
 	seedFlag     = flag.Int64("seed", 2026, "workload seed")
+	jsonFlag     = flag.Bool("json", false, "emit results as JSON instead of a table")
+
+	serverFlag   = flag.String("server", "", "stress mode: base URL of a ccserved daemon")
+	requestsFlag = flag.Int("requests", 100, "stress mode: total requests to send")
+	rateFlag     = flag.Float64("rate", 50, "stress mode: offered request rate per second")
+	distinctFlag = flag.Int("distinct", 4, "stress mode: distinct programs (cache keys) to cycle through")
+	traceFlag    = flag.String("trace", "", "stress mode: trace file to post (default: built-in p3m-32 on 64 PEs)")
+	verifyFlag   = flag.Bool("verify", false, "stress mode: validate every returned schedule client-side")
 )
 
 func main() {
 	flag.Parse()
+	if *serverFlag != "" {
+		stress()
+		return
+	}
+	sweep()
+}
+
+// sweepPoint is one row of the sweep: one mean inter-arrival gap.
+type sweepPoint struct {
+	MeanGap     int     `json:"mean_gap"`
+	OfferedLoad float64 `json:"offered_load"`
+	// Latencies are mean slots per message; negative means the scheme
+	// saturated (simulation timed out).
+	AAPCFallback    float64 `json:"aapc_fallback"`
+	DynamicForward  float64 `json:"dynamic_forward"`
+	DynamicBackward float64 `json:"dynamic_backward"`
+}
+
+func sweep() {
 	torus := topology.NewTorus(8, 8)
 	fallback, err := schedule.OrderedAAPC{}.Schedule(torus, patterns.AllToAll(64))
 	check(err)
 
-	fmt.Printf("open-loop uniform traffic on the 8x8 torus: %d msgs/PE, %d flits each\n",
-		*messagesFlag, *flitsFlag)
-	fmt.Printf("compiled fallback degree %d; dynamic control fixed degree %d\n\n",
-		fallback.Degree(), *degreeFlag)
-
-	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(w, "mean gap\toffered load\taapc fallback\tdyn fwd\tdyn bwd\t")
 	gaps, err := cliutil.ParseIntList(*gapsFlag)
 	check(err)
+	var points []sweepPoint
 	for _, gap := range gaps {
 		rng := rand.New(rand.NewSource(*seedFlag))
 		msgs, err := sim.OpenLoop(rng, sim.OpenLoopConfig{
 			Nodes: 64, MessagesPerNode: *messagesFlag, Flits: *flitsFlag, MeanGap: gap,
 		})
 		check(err)
-		// Offered load: flits per slot per PE.
-		load := float64(*flitsFlag) / float64(gap)
 
 		comp, err := sim.RunCompiled(fallback, msgs)
 		check(err)
@@ -78,13 +117,209 @@ func main() {
 			check(err)
 			return l
 		}
-		fwd := lat(sim.LockForward)
-		bwd := lat(sim.LockBackward)
-		fmt.Fprintf(w, "%d\t%.4f\t%.1f\t%s\t%s\t\n", gap, load, compLat, cell(fwd), cell(bwd))
+		points = append(points, sweepPoint{
+			MeanGap: gap,
+			// Offered load: flits per slot per PE.
+			OfferedLoad:     float64(*flitsFlag) / float64(gap),
+			AAPCFallback:    compLat,
+			DynamicForward:  lat(sim.LockForward),
+			DynamicBackward: lat(sim.LockBackward),
+		})
+	}
+
+	if *jsonFlag {
+		out := struct {
+			Topology        string       `json:"topology"`
+			MessagesPerPE   int          `json:"messages_per_pe"`
+			Flits           int          `json:"flits"`
+			FallbackDegree  int          `json:"fallback_degree"`
+			DynamicDegree   int          `json:"dynamic_degree"`
+			Seed            int64        `json:"seed"`
+			Points          []sweepPoint `json:"points"`
+			SaturatedMarker float64      `json:"saturated_marker"`
+		}{
+			Topology: torus.Name(), MessagesPerPE: *messagesFlag, Flits: *flitsFlag,
+			FallbackDegree: fallback.Degree(), DynamicDegree: *degreeFlag, Seed: *seedFlag,
+			Points: points, SaturatedMarker: -1,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(out))
+		return
+	}
+
+	fmt.Printf("open-loop uniform traffic on the 8x8 torus: %d msgs/PE, %d flits each\n",
+		*messagesFlag, *flitsFlag)
+	fmt.Printf("compiled fallback degree %d; dynamic control fixed degree %d\n\n",
+		fallback.Degree(), *degreeFlag)
+	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "mean gap\toffered load\taapc fallback\tdyn fwd\tdyn bwd\t")
+	for _, p := range points {
+		fmt.Fprintf(w, "%d\t%.4f\t%.1f\t%s\t%s\t\n",
+			p.MeanGap, p.OfferedLoad, p.AAPCFallback, cell(p.DynamicForward), cell(p.DynamicBackward))
 	}
 	check(w.Flush())
 	fmt.Println("\nlatency in slots per message; the compiled fallback pays a constant")
 	fmt.Println("frame latency while reservation latency grows with offered load")
+}
+
+// stressReport is the stress driver's result document.
+type stressReport struct {
+	Server      string  `json:"server"`
+	Requests    int     `json:"requests"`
+	Distinct    int     `json:"distinct"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	DurationSec float64 `json:"duration_sec"`
+
+	OK        int `json:"ok"`
+	Misses    int `json:"misses"`
+	Hits      int `json:"hits"`
+	Coalesced int `json:"coalesced"`
+	Rejected  int `json:"rejected"` // 429s
+	Errors    int `json:"errors"`
+	Verified  int `json:"verified,omitempty"`
+
+	LatencyUsMean float64 `json:"latency_us_mean"`
+	LatencyUsP50  int     `json:"latency_us_p50"`
+	LatencyUsP95  int     `json:"latency_us_p95"`
+	LatencyUsP99  int     `json:"latency_us_p99"`
+	LatencyUsMax  int     `json:"latency_us_max"`
+}
+
+func stress() {
+	base := stressDoc()
+	// D distinct programs: the name participates in the content hash, so
+	// renaming the document is the cheapest way to mint distinct cache keys
+	// with identical compile cost.
+	docs := make([]trace.Document, *distinctFlag)
+	for i := range docs {
+		docs[i] = base
+		docs[i].Name = fmt.Sprintf("%s/stress-%d", base.Name, i)
+	}
+
+	c := &client.Client{BaseURL: *serverFlag}
+	type outcome struct {
+		state     string // cache state, "" on failure
+		rejected  bool
+		err       error
+		latencyUs int
+		verifyErr error
+	}
+	outcomes := make([]outcome, *requestsFlag)
+	interval := time.Duration(float64(time.Second) / *rateFlag)
+	var wg sync.WaitGroup
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	for i := 0; i < *requestsFlag; i++ {
+		if i > 0 {
+			<-ticker.C // open loop: fire on schedule, never wait for replies
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doc := docs[i%len(docs)]
+			t0 := time.Now()
+			resp, res, err := c.Compile(context.Background(), doc, client.Options{})
+			outcomes[i].latencyUs = int(time.Since(t0).Microseconds())
+			if err != nil {
+				var he *client.HTTPError
+				if errors.As(err, &he) && he.IsOverloaded() {
+					outcomes[i].rejected = true
+				} else {
+					outcomes[i].err = err
+				}
+				return
+			}
+			outcomes[i].state = resp.Cache
+			if *verifyFlag {
+				outcomes[i].verifyErr = client.Verify(doc, res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	ticker.Stop()
+	elapsed := time.Since(start)
+
+	rep := stressReport{
+		Server: *serverFlag, Requests: *requestsFlag, Distinct: *distinctFlag,
+		RatePerSec: *rateFlag, DurationSec: elapsed.Seconds(),
+	}
+	var latencies []int
+	for _, o := range outcomes {
+		switch {
+		case o.rejected:
+			rep.Rejected++
+		case o.err != nil:
+			rep.Errors++
+			fmt.Fprintln(os.Stderr, "ccload:", o.err)
+		default:
+			rep.OK++
+			latencies = append(latencies, o.latencyUs)
+			switch o.state {
+			case service.CacheMiss:
+				rep.Misses++
+			case service.CacheHit:
+				rep.Hits++
+			case service.CacheCoalesced:
+				rep.Coalesced++
+			}
+			if *verifyFlag {
+				if o.verifyErr != nil {
+					check(fmt.Errorf("schedule failed client-side validation: %w", o.verifyErr))
+				}
+				rep.Verified++
+			}
+		}
+	}
+	if len(latencies) > 0 {
+		s := stats.Summarize(latencies)
+		rep.LatencyUsMean = s.Mean
+		rep.LatencyUsMax = s.Max
+		rep.LatencyUsP50 = stats.Percentile(latencies, 50)
+		rep.LatencyUsP95 = stats.Percentile(latencies, 95)
+		rep.LatencyUsP99 = stats.Percentile(latencies, 99)
+	}
+	if rep.Errors > 0 {
+		defer os.Exit(1)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
+		return
+	}
+	fmt.Printf("%d requests to %s at %.0f/s over %.2fs (%d distinct programs)\n",
+		rep.Requests, rep.Server, rep.RatePerSec, rep.DurationSec, rep.Distinct)
+	fmt.Printf("  ok %d (miss %d, hit %d, coalesced %d)   429 %d   errors %d\n",
+		rep.OK, rep.Misses, rep.Hits, rep.Coalesced, rep.Rejected, rep.Errors)
+	if *verifyFlag {
+		fmt.Printf("  verified %d schedules client-side\n", rep.Verified)
+	}
+	if len(latencies) > 0 {
+		fmt.Printf("  latency µs: mean %.0f  p50 %d  p95 %d  p99 %d  max %d\n",
+			rep.LatencyUsMean, rep.LatencyUsP50, rep.LatencyUsP95, rep.LatencyUsP99, rep.LatencyUsMax)
+	}
+}
+
+// stressDoc loads -trace, or builds the p3m-32 workload on 64 PEs — the
+// same document `ccrun -emit p3m32` writes.
+func stressDoc() trace.Document {
+	if *traceFlag != "" {
+		f, err := os.Open(*traceFlag)
+		check(err)
+		defer f.Close()
+		doc, err := trace.Read(f)
+		check(err)
+		return doc
+	}
+	phases, err := apps.P3M(32)
+	check(err)
+	prog := core.Program{Name: "p3m-32"}
+	for _, ph := range phases {
+		prog.Phases = append(prog.Phases, core.Phase{Name: ph.Name, Messages: ph.Messages})
+	}
+	return trace.FromProgram(prog, 64)
 }
 
 func cell(v float64) string {

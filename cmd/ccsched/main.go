@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/network"
 	"repro/internal/patterns"
 	"repro/internal/request"
@@ -154,22 +155,12 @@ func buildPattern(nodes int) request.Set {
 }
 
 func buildScheduler() schedule.Scheduler {
-	switch *algFlag {
-	case "greedy":
-		return schedule.Greedy{}
-	case "coloring":
-		return schedule.Coloring{}
-	case "aapc":
-		return schedule.OrderedAAPC{}
-	case "combined":
-		return schedule.Combined{}
-	case "exact":
-		return schedule.Exact{}
-	default:
-		fmt.Fprintf(os.Stderr, "ccsched: unknown algorithm %q\n", *algFlag)
+	sch, err := cliutil.ParseScheduler(*algFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccsched: %v\n", err)
 		os.Exit(2)
-		return nil
 	}
+	return sch
 }
 
 func check(err error) {

@@ -1,0 +1,97 @@
+// Command ccserved is the compile daemon: an HTTP/JSON server that accepts
+// communication programs in the internal/trace format and serves compiled
+// TDM schedules with content-addressed caching, request coalescing and
+// admission control (internal/service).
+//
+// Usage:
+//
+//	ccserved -addr :8080
+//	ccserved -addr :8080 -topology torus-8x8 -alg combined -workers 4 -queue 64 -cache 256
+//	curl -s -XPOST --data-binary @prog.json http://localhost:8080/compile | jq .
+//
+// On SIGINT/SIGTERM the daemon drains: the listener stops accepting, queued
+// and running compiles finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/service"
+)
+
+var (
+	addrFlag     = flag.String("addr", ":8080", "listen address")
+	topologyFlag = flag.String("topology", "torus-8x8", "default network compiled against")
+	algFlag      = flag.String("alg", "combined", "default scheduling algorithm: combined, combined-seq, greedy, coloring, aapc, exact")
+	workersFlag  = flag.Int("workers", 0, "compile worker pool size (0 = GOMAXPROCS)")
+	queueFlag    = flag.Int("queue", 64, "admission queue depth; requests beyond workers+queue get 429")
+	cacheFlag    = flag.Int("cache", 256, "schedule cache entries (LRU)")
+	retryFlag    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 replies")
+	pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("ccserved: ")
+	log.SetFlags(log.LstdFlags)
+
+	topo, err := cliutil.ParseTopology(*topologyFlag)
+	check(err)
+	sched, err := cliutil.ParseScheduler(*algFlag)
+	check(err)
+
+	svc, err := service.New(service.Config{
+		Topology:     topo,
+		Scheduler:    sched,
+		Workers:      *workersFlag,
+		QueueDepth:   *queueFlag,
+		CacheEntries: *cacheFlag,
+		RetryAfter:   *retryFlag,
+		EnablePprof:  *pprofFlag,
+	})
+	check(err)
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	check(err)
+	srv := &http.Server{Handler: svc, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	log.Printf("serving %s with %s on %s", topo.Name(), sched.Name(), ln.Addr())
+
+	select {
+	case err := <-done:
+		check(err)
+	case <-ctx.Done():
+	}
+	log.Printf("draining (up to %s)...", *drainFlag)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	svc.Close()
+	log.Print("drained, bye")
+}
+
+func check(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ccserved:", err)
+		os.Exit(1)
+	}
+}

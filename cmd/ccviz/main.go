@@ -151,20 +151,12 @@ func buildPattern() request.Set {
 }
 
 func buildScheduler() schedule.Scheduler {
-	switch *algFlag {
-	case "greedy":
-		return schedule.Greedy{}
-	case "coloring":
-		return schedule.Coloring{}
-	case "aapc":
-		return schedule.OrderedAAPC{}
-	case "combined":
-		return schedule.Combined{}
-	default:
-		fmt.Fprintf(os.Stderr, "ccviz: unknown algorithm %q\n", *algFlag)
+	sch, err := cliutil.ParseScheduler(*algFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccviz: %v\n", err)
 		os.Exit(2)
-		return nil
 	}
+	return sch
 }
 
 func maxi(a, b int) int {

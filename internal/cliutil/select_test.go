@@ -1,0 +1,60 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestParseScheduler(t *testing.T) {
+	for name, want := range map[string]string{
+		"":             "combined",
+		"combined":     "combined",
+		"combined-seq": "combined",
+		"greedy":       "greedy",
+		"coloring":     "coloring",
+		"aapc":         "aapc",
+		"exact":        "exact",
+	} {
+		sch, err := ParseScheduler(name)
+		if err != nil {
+			t.Fatalf("ParseScheduler(%q): %v", name, err)
+		}
+		if sch.Name() != want {
+			t.Fatalf("ParseScheduler(%q).Name() = %q, want %q", name, sch.Name(), want)
+		}
+	}
+	if _, err := ParseScheduler("nope"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if c, _ := ParseScheduler("combined-seq"); !c.(schedule.Combined).Sequential {
+		t.Fatal("combined-seq not sequential")
+	}
+}
+
+func TestParseTopologyRoundTrip(t *testing.T) {
+	for _, name := range []string{
+		"torus-8x8", "mesh-4x4", "torus3d-4x4x4", "ring-16", "linear-8",
+		"hypercube-6", "omega-64",
+	} {
+		topo, err := ParseTopology(name)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", name, err)
+		}
+		if topo.Name() != name {
+			t.Fatalf("ParseTopology(%q).Name() = %q", name, topo.Name())
+		}
+	}
+}
+
+func TestParseTopologyRejects(t *testing.T) {
+	for _, name := range []string{
+		"", "torus", "torus-", "torus-8", "torus-8x8x8", "torus-1x8",
+		"mesh-8", "ring-2", "linear-1", "hypercube-0", "hypercube-21",
+		"omega-6", "omega-2", "klein-8", "torus-axb", "torus-8x-1",
+	} {
+		if _, err := ParseTopology(name); err == nil {
+			t.Fatalf("ParseTopology(%q) accepted", name)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package request
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Triple is one entry of a canonical communication pattern: a connection
+// from Src to Dst carrying Flits flits, optionally injected at slot Start
+// (zero for pure patterns with no traced timing). Triples are the unit the
+// content-addressed schedule cache hashes: a phase's message list reduced to
+// triples, canonically ordered, identifies the compiled artifact regardless
+// of the order a caller happened to enumerate its messages in.
+type Triple struct {
+	Src, Dst, Flits, Start int
+}
+
+// Triples converts the request set to unit-flit triples, the form PatternKey
+// hashes. Duplicate requests stay duplicated — the multiset is part of the
+// pattern's identity.
+func (s Set) Triples(flits int) []Triple {
+	out := make([]Triple, len(s))
+	for i, r := range s {
+		out[i] = Triple{Src: int(r.Src), Dst: int(r.Dst), Flits: flits}
+	}
+	return out
+}
+
+// CanonicalTriples returns a copy of the triples in canonical order: sorted
+// by (Src, Dst, Start, Flits). Two message lists that are permutations of
+// each other canonicalize identically, which is what makes PatternKey
+// independent of request order and of map iteration in any producer.
+func CanonicalTriples(ts []Triple) []Triple {
+	out := make([]Triple, len(ts))
+	copy(out, ts)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Flits < b.Flits
+	})
+	return out
+}
+
+// patternKeyDomain separates PatternKey digests from any other SHA-256 use;
+// bumping the version invalidates every persisted key on purpose.
+const patternKeyDomain = "ccomm-pattern-v1"
+
+// PatternKey returns the canonical content hash of a communication pattern:
+// a hex SHA-256 over the canonically ordered triples, the topology name,
+// and any extra parameters that select a different compiled artifact
+// (scheduler name, fault mask, phase attributes). The encoding is
+// injective — every field is length- or count-prefixed — so two inputs
+// collide only if SHA-256 itself collides, and the triple ordering is
+// canonicalized first, so the key never depends on request order.
+func PatternKey(triples []Triple, topology string, params ...string) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	writeStr(patternKeyDomain)
+	writeStr(topology)
+	writeInt(len(params))
+	for _, p := range params {
+		writeStr(p)
+	}
+	canon := CanonicalTriples(triples)
+	writeInt(len(canon))
+	for _, t := range canon {
+		writeInt(t.Src)
+		writeInt(t.Dst)
+		writeInt(t.Flits)
+		writeInt(t.Start)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

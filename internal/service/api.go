@@ -1,0 +1,125 @@
+package service
+
+import (
+	"encoding/json"
+
+	"repro/internal/stats"
+)
+
+// This file defines the JSON wire contract of the compile service. The
+// request body of /compile and /recompile is a plain internal/trace
+// Document — the same file a user feeds ccrun — so `curl --data-binary
+// @prog.json /compile` works with no wrapping. Everything else rides in
+// query parameters: topology, alg, and (for /recompile) the fault mask.
+
+// Pair is one scheduled connection, serialized compactly as [src, dst].
+type Pair [2]int
+
+// PhaseResult is the compiled artifact of one phase.
+type PhaseResult struct {
+	Name    string `json:"name"`
+	Dynamic bool   `json:"dynamic,omitempty"`
+	// Fallback marks a phase served by the predetermined AAPC configuration
+	// set rather than a pattern-specific schedule.
+	Fallback  bool   `json:"fallback,omitempty"`
+	Algorithm string `json:"algorithm"`
+	Degree    int    `json:"degree"`
+	// PredictedSlots is the simulated communication time of the phase's
+	// messages on the compiled schedule (excluding reconfiguration).
+	PredictedSlots int `json:"predicted_slots"`
+	// Configs is the connection schedule: Configs[k] lists the circuits
+	// established during TDM slot k of every frame.
+	Configs [][]Pair `json:"configs"`
+}
+
+// FaultMask names the failed resources a /recompile request masks out.
+type FaultMask struct {
+	Links []int `json:"links,omitempty"`
+	Nodes []int `json:"nodes,omitempty"`
+}
+
+// Empty reports whether the mask fails nothing.
+func (m FaultMask) Empty() bool { return len(m.Links) == 0 && len(m.Nodes) == 0 }
+
+// Result is the full compiled communication plan for one trace document.
+type Result struct {
+	Program   string `json:"program"`
+	PEs       int    `json:"pes"`
+	Topology  string `json:"topology"`
+	Scheduler string `json:"scheduler"`
+	// Faults echoes the mask a /recompile applied; omitted for /compile.
+	Faults    *FaultMask `json:"faults,omitempty"`
+	MaxDegree int        `json:"max_degree"`
+	// Reconfigurations is the number of network reconfigurations one
+	// iteration of the program performs (one per phase boundary).
+	Reconfigurations int `json:"reconfigurations"`
+	// TotalSlots is the predicted communication time of one iteration
+	// including register reload and barrier costs.
+	TotalSlots int           `json:"total_slots"`
+	Phases     []PhaseResult `json:"phases"`
+}
+
+// Response is the envelope of /compile and /recompile replies. Result is
+// kept as raw JSON so a cache hit returns the byte-identical artifact the
+// cold compile produced.
+type Response struct {
+	// Key is the content hash the artifact is cached under.
+	Key string `json:"key"`
+	// Cache reports how the request was served: "miss" (this request
+	// compiled), "hit" (served from cache), or "coalesced" (shared an
+	// in-flight compile of the same key).
+	Cache  string          `json:"cache"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Cache states reported in Response.Cache.
+const (
+	CacheMiss      = "miss"
+	CacheHit       = "hit"
+	CacheCoalesced = "coalesced"
+)
+
+// ErrorBody is the JSON shape of every non-2xx reply.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// EndpointMetrics is the per-endpoint counter block of /metrics.
+type EndpointMetrics struct {
+	Requests  uint64 `json:"requests"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Rejected  uint64 `json:"rejected"`
+	Errors    uint64 `json:"errors"`
+	// LatencyUs is the end-to-end handler latency distribution in
+	// microseconds, successful requests only.
+	LatencyUs stats.HistSnapshot `json:"latency_us"`
+}
+
+// CacheMetrics reports the schedule cache's state.
+type CacheMetrics struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// QueueMetrics reports the worker pool's state.
+type QueueMetrics struct {
+	Workers  int   `json:"workers"`
+	Capacity int   `json:"capacity"`
+	Depth    int   `json:"depth"`
+	InFlight int64 `json:"in_flight"`
+}
+
+// MetricsSnapshot is the /metrics document.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Topology      string                     `json:"topology"`
+	Scheduler     string                     `json:"scheduler"`
+	Cache         CacheMetrics               `json:"cache"`
+	Queue         QueueMetrics               `json:"queue"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+}

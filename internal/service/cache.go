@@ -1,0 +1,76 @@
+package service
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// lruCache is the content-addressed schedule cache: a bounded
+// least-recently-used map from pattern key to the marshaled compile
+// artifact. Values are immutable json.RawMessage blobs, so a hit hands out
+// the exact bytes the cold compile produced and no copying is needed.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	val json.RawMessage
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// Get returns the cached artifact and bumps its recency.
+func (c *lruCache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add inserts (or refreshes) an artifact, evicting the least recently used
+// entry when over capacity.
+func (c *lruCache) Add(key string, val json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Metrics snapshots the cache counters.
+func (c *lruCache) Metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheMetrics{
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,247 @@
+// Package client is the Go client of the compile service (internal/service
+// + cmd/ccserved): typed Compile/Recompile/Metrics calls over HTTP, plus a
+// Verify helper that reconstructs the returned schedules and proves them
+// conflict-free with schedule.Result.Validate — the same check the
+// repository's own pipelines run on every schedule they produce.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/service"
+	"repro/internal/trace"
+)
+
+// Client talks to one compile daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil means a client with a 30s timeout.
+	HTTPClient *http.Client
+}
+
+// Options select per-request compile parameters; zero values use the
+// daemon's configured defaults.
+type Options struct {
+	// Topology overrides the daemon's default network, e.g. "torus-8x8".
+	Topology string
+	// Scheduler overrides the scheduling algorithm, e.g. "coloring".
+	Scheduler string
+}
+
+// HTTPError is a non-2xx reply, carrying the decoded error body and the
+// Retry-After hint of a 429.
+type HTTPError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// IsOverloaded reports whether the daemon rejected the request under
+// admission control (HTTP 429).
+func (e *HTTPError) IsOverloaded() bool { return e.Status == http.StatusTooManyRequests }
+
+// defaultHTTPClient is shared by every Client without an explicit transport,
+// so keep-alive connections are reused across calls.
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return defaultHTTPClient
+}
+
+// Compile posts a trace document to /compile.
+func (c *Client) Compile(ctx context.Context, doc trace.Document, opt Options) (*service.Response, *service.Result, error) {
+	return c.post(ctx, "/compile", doc, opt, nil)
+}
+
+// Recompile posts a trace document to /recompile with a fault mask.
+func (c *Client) Recompile(ctx context.Context, doc trace.Document, mask service.FaultMask, opt Options) (*service.Response, *service.Result, error) {
+	return c.post(ctx, "/recompile", doc, opt, &mask)
+}
+
+func (c *Client) post(ctx context.Context, path string, doc trace.Document, opt Options, mask *service.FaultMask) (*service.Response, *service.Result, error) {
+	var body bytes.Buffer
+	if err := trace.Write(&body, doc); err != nil {
+		return nil, nil, err
+	}
+	q := url.Values{}
+	if opt.Topology != "" {
+		q.Set("topology", opt.Topology)
+	}
+	if opt.Scheduler != "" {
+		q.Set("alg", opt.Scheduler)
+	}
+	if mask != nil {
+		if len(mask.Links) > 0 {
+			q.Set("links", intList(mask.Links))
+		}
+		if len(mask.Nodes) > 0 {
+			q.Set("nodes", intList(mask.Nodes))
+		}
+	}
+	u := strings.TrimSuffix(c.BaseURL, "/") + path
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, decodeError(resp, data)
+	}
+	var envelope service.Response
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		return nil, nil, fmt.Errorf("service: decoding response: %w", err)
+	}
+	var result service.Result
+	if err := json.Unmarshal(envelope.Result, &result); err != nil {
+		return nil, nil, fmt.Errorf("service: decoding result: %w", err)
+	}
+	return &envelope, &result, nil
+}
+
+// Metrics fetches /metrics.
+func (c *Client) Metrics(ctx context.Context) (*service.MetricsSnapshot, error) {
+	u := strings.TrimSuffix(c.BaseURL, "/") + "/metrics"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp, data)
+	}
+	var snap service.MetricsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("service: decoding metrics: %w", err)
+	}
+	return &snap, nil
+}
+
+func decodeError(resp *http.Response, data []byte) error {
+	he := &HTTPError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	var body service.ErrorBody
+	if err := json.Unmarshal(data, &body); err == nil && body.Error != "" {
+		he.Msg = body.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			he.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return he
+}
+
+func intList(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Verify proves a compile result correct against the trace that produced
+// it: it rebuilds the topology named in the result (applying the echoed
+// fault mask for recompile results), reconstructs every non-fallback
+// phase's schedule.Result, and runs Validate — every request scheduled
+// exactly once, no conflicting circuits in any slot. Fallback phases are
+// checked for coverage instead: every request of the phase must hold a slot
+// in the predetermined configuration set.
+func Verify(doc trace.Document, res *service.Result) error {
+	base, err := cliutil.ParseTopology(res.Topology)
+	if err != nil {
+		return fmt.Errorf("client: verify: %w", err)
+	}
+	var topo network.Topology = base
+	if res.Faults != nil && !res.Faults.Empty() {
+		set := fault.NewSet()
+		for _, l := range res.Faults.Links {
+			set.FailLink(network.LinkID(l))
+		}
+		for _, n := range res.Faults.Nodes {
+			set.FailNode(network.NodeID(n))
+		}
+		topo = fault.NewMasked(base, set)
+		defer network.InvalidateRoutes(topo)
+	}
+	if len(res.Phases) != len(doc.Phases) {
+		return fmt.Errorf("client: verify: result has %d phases, trace has %d", len(res.Phases), len(doc.Phases))
+	}
+	for i, ph := range res.Phases {
+		want := make(request.Set, 0, len(doc.Phases[i].Messages))
+		for _, m := range doc.Phases[i].Messages {
+			want = append(want, request.Request{Src: network.NodeID(m.Src), Dst: network.NodeID(m.Dst)})
+		}
+		want = want.Dedup()
+		configs := make([]request.Set, len(ph.Configs))
+		slot := make(map[request.Request]int)
+		for k, c := range ph.Configs {
+			configs[k] = make(request.Set, len(c))
+			for j, pair := range c {
+				q := request.Request{Src: network.NodeID(pair[0]), Dst: network.NodeID(pair[1])}
+				configs[k][j] = q
+				slot[q] = k
+			}
+		}
+		if ph.Fallback {
+			// The predetermined configuration set covers every pair; the
+			// phase's own requests must each hold a slot.
+			for _, q := range want {
+				if _, ok := slot[q]; !ok {
+					return fmt.Errorf("client: verify phase %q: fallback set has no slot for %v", ph.Name, q)
+				}
+			}
+			continue
+		}
+		rebuilt := &schedule.Result{
+			Algorithm: ph.Algorithm,
+			Topology:  topo,
+			Configs:   configs,
+			Slot:      slot,
+		}
+		if err := rebuilt.Validate(want); err != nil {
+			return fmt.Errorf("client: verify phase %q: %w", ph.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// flightGroup coalesces concurrent compiles of the same key: the first
+// caller (the leader) runs the function, every caller that arrives while it
+// is in flight blocks on the shared result instead of compiling again. This
+// is what turns a thundering herd of identical requests into exactly one
+// pipeline invocation.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	val     json.RawMessage
+	err     error
+	waiters int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per concurrent key and reports whether this caller led
+// the flight (leader == false means the result was coalesced).
+func (g *flightGroup) Do(key string, fn func() (json.RawMessage, error)) (val json.RawMessage, err error, leader bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, true
+}
+
+// waiters reports how many callers are currently blocked on the key's
+// in-flight compile (0 if none is in flight). Test instrumentation.
+func (g *flightGroup) waitersFor(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

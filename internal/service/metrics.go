@@ -1,0 +1,92 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// metricsState accumulates per-endpoint counters and latency histograms.
+// One mutex guards everything: observation is a handful of integer ops, and
+// the compile itself dominates any serving latency by orders of magnitude.
+type metricsState struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointState
+}
+
+type endpointState struct {
+	requests, hits, misses, coalesced, rejected, errors uint64
+
+	latency stats.Hist
+}
+
+func newMetricsState() *metricsState {
+	return &metricsState{start: time.Now(), endpoints: make(map[string]*endpointState)}
+}
+
+func (m *metricsState) endpoint(name string) *endpointState {
+	ep, ok := m.endpoints[name]
+	if !ok {
+		ep = &endpointState{}
+		m.endpoints[name] = ep
+	}
+	return ep
+}
+
+// observeSuccess records a served request and its cache state.
+func (m *metricsState) observeSuccess(endpoint, cacheState string, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoint(endpoint)
+	ep.requests++
+	switch cacheState {
+	case CacheHit:
+		ep.hits++
+	case CacheMiss:
+		ep.misses++
+	case CacheCoalesced:
+		ep.coalesced++
+	}
+	ep.latency.Observe(int(elapsed.Microseconds()))
+}
+
+// observeFailure records a rejected (overload) or failed request.
+func (m *metricsState) observeFailure(endpoint string, rejected bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoint(endpoint)
+	ep.requests++
+	if rejected {
+		ep.rejected++
+	} else {
+		ep.errors++
+	}
+}
+
+// snapshot assembles the /metrics document.
+func (m *metricsState) snapshot(topo, sched string, cache CacheMetrics, queue QueueMetrics) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Topology:      topo,
+		Scheduler:     sched,
+		Cache:         cache,
+		Queue:         queue,
+		Endpoints:     make(map[string]EndpointMetrics, len(m.endpoints)),
+	}
+	for name, ep := range m.endpoints {
+		out.Endpoints[name] = EndpointMetrics{
+			Requests:  ep.requests,
+			Hits:      ep.hits,
+			Misses:    ep.misses,
+			Coalesced: ep.coalesced,
+			Rejected:  ep.rejected,
+			Errors:    ep.errors,
+			LatencyUs: ep.latency.Snapshot(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers sizes the pool to the machine when Config.Workers is zero.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ErrOverloaded is returned by the pool when the compile queue is full; the
+// HTTP layer maps it to 429 + Retry-After. Rejecting at admission keeps the
+// daemon's memory and latency bounded under overload instead of queueing
+// without limit.
+var ErrOverloaded = errors.New("service: compile queue full")
+
+// ErrDraining is returned once the pool has begun shutting down; the HTTP
+// layer maps it to 503.
+var ErrDraining = errors.New("service: draining")
+
+// workerPool runs compile jobs on a fixed set of goroutines behind a
+// bounded queue. Admission is non-blocking: TrySubmit either enqueues or
+// fails fast with ErrOverloaded.
+type workerPool struct {
+	mu       sync.RWMutex
+	jobs     chan func()
+	closed   bool
+	wg       sync.WaitGroup
+	workers  int
+	inFlight atomic.Int64
+}
+
+func newWorkerPool(workers, queueDepth int) *workerPool {
+	p := &workerPool{jobs: make(chan func(), queueDepth), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				p.inFlight.Add(1)
+				job()
+				p.inFlight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues a job or fails immediately.
+func (p *workerPool) TrySubmit(job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// Close stops admission and waits for queued and running jobs to finish.
+func (p *workerPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Metrics snapshots the pool's state.
+func (p *workerPool) Metrics() QueueMetrics {
+	return QueueMetrics{
+		Workers:  p.workers,
+		Capacity: cap(p.jobs),
+		Depth:    len(p.jobs),
+		InFlight: p.inFlight.Load(),
+	}
+}

@@ -1,0 +1,528 @@
+// Package service is the compile daemon of the compiled-communication
+// stack: a long-running HTTP/JSON server that accepts communication
+// programs in the internal/trace format, runs them through the scheduling
+// pipeline (request extraction → connection scheduling → switch-program
+// lowering), and returns the compiled configurations plus predicted
+// communication time.
+//
+// The paper's premise is that compilation happens once, off-line, and is
+// reused across communication phases. This package is that amortization
+// made operational:
+//
+//   - a content-addressed schedule cache, keyed by the canonical pattern
+//     hash of internal/request (normalized request list + topology +
+//     heuristic parameters), bounded LRU with hit/miss/eviction counters;
+//   - singleflight coalescing, so a thundering herd of identical requests
+//     shares exactly one pipeline invocation;
+//   - a bounded worker pool with queue-depth admission control — under
+//     overload the daemon answers 429 + Retry-After instead of queueing
+//     without limit;
+//   - /recompile, which applies an internal/fault mask and reuses
+//     fault.Recompile (including its light-trace verification) for
+//     degraded-network compilation;
+//   - /metrics (JSON counters + latency histograms via internal/stats) and
+//     optional net/http/pprof wiring.
+//
+// Canonical semantics: the service sorts each phase's messages by
+// (src, dst, start, flits) before hashing AND before compiling, so two
+// traces that are permutations of each other share one cache entry and one
+// compile — and the greedy scheduler's order sensitivity cannot make the
+// cached artifact diverge from a cold compile. Cache hits return the
+// byte-identical artifact the cold compile produced.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// maxBodyBytes bounds a request body; a 64-PE trace with thousands of
+// messages is well under a megabyte.
+const maxBodyBytes = 32 << 20
+
+// Config parameterizes a Server. Zero values select production defaults.
+type Config struct {
+	// Topology is the default network compiled against; required.
+	Topology network.Topology
+	// Scheduler is the default scheduling algorithm; nil means the paper's
+	// combined algorithm.
+	Scheduler schedule.Scheduler
+	// Workers is the compile worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue; 0 means 64. Requests beyond
+	// workers+queue are answered 429.
+	QueueDepth int
+	// CacheEntries bounds the schedule cache; 0 means 256.
+	CacheEntries int
+	// RetryAfter is the Retry-After hint on 429 replies; 0 means 1s.
+	RetryAfter time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// Server is the compile service. It implements http.Handler.
+type Server struct {
+	topo      network.Topology
+	topoPEs   int
+	scheduler schedule.Scheduler
+	retry     time.Duration
+
+	mux     *http.ServeMux
+	cache   *lruCache
+	flight  *flightGroup
+	pool    *workerPool
+	metrics *metricsState
+
+	// compileHook, when set, runs inside a pool worker immediately before a
+	// pipeline invocation. Test instrumentation: counting calls counts
+	// compiles, blocking it holds a compile in flight.
+	compileHook func(key string)
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("service: Config.Topology is required")
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = schedule.Combined{}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = defaultWorkers()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		topo:      cfg.Topology,
+		topoPEs:   network.TerminalCount(cfg.Topology),
+		scheduler: cfg.Scheduler,
+		retry:     cfg.RetryAfter,
+		mux:       http.NewServeMux(),
+		cache:     newLRUCache(cfg.CacheEntries),
+		flight:    newFlightGroup(),
+		pool:      newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		metrics:   newMetricsState(),
+	}
+	s.mux.HandleFunc("/compile", s.handleCompile)
+	s.mux.HandleFunc("/recompile", s.handleRecompile)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the worker pool: queued and running compiles finish, new
+// submissions fail with ErrDraining. Call after http.Server.Shutdown has
+// stopped accepting requests.
+func (s *Server) Close() { s.pool.Close() }
+
+// compileError wraps failures of the pipeline itself (unroutable pattern,
+// disconnected fault mask), mapped to 422 rather than 500: the daemon is
+// healthy, the program is not compilable on this network.
+type compileError struct{ err error }
+
+func (e compileError) Error() string { return e.err.Error() }
+func (e compileError) Unwrap() error { return e.err }
+
+// parsedRequest is a validated compile/recompile request.
+type parsedRequest struct {
+	doc       trace.Document
+	prog      core.Program // canonicalized message order
+	topo      network.Topology
+	topoName  string
+	scheduler schedule.Scheduler
+	schedName string
+	faults    *fault.Set
+	mask      *FaultMask
+	key       string
+}
+
+// parse validates the HTTP request into a parsedRequest.
+func (s *Server) parse(r *http.Request, w http.ResponseWriter, recompile bool) (*parsedRequest, error) {
+	q := r.URL.Query()
+	p := &parsedRequest{topo: s.topo, scheduler: s.scheduler}
+	pes := s.topoPEs
+	if name := q.Get("topology"); name != "" {
+		topo, err := cliutil.ParseTopology(name)
+		if err != nil {
+			return nil, err
+		}
+		p.topo = topo
+		pes = network.TerminalCount(topo)
+	}
+	p.topoName = p.topo.Name()
+	if name := q.Get("alg"); name != "" {
+		sch, err := cliutil.ParseScheduler(name)
+		if err != nil {
+			return nil, err
+		}
+		p.scheduler = sch
+	}
+	p.schedName = p.scheduler.Name()
+
+	doc, err := trace.Read(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if doc.PEs != pes {
+		return nil, fmt.Errorf("service: trace targets %d PEs but topology %s hosts %d", doc.PEs, p.topoName, pes)
+	}
+	p.doc = doc
+	prog, err := doc.Program()
+	if err != nil {
+		return nil, err
+	}
+	p.prog = canonicalProgram(prog)
+
+	faultsParam := ""
+	if recompile {
+		links, err := cliutil.ParseIntList(q.Get("links"))
+		if err != nil {
+			return nil, err
+		}
+		nodes, err := cliutil.ParseIntList(q.Get("nodes"))
+		if err != nil {
+			return nil, err
+		}
+		set := fault.NewSet()
+		for _, l := range links {
+			if l < 0 || l >= p.topo.NumLinks() {
+				return nil, fmt.Errorf("service: link %d outside 0..%d of %s", l, p.topo.NumLinks()-1, p.topoName)
+			}
+			set.FailLink(network.LinkID(l))
+		}
+		for _, n := range nodes {
+			if n < 0 || n >= p.topo.NumNodes() {
+				return nil, fmt.Errorf("service: node %d outside 0..%d of %s", n, p.topo.NumNodes()-1, p.topoName)
+			}
+			set.FailNode(network.NodeID(n))
+		}
+		p.faults = set
+		if !set.Empty() {
+			faultsParam = set.String()
+			sort.Ints(links)
+			sort.Ints(nodes)
+			p.mask = &FaultMask{Links: links, Nodes: nodes}
+		}
+	}
+	p.key = programKey(p.prog, doc.PEs, p.topoName, p.schedName, faultsParam)
+	return p, nil
+}
+
+// canonicalProgram sorts every phase's messages by (src, dst, start, flits),
+// the normalization that makes pattern hashing and scheduling independent of
+// the order a caller enumerated its messages in.
+func canonicalProgram(prog core.Program) core.Program {
+	out := core.Program{Name: prog.Name, Phases: make([]core.Phase, len(prog.Phases))}
+	for i, ph := range prog.Phases {
+		msgs := append([]sim.Message(nil), ph.Messages...)
+		sort.Slice(msgs, func(a, b int) bool {
+			x, y := msgs[a], msgs[b]
+			if x.Src != y.Src {
+				return x.Src < y.Src
+			}
+			if x.Dst != y.Dst {
+				return x.Dst < y.Dst
+			}
+			if x.Start != y.Start {
+				return x.Start < y.Start
+			}
+			return x.Flits < y.Flits
+		})
+		out.Phases[i] = core.Phase{Name: ph.Name, Messages: msgs, Dynamic: ph.Dynamic}
+	}
+	return out
+}
+
+// programKey derives the content-address of a whole program's compiled
+// artifact: a SHA-256 over the per-phase canonical pattern keys of
+// internal/request plus the program attributes that select a different
+// artifact. Phase names participate deliberately — the artifact echoes
+// them — but message order never does (PatternKey canonicalizes).
+func programKey(prog core.Program, pes int, topoName, schedName, faultsParam string) string {
+	h := sha256.New()
+	var scratch [8]byte
+	writeStr := func(str string) {
+		n := len(str)
+		for i := 0; i < 8; i++ {
+			scratch[i] = byte(n >> (8 * i))
+		}
+		h.Write(scratch[:])
+		h.Write([]byte(str))
+	}
+	writeStr("ccomm-program-v1")
+	writeStr(prog.Name)
+	writeStr(strconv.Itoa(pes))
+	writeStr(strconv.Itoa(len(prog.Phases)))
+	for _, ph := range prog.Phases {
+		triples := make([]request.Triple, len(ph.Messages))
+		for i, m := range ph.Messages {
+			triples[i] = request.Triple{Src: m.Src, Dst: m.Dst, Flits: m.Flits, Start: m.Start}
+		}
+		writeStr(request.PatternKey(triples, topoName,
+			"alg="+schedName,
+			"faults="+faultsParam,
+			"phase="+ph.Name,
+			"dynamic="+strconv.FormatBool(ph.Dynamic),
+		))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// handleCompile serves POST /compile.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.serveCompile(w, r, false)
+}
+
+// handleRecompile serves POST /recompile.
+func (s *Server) handleRecompile(w http.ResponseWriter, r *http.Request) {
+	s.serveCompile(w, r, true)
+}
+
+func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, recompile bool) {
+	endpoint := "compile"
+	if recompile {
+		endpoint = "recompile"
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, endpoint, http.StatusMethodNotAllowed, fmt.Errorf("service: %s requires POST", endpoint))
+		return
+	}
+	start := time.Now()
+	p, err := s.parse(r, w, recompile)
+	if err != nil {
+		s.writeError(w, endpoint, http.StatusBadRequest, err)
+		return
+	}
+	raw, state, err := s.serve(p.key, func() (json.RawMessage, error) {
+		return s.buildArtifact(p)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.retry+time.Second-1)/time.Second)))
+			s.metrics.observeFailure(endpoint, true)
+			writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			s.writeError(w, endpoint, http.StatusServiceUnavailable, err)
+		default:
+			var ce compileError
+			if errors.As(err, &ce) {
+				s.writeError(w, endpoint, http.StatusUnprocessableEntity, err)
+			} else {
+				s.writeError(w, endpoint, http.StatusInternalServerError, err)
+			}
+		}
+		return
+	}
+	s.metrics.observeSuccess(endpoint, state, time.Since(start))
+	writeJSON(w, http.StatusOK, Response{Key: p.key, Cache: state, Result: raw})
+}
+
+// serve resolves a key to its artifact: cache, then coalesced compile
+// through the admission-controlled worker pool.
+func (s *Server) serve(key string, build func() (json.RawMessage, error)) (json.RawMessage, string, error) {
+	if v, ok := s.cache.Get(key); ok {
+		return v, CacheHit, nil
+	}
+	lateHit := false
+	raw, err, leader := s.flight.Do(key, func() (json.RawMessage, error) {
+		// A compile of this key may have finished between the outer cache
+		// probe and winning the flight slot; don't compile again.
+		if v, ok := s.cache.Get(key); ok {
+			lateHit = true
+			return v, nil
+		}
+		type result struct {
+			raw json.RawMessage
+			err error
+		}
+		done := make(chan result, 1)
+		if err := s.pool.TrySubmit(func() {
+			if s.compileHook != nil {
+				s.compileHook(key)
+			}
+			raw, err := build()
+			done <- result{raw, err}
+		}); err != nil {
+			return nil, err
+		}
+		out := <-done
+		if out.err == nil {
+			s.cache.Add(key, out.raw)
+		}
+		return out.raw, out.err
+	})
+	state := CacheMiss
+	switch {
+	case lateHit:
+		state = CacheHit
+	case !leader:
+		state = CacheCoalesced
+	}
+	return raw, state, err
+}
+
+// buildArtifact runs the pipeline for a parsed request and marshals the
+// Result. This is the unit of work the cache, the singleflight group and
+// the worker pool all guard.
+func (s *Server) buildArtifact(p *parsedRequest) (json.RawMessage, error) {
+	var cp *core.CompiledProgram
+	var err error
+	if p.faults == nil || p.faults.Empty() {
+		cp, err = core.Compiler{Topology: p.topo, Scheduler: p.scheduler}.Compile(p.prog)
+	} else {
+		cp, err = compileMasked(p.prog, p.topo, p.faults, p.scheduler)
+	}
+	if err != nil {
+		return nil, compileError{err}
+	}
+	res, err := buildResult(cp, p.doc.PEs, p.topoName, p.schedName, p.mask)
+	if err != nil {
+		return nil, compileError{err}
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// compileMasked compiles a program against a fault-masked topology. Static
+// phases go through fault.Recompile — scheduling on the masked view,
+// switch-program lowering, and light-trace verification that the degraded
+// programs drive the surviving hardware correctly. Dynamic phases fall back
+// to the predetermined AAPC configuration set recomputed on the masked
+// topology. The per-request masked view's route-cache entry is released
+// before returning so a serving daemon does not churn the process-wide
+// route cache.
+func compileMasked(prog core.Program, base network.Topology, faults *fault.Set, sched schedule.Scheduler) (*core.CompiledProgram, error) {
+	masked := fault.NewMasked(base, faults)
+	defer network.InvalidateRoutes(masked)
+	out := &core.CompiledProgram{Program: prog}
+	for _, ph := range prog.Phases {
+		if ph.Dynamic {
+			one, err := core.Compiler{Topology: masked, Scheduler: sched}.Compile(
+				core.Program{Name: prog.Name, Phases: []core.Phase{ph}})
+			if err != nil {
+				return nil, err
+			}
+			out.Phases = append(out.Phases, one.Phases[0])
+			continue
+		}
+		res, sp, err := fault.Recompile(masked, ph.Requests(), sched)
+		if err != nil {
+			return nil, fmt.Errorf("phase %q: %w", ph.Name, err)
+		}
+		out.Phases = append(out.Phases, core.CompiledPhase{Phase: ph, Schedule: res, Program: sp})
+	}
+	return out, nil
+}
+
+// buildResult renders a compiled program to the wire shape, predicting each
+// phase's communication time on its schedule and the total iteration time
+// including reconfiguration.
+func buildResult(cp *core.CompiledProgram, pes int, topoName, schedName string, mask *FaultMask) (*Result, error) {
+	res := &Result{
+		Program:          cp.Program.Name,
+		PEs:              pes,
+		Topology:         topoName,
+		Scheduler:        schedName,
+		Faults:           mask,
+		MaxDegree:        cp.MaxDegree(),
+		Reconfigurations: cp.Reconfigurations(),
+	}
+	for i := range cp.Phases {
+		ph := &cp.Phases[i]
+		out, err := sim.RunCompiled(ph.Schedule, ph.Phase.Messages)
+		if err != nil {
+			return nil, fmt.Errorf("predicting phase %q: %w", ph.Phase.Name, err)
+		}
+		configs := make([][]Pair, len(ph.Schedule.Configs))
+		for k, c := range ph.Schedule.Configs {
+			configs[k] = make([]Pair, len(c))
+			for j, q := range c {
+				configs[k][j] = Pair{int(q.Src), int(q.Dst)}
+			}
+		}
+		res.Phases = append(res.Phases, PhaseResult{
+			Name:           ph.Phase.Name,
+			Dynamic:        ph.Phase.Dynamic,
+			Fallback:       ph.UsedFallback,
+			Algorithm:      ph.Schedule.Algorithm,
+			Degree:         ph.Degree(),
+			PredictedSlots: out.Time,
+			Configs:        configs,
+		})
+	}
+	total, err := cp.ProgramTime(1, core.DefaultReconfigCost)
+	if err != nil {
+		return nil, err
+	}
+	res.TotalSlots = total
+	return res, nil
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "service: metrics requires GET"})
+		return
+	}
+	snap := s.metrics.snapshot(s.topo.Name(), s.scheduler.Name(), s.cache.Metrics(), s.pool.Metrics())
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
+	s.metrics.observeFailure(endpoint, false)
+	writeJSON(w, status, ErrorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,110 @@
+package stats
+
+import "math/bits"
+
+// Hist is an online histogram with power-of-two buckets, built for cheap
+// latency recording on a serving hot path: Observe is a couple of integer
+// ops and never allocates. Bucket i holds values v with bit length i, i.e.
+// v in (2^(i-1)-1, 2^i-1]; bucket 0 holds exactly zero. That gives ~2x
+// resolution across the full int range, which is plenty for latency
+// distributions where only the order of magnitude and the tail matter.
+//
+// A Hist is not safe for concurrent use; callers serialize access (the
+// compile service guards one Hist per endpoint with its metrics mutex).
+type Hist struct {
+	counts [65]uint64
+	n      uint64
+	sum    uint64
+	min    int
+	max    int
+}
+
+// Observe records one non-negative sample; negative samples clamp to zero
+// (a backwards clock step must not corrupt the distribution).
+func (h *Hist) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += uint64(v)
+	h.counts[bits.Len64(uint64(v))]++
+}
+
+// HistBucket is one non-empty bucket of a snapshot: Count samples were <= Le
+// and greater than the previous bucket's Le.
+type HistBucket struct {
+	Le    int64  `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is the serializable state of a Hist.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Min     int          `json:"min"`
+	Max     int          `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current distribution; empty buckets are elided.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.n, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(0)
+		if i > 0 {
+			le = int64(1)<<uint(i) - 1
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: le, Count: c})
+	}
+	return s
+}
+
+// Mean returns the average sample, zero for an empty snapshot.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound on the p-th quantile (0 < p <= 1): the Le
+// bound of the bucket containing the rank-⌈p·n⌉ sample, tightened to Max for
+// the last bucket. Zero for an empty snapshot.
+func (s HistSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return int64(s.Min)
+	}
+	rank := uint64(p * float64(s.Count))
+	if float64(rank) < p*float64(s.Count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen uint64
+	for i, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			if i == len(s.Buckets)-1 || b.Le > int64(s.Max) {
+				return int64(s.Max)
+			}
+			return b.Le
+		}
+	}
+	return int64(s.Max)
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot mean/quantile not zero")
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []int{0, 1, 1, 2, 3, 4, 7, 8, 100, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 10 {
+		t.Fatalf("count = %d, want 10", s.Count)
+	}
+	if s.Min != 0 || s.Max != 100 {
+		t.Fatalf("min/max = %d/%d, want 0/100", s.Min, s.Max)
+	}
+	// Buckets: le=0 {0, clamped -5}, le=1 {1,1}, le=3 {2,3}, le=7 {4,7},
+	// le=15 {8}, le=127 {100}.
+	want := map[int64]uint64{0: 2, 1: 2, 3: 2, 7: 2, 15: 1, 127: 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want bounds %v", s.Buckets, want)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		if want[b.Le] != b.Count {
+			t.Fatalf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	// p50 of 0..99 is rank 50, which lands in the le=63 bucket.
+	if q := s.Quantile(0.5); q != 63 {
+		t.Fatalf("p50 = %d, want 63", q)
+	}
+	// The tail quantile reports the exact observed max, not the bucket bound.
+	if q := s.Quantile(0.99); q != 99 {
+		t.Fatalf("p99 = %d, want 99", q)
+	}
+	if q := s.Quantile(1); q != 99 {
+		t.Fatalf("p100 = %d, want 99", q)
+	}
+	if m := s.Mean(); m != 49.5 {
+		t.Fatalf("mean = %v, want 49.5", m)
+	}
+}
+
+func TestHistSnapshotJSON(t *testing.T) {
+	var h Hist
+	h.Observe(5)
+	data, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != 1 || back.Sum != 5 || len(back.Buckets) != 1 || back.Buckets[0].Le != 7 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
