@@ -24,7 +24,9 @@ import (
 	"runtime"
 	"text/tabwriter"
 
+	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/patterns"
@@ -126,6 +128,28 @@ func main() {
 		return err
 	}))
 
+	// Incremental recompilation: patch a drifted hypercube pattern onto its
+	// compiled base (internal/delta) vs scheduling the drifted target from
+	// scratch. The spread is the amortization the delta compiler buys a
+	// family of nearby patterns.
+	{
+		baseRes, err := schedule.Combined{}.Schedule(torus, hyper)
+		check(err)
+		drift := hyper.Clone()[:len(hyper)-4]
+		drift = append(drift, request.Set{{Src: 0, Dst: 63}, {Src: 17, Dst: 42}}...)
+		check(report.Run("delta/patch/hypercube64", func() error {
+			_, st, err := delta.Recompile(torus, baseRes, drift, delta.Options{})
+			if err == nil && !st.Patched {
+				return fmt.Errorf("patch rejected: %s", st.Fallback)
+			}
+			return err
+		}))
+		check(report.Run("delta/full/hypercube64", func() error {
+			_, err := schedule.Combined{}.Schedule(torus, drift)
+			return err
+		}))
+	}
+
 	// Dynamic control under fault injection on a reused simulator: the
 	// mid-run teardown/reroute machinery on top of the ring workload.
 	{
@@ -170,6 +194,62 @@ func main() {
 		}))
 		ts.Close()
 		svc.Close()
+	}
+
+	// Fault-masked recompilation through the daemon, on the paper's p3m64
+	// trace with a single failed link: with a schedule store the daemon
+	// rebases the stored healthy schedules onto the mask (the delta path);
+	// without one every request runs fault.Recompile from scratch. Fresh
+	// program names defeat the artifact cache so each iteration really
+	// recompiles.
+	{
+		phases, err := apps.P3M(32)
+		check(err)
+		prog := core.Program{Name: "p3m-32"}
+		for _, ph := range phases {
+			prog.Phases = append(prog.Phases, core.Phase{Name: ph.Name, Messages: ph.Messages})
+		}
+		doc := trace.FromProgram(prog, 64)
+		mask := service.FaultMask{Links: []int{3}}
+		ctx := context.Background()
+		for _, mode := range []struct {
+			name  string
+			store bool
+		}{
+			{"service/recompile-full/p3m64", false},
+			{"service/recompile-delta/p3m64", true},
+		} {
+			cfg := service.Config{Topology: torus}
+			if mode.store {
+				dir, err := os.MkdirTemp("", "ccbench-store-*")
+				check(err)
+				defer os.RemoveAll(dir)
+				cfg.StoreDir = dir
+			}
+			svc, err := service.New(cfg)
+			check(err)
+			ts := httptest.NewServer(svc)
+			c := &client.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+			if mode.store {
+				// The healthy compile seeds the base store the delta path
+				// rebases from.
+				_, _, err := c.Compile(ctx, doc, client.Options{})
+				check(err)
+			}
+			n := 0
+			check(report.Run(mode.name, func() error {
+				n++
+				d := doc
+				d.Name = fmt.Sprintf("p3m-32-mask-%d", n)
+				_, res, err := c.Recompile(ctx, d, mask, client.Options{})
+				if err == nil && res.MaxDegree < 1 {
+					return fmt.Errorf("degenerate recompile result")
+				}
+				return err
+			}))
+			ts.Close()
+			svc.Close()
+		}
 	}
 
 	// Sweep wall clock: 16 open-loop trials, serial vs the full pool. Quick

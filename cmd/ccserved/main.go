@@ -40,6 +40,11 @@ var (
 	retryFlag    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 replies")
 	pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+
+	storeDirFlag   = flag.String("store-dir", "", "persistent schedule store directory (empty = memory-only)")
+	storeMaxFlag   = flag.Int("store-max-entries", 0, "store GC: keep at most this many entries (0 = unbounded)")
+	storeAgeFlag   = flag.Duration("store-max-age", 0, "store GC: expire entries older than this (0 = unbounded)")
+	deltaBoundFlag = flag.Float64("delta-bound", 0, "accept an incrementally patched schedule when its degree is within this factor of the from-scratch estimate (0 = default 1.5)")
 )
 
 func main() {
@@ -53,15 +58,22 @@ func main() {
 	check(err)
 
 	svc, err := service.New(service.Config{
-		Topology:     topo,
-		Scheduler:    sched,
-		Workers:      *workersFlag,
-		QueueDepth:   *queueFlag,
-		CacheEntries: *cacheFlag,
-		RetryAfter:   *retryFlag,
-		EnablePprof:  *pprofFlag,
+		Topology:        topo,
+		Scheduler:       sched,
+		Workers:         *workersFlag,
+		QueueDepth:      *queueFlag,
+		CacheEntries:    *cacheFlag,
+		RetryAfter:      *retryFlag,
+		EnablePprof:     *pprofFlag,
+		StoreDir:        *storeDirFlag,
+		StoreMaxEntries: *storeMaxFlag,
+		StoreMaxAge:     *storeAgeFlag,
+		DeltaBound:      *deltaBoundFlag,
 	})
 	check(err)
+	if *storeDirFlag != "" {
+		log.Printf("schedule store at %s", *storeDirFlag)
+	}
 
 	ln, err := net.Listen("tcp", *addrFlag)
 	check(err)

@@ -1,0 +1,113 @@
+// Command ccstore administers a persistent schedule store (internal/store)
+// — the on-disk half of the compile daemon's caching: content-addressed
+// compiled artifacts and delta-recompilation base schedules.
+//
+// Usage:
+//
+//	ccstore -dir /var/cc/store inspect            # list every live entry
+//	ccstore -dir /var/cc/store inspect <key>      # decode one entry
+//	ccstore -dir /var/cc/store verify             # digest-check everything
+//	ccstore -dir /var/cc/store gc -max-entries 1000 -max-age 168h
+//
+// verify exits nonzero when any entry fails its integrity check (the bad
+// file is quarantined, exactly as a serving daemon would on read).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/store"
+)
+
+func main() {
+	fs := flag.NewFlagSet("ccstore", flag.ExitOnError)
+	dirFlag := fs.String("dir", "", "store directory (required)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ccstore -dir DIR <inspect [key] | verify | gc [-max-entries N] [-max-age D]>")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(os.Args[1:])
+	if *dirFlag == "" || fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	st, err := store.Open(*dirFlag, store.Options{})
+	check(err)
+
+	cmd, args := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "inspect":
+		if len(args) > 0 {
+			check(inspectOne(st, args[0]))
+			return
+		}
+		inspectAll(st)
+	case "verify":
+		ok, quarantined := st.VerifyAll()
+		fmt.Printf("verified %d entries intact, %d quarantined\n", ok, quarantined)
+		if quarantined > 0 {
+			os.Exit(1)
+		}
+	case "gc":
+		gcFlags := flag.NewFlagSet("ccstore gc", flag.ExitOnError)
+		maxEntries := gcFlags.Int("max-entries", 0, "keep at most this many entries (0 = unbounded)")
+		maxAge := gcFlags.Duration("max-age", 0, "expire entries older than this (0 = unbounded)")
+		_ = gcFlags.Parse(args)
+		stats, err := st.GCWith(*maxEntries, *maxAge)
+		check(err)
+		fmt.Printf("removed %d entries, kept %d\n", stats.Removed, stats.Kept)
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+}
+
+// inspectAll lists every live entry, oldest first.
+func inspectAll(st *store.Store) {
+	entries := st.Entries("")
+	for _, e := range entries {
+		fmt.Printf("%-9s %s  %6d B  %s\n", e.Kind, e.Key, e.Size, e.ModTime.Format(time.RFC3339))
+	}
+	m := st.Metrics()
+	fmt.Printf("%d entries, %d bytes\n", m.Entries, m.Bytes)
+}
+
+// inspectOne decodes one entry by key, trying both kinds: schedule entries
+// print their compiled shape, artifact entries their payload size (the
+// payload is the service's JSON artifact, opaque here).
+func inspectOne(st *store.Store, key string) error {
+	if payload, ok := st.Get(store.KindSchedule, key); ok {
+		dec, err := store.DecodeResult(payload)
+		if err != nil {
+			return fmt.Errorf("schedule entry %s: %w", key, err)
+		}
+		reqs := dec.Requests()
+		fmt.Printf("kind:      %s\n", store.KindSchedule)
+		fmt.Printf("key:       %s\n", key)
+		fmt.Printf("algorithm: %s\n", dec.Algorithm)
+		fmt.Printf("topology:  %s\n", dec.Topology)
+		fmt.Printf("configs:   %d (degree)\n", len(dec.Configs))
+		fmt.Printf("requests:  %d\n", len(reqs))
+		for k, cfg := range dec.Configs {
+			fmt.Printf("  slot %d: %d circuits\n", k, len(cfg))
+		}
+		return nil
+	}
+	if payload, ok := st.Get(store.KindArtifact, key); ok {
+		fmt.Printf("kind:    %s\n", store.KindArtifact)
+		fmt.Printf("key:     %s\n", key)
+		fmt.Printf("payload: %d bytes of service artifact JSON\n", len(payload))
+		return nil
+	}
+	return fmt.Errorf("no live entry under key %s (corrupt entries quarantine on read)", key)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccstore:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,85 @@
+package delta_test
+
+import (
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/network"
+	"repro/internal/request"
+)
+
+// setFromBytes decodes a byte string into a request multiset on a 16-node
+// network: consecutive byte pairs become (src, dst) mod 16, self-loops
+// skipped. Duplicates are kept — multiset semantics are the point.
+func setFromBytes(data []byte) request.Set {
+	var out request.Set
+	for i := 0; i+1 < len(data); i += 2 {
+		src, dst := network.NodeID(data[i]%16), network.NodeID(data[i+1]%16)
+		if src == dst {
+			continue
+		}
+		out = append(out, request.Request{Src: src, Dst: dst})
+	}
+	return out
+}
+
+func counts(s request.Set) map[request.Request]int {
+	m := make(map[request.Request]int, len(s))
+	for _, r := range s {
+		m[r]++
+	}
+	return m
+}
+
+// FuzzDiff drives delta.Compute with arbitrary multiset pairs and checks
+// the algebra: base − Removed + Added must round-trip to exactly the
+// target multiset, Removed must be drawn from the base, Added from the
+// target, and no request may sit on both sides of the diff.
+func FuzzDiff(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{0, 1, 4, 5})
+	f.Add([]byte{0, 1, 0, 1, 0, 1}, []byte{0, 1})
+	f.Add([]byte{}, []byte{7, 8})
+	f.Add([]byte{3, 3, 5, 5}, []byte{2, 9, 2, 9, 2, 9})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		base, target := setFromBytes(a), setFromBytes(b)
+		d := delta.Compute(base, target)
+
+		got := counts(base)
+		for _, r := range d.Removed {
+			got[r]--
+			if got[r] < 0 {
+				t.Fatalf("removed %v more times than the base holds it", r)
+			}
+		}
+		for _, r := range d.Added {
+			got[r]++
+		}
+		want := counts(target)
+		for r, n := range got {
+			if n != want[r] {
+				t.Fatalf("apply(base, diff) has %d of %v, target has %d", n, r, want[r])
+			}
+		}
+		for r, n := range want {
+			if n != got[r] {
+				t.Fatalf("target has %d of %v, apply(base, diff) has %d", n, r, got[r])
+			}
+		}
+
+		// Added ⊆ target (multiset-wise).
+		addCounts := counts(d.Added)
+		for r, n := range addCounts {
+			if n > want[r] {
+				t.Fatalf("added %d of %v, target only holds %d", n, r, want[r])
+			}
+		}
+		// Minimality: nothing is both added and removed.
+		for r := range addCounts {
+			for _, q := range d.Removed {
+				if q == r {
+					t.Fatalf("%v appears on both sides of the diff", r)
+				}
+			}
+		}
+	})
+}

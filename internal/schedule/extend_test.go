@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/network"
 	"repro/internal/patterns"
 	"repro/internal/request"
 	"repro/internal/schedule"
@@ -53,6 +54,129 @@ func TestExtendAppendsSlotsWhenNeeded(t *testing.T) {
 	if err := ext.Validate(append(base.Clone(), extra...)); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestExtendConflictsOpenNewConfigs drives Extend with requests that
+// conflict with every existing configuration — and with each other — so
+// every addition must open a fresh configuration. Each case asserts the
+// exact degree growth, that the extended schedule validates against the
+// union, and that the base Result is not corrupted in the process.
+func TestExtendConflictsOpenNewConfigs(t *testing.T) {
+	cases := []struct {
+		name       string
+		topo       network.Topology
+		base       request.Set
+		extra      request.Set
+		wantDegree int
+	}{
+		{
+			// Every extra shares its source with the base circuit and with
+			// each other: an optical terminal transmits one circuit per
+			// configuration, so none can coexist.
+			name:       "same-source",
+			topo:       topology.NewTorus(8, 8),
+			base:       request.Set{{Src: 0, Dst: 1}},
+			extra:      request.Set{{Src: 0, Dst: 2}, {Src: 0, Dst: 3}},
+			wantDegree: 3,
+		},
+		{
+			// Symmetric case at the receiver: one circuit per destination
+			// per configuration.
+			name:       "same-destination",
+			topo:       topology.NewTorus(8, 8),
+			base:       request.Set{{Src: 1, Dst: 0}},
+			extra:      request.Set{{Src: 2, Dst: 0}, {Src: 3, Dst: 0}},
+			wantDegree: 3,
+		},
+		{
+			// On a linear array the 0→7 route occupies every forward link;
+			// the extras have distinct endpoints but nest inside it (and
+			// inside each other), so each must open its own configuration.
+			name:       "shared-link",
+			topo:       topology.NewLinear(8),
+			base:       request.Set{{Src: 0, Dst: 7}},
+			extra:      request.Set{{Src: 2, Dst: 5}, {Src: 3, Dst: 4}},
+			wantDegree: 3,
+		},
+		{
+			// Duplicates of an already scheduled request conflict with the
+			// base and with themselves: three copies need three slots.
+			name:       "duplicate-requests",
+			topo:       topology.NewTorus(8, 8),
+			base:       request.Set{{Src: 0, Dst: 1}},
+			extra:      request.Set{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}},
+			wantDegree: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := schedule.Combined{}.Schedule(tc.topo, tc.base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deep snapshot of the base so corruption is detectable even if
+			// Extend were to append into shared backing arrays.
+			baseConfigs := make([]request.Set, len(res.Configs))
+			for k, cfg := range res.Configs {
+				baseConfigs[k] = cfg.Clone()
+			}
+			baseSlots := make(map[request.Request]int, len(res.Slot))
+			for q, k := range res.Slot {
+				baseSlots[q] = k
+			}
+
+			ext, err := schedule.Extend(res, tc.extra)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ext.Degree() != tc.wantDegree {
+				t.Errorf("degree %d, want %d (every extra must open a new configuration)", ext.Degree(), tc.wantDegree)
+			}
+			if err := ext.Validate(append(tc.base.Clone(), tc.extra...)); err != nil {
+				t.Errorf("extended schedule invalid: %v", err)
+			}
+			// The new configurations hold exactly the extras; the originals
+			// are carried over unchanged in slot order.
+			for k, cfg := range baseConfigs {
+				if len(ext.Configs) <= k {
+					t.Fatalf("extended schedule lost configuration %d", k)
+				}
+				if !equalSets(ext.Configs[k], cfg) {
+					t.Errorf("configuration %d changed: %v, want %v", k, ext.Configs[k], cfg)
+				}
+			}
+
+			// The base Result is untouched.
+			if len(res.Configs) != len(baseConfigs) {
+				t.Fatalf("Extend changed the base degree: %d, want %d", len(res.Configs), len(baseConfigs))
+			}
+			for k, cfg := range res.Configs {
+				if !equalSets(cfg, baseConfigs[k]) {
+					t.Errorf("Extend mutated base configuration %d: %v, want %v", k, cfg, baseConfigs[k])
+				}
+			}
+			if len(res.Slot) != len(baseSlots) {
+				t.Fatalf("Extend changed the base slot map size: %d, want %d", len(res.Slot), len(baseSlots))
+			}
+			for q, k := range baseSlots {
+				if res.Slot[q] != k {
+					t.Errorf("Extend moved base request %v to slot %d, want %d", q, res.Slot[q], k)
+				}
+			}
+		})
+	}
+}
+
+func equalSets(a, b request.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestExtendMatchesFullRecomputeQuality(t *testing.T) {

@@ -66,7 +66,8 @@ type Response struct {
 	// Key is the content hash the artifact is cached under.
 	Key string `json:"key"`
 	// Cache reports how the request was served: "miss" (this request
-	// compiled), "hit" (served from cache), or "coalesced" (shared an
+	// compiled), "hit" (served from the in-memory cache), "store" (read
+	// back from the persistent schedule store), or "coalesced" (shared an
 	// in-flight compile of the same key).
 	Cache  string          `json:"cache"`
 	Result json.RawMessage `json:"result"`
@@ -76,6 +77,7 @@ type Response struct {
 const (
 	CacheMiss      = "miss"
 	CacheHit       = "hit"
+	CacheStore     = "store"
 	CacheCoalesced = "coalesced"
 )
 
@@ -86,8 +88,12 @@ type ErrorBody struct {
 
 // EndpointMetrics is the per-endpoint counter block of /metrics.
 type EndpointMetrics struct {
-	Requests  uint64 `json:"requests"`
+	Requests uint64 `json:"requests"`
+	// Hits counts in-memory (LRU) cache hits; StoreHits counts requests
+	// served by reading the persistent schedule store — separated so an
+	// operator can tell warm memory from warm disk.
 	Hits      uint64 `json:"hits"`
+	StoreHits uint64 `json:"store_hits"`
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
 	Rejected  uint64 `json:"rejected"`
@@ -106,6 +112,35 @@ type CacheMetrics struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// StoreMetrics reports the persistent schedule store's state; all-zero
+// (with Enabled false) when the daemon runs without -store-dir.
+type StoreMetrics struct {
+	Enabled     bool   `json:"enabled"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	Puts        uint64 `json:"puts"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Quarantined uint64 `json:"quarantined"`
+	// WarmLoaded is how many stored artifacts the daemon preloaded into
+	// the LRU at boot.
+	WarmLoaded int `json:"warm_loaded"`
+	// EvictionWrites counts LRU evictions written through to the store.
+	EvictionWrites uint64 `json:"eviction_writes"`
+}
+
+// DeltaMetrics reports the incremental recompiler's activity.
+type DeltaMetrics struct {
+	// Bound is the configured degree-quality gate.
+	Bound float64 `json:"bound"`
+	// ScheduleHits counts phases served verbatim from a stored schedule.
+	ScheduleHits uint64 `json:"schedule_hits"`
+	// Patched counts phases served by an accepted incremental patch;
+	// Full counts phases where delta fell back to a from-scratch compile.
+	Patched uint64 `json:"patched"`
+	Full    uint64 `json:"full"`
+}
+
 // QueueMetrics reports the worker pool's state.
 type QueueMetrics struct {
 	Workers  int   `json:"workers"`
@@ -120,6 +155,8 @@ type MetricsSnapshot struct {
 	Topology      string                     `json:"topology"`
 	Scheduler     string                     `json:"scheduler"`
 	Cache         CacheMetrics               `json:"cache"`
+	Store         StoreMetrics               `json:"store"`
+	Delta         DeltaMetrics               `json:"delta"`
 	Queue         QueueMetrics               `json:"queue"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
 }

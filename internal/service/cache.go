@@ -18,6 +18,12 @@ type lruCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// onEvict, when set, receives every entry the cache evicts — the
+	// serving layer uses it to write evicted artifacts through to the
+	// persistent store so they stay one disk-read away. Called after the
+	// cache lock is released (it does disk I/O and must not stall Get).
+	onEvict func(key string, val json.RawMessage)
 }
 
 type cacheEntry struct {
@@ -44,21 +50,30 @@ func (c *lruCache) Get(key string) (json.RawMessage, bool) {
 }
 
 // Add inserts (or refreshes) an artifact, evicting the least recently used
-// entry when over capacity.
+// entries when over capacity.
 func (c *lruCache) Add(key string, val json.RawMessage) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var evicted []*cacheEntry
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).val = val
-		return
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		for c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			e := oldest.Value.(*cacheEntry)
+			delete(c.items, e.key)
+			c.evictions++
+			evicted = append(evicted, e)
+		}
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
-		c.evictions++
+	onEvict := c.onEvict
+	c.mu.Unlock()
+	if onEvict != nil {
+		for _, e := range evicted {
+			onEvict(e.key, e.val)
+		}
 	}
 }
 

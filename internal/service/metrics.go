@@ -14,10 +14,17 @@ type metricsState struct {
 	mu        sync.Mutex
 	start     time.Time
 	endpoints map[string]*endpointState
+
+	// Persistent-store and delta-recompiler counters, service-wide.
+	warmLoaded     int
+	evictionWrites uint64
+	scheduleHits   uint64
+	deltaPatched   uint64
+	deltaFull      uint64
 }
 
 type endpointState struct {
-	requests, hits, misses, coalesced, rejected, errors uint64
+	requests, hits, storeHits, misses, coalesced, rejected, errors uint64
 
 	latency stats.Hist
 }
@@ -44,12 +51,44 @@ func (m *metricsState) observeSuccess(endpoint, cacheState string, elapsed time.
 	switch cacheState {
 	case CacheHit:
 		ep.hits++
+	case CacheStore:
+		ep.storeHits++
 	case CacheMiss:
 		ep.misses++
 	case CacheCoalesced:
 		ep.coalesced++
 	}
 	ep.latency.Observe(int(elapsed.Microseconds()))
+}
+
+// observeWarmBoot records how many artifacts warm boot preloaded.
+func (m *metricsState) observeWarmBoot(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.warmLoaded = n
+}
+
+// observeEvictionWrite counts an LRU eviction written through to the store.
+func (m *metricsState) observeEvictionWrite() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictionWrites++
+}
+
+// observeDelta records the outcome of one phase of delta recompilation:
+// served verbatim from a stored schedule, incrementally patched, or fallen
+// back to a full compile.
+func (m *metricsState) observeDelta(scheduleHit, patched bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case scheduleHit:
+		m.scheduleHits++
+	case patched:
+		m.deltaPatched++
+	default:
+		m.deltaFull++
+	}
 }
 
 // observeFailure records a rejected (overload) or failed request.
@@ -66,21 +105,31 @@ func (m *metricsState) observeFailure(endpoint string, rejected bool) {
 }
 
 // snapshot assembles the /metrics document.
-func (m *metricsState) snapshot(topo, sched string, cache CacheMetrics, queue QueueMetrics) MetricsSnapshot {
+func (m *metricsState) snapshot(topo, sched string, cache CacheMetrics, st StoreMetrics, deltaBound float64, queue QueueMetrics) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	st.WarmLoaded = m.warmLoaded
+	st.EvictionWrites = m.evictionWrites
 	out := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Topology:      topo,
 		Scheduler:     sched,
 		Cache:         cache,
-		Queue:         queue,
-		Endpoints:     make(map[string]EndpointMetrics, len(m.endpoints)),
+		Store:         st,
+		Delta: DeltaMetrics{
+			Bound:        deltaBound,
+			ScheduleHits: m.scheduleHits,
+			Patched:      m.deltaPatched,
+			Full:         m.deltaFull,
+		},
+		Queue:     queue,
+		Endpoints: make(map[string]EndpointMetrics, len(m.endpoints)),
 	}
 	for name, ep := range m.endpoints {
 		out.Endpoints[name] = EndpointMetrics{
 			Requests:  ep.requests,
 			Hits:      ep.hits,
+			StoreHits: ep.storeHits,
 			Misses:    ep.misses,
 			Coalesced: ep.coalesced,
 			Rejected:  ep.rejected,

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/fault"
+	"repro/internal/network"
+	"repro/internal/optics"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/store"
+	"repro/internal/switchprog"
+)
+
+// This file is the service's persistence and incremental-recompilation
+// layer: the glue between the in-memory LRU, the on-disk schedule store
+// (internal/store) and the delta recompiler (internal/delta).
+//
+//   - whole-program JSON artifacts are written through to the store under
+//     their program key, read back on LRU misses ("store" cache state) and
+//     preloaded into the LRU at boot, so a restarted daemon serves
+//     byte-identical hits with zero pipeline invocations;
+//   - per-phase schedules are written under store.BaseKey as delta base
+//     material; /compile reuses an exact base verbatim or patches the
+//     nearest one, and /recompile rebases a healthy base onto the fault
+//     mask instead of running fault.Recompile from scratch — keeping the
+//     same switch-program lowering and light-trace verification.
+
+// maxBaseCandidates bounds the per-topology candidate list of the
+// nearest-base index. Diffing a target against every candidate is linear in
+// pattern size, so the list stays small; the exact-key path does not go
+// through it and is unbounded.
+const maxBaseCandidates = 32
+
+type baseCandidate struct {
+	key  string
+	reqs request.Set
+}
+
+// baseIndex is the small in-memory candidate index over the store's base
+// schedules: per topology, the most recently saved patterns with their
+// store keys, so nearest-base selection never scans the disk.
+type baseIndex struct {
+	mu   sync.Mutex
+	topo map[string][]baseCandidate
+}
+
+func newBaseIndex() *baseIndex { return &baseIndex{topo: make(map[string][]baseCandidate)} }
+
+func (b *baseIndex) add(topoName, key string, reqs request.Set) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	list := b.topo[topoName]
+	for i := range list {
+		if list[i].key == key {
+			list[i].reqs = reqs
+			return
+		}
+	}
+	list = append(list, baseCandidate{key: key, reqs: reqs})
+	if len(list) > maxBaseCandidates {
+		list = list[len(list)-maxBaseCandidates:]
+	}
+	b.topo[topoName] = list
+}
+
+// nearest returns the store key of the candidate whose pattern has the
+// smallest multiset diff against target (earliest-saved wins ties, so the
+// choice is deterministic), skipping exclude. A base farther than half the
+// target's size is no base at all — patching it would rewrite most of the
+// schedule — so none is returned.
+func (b *baseIndex) nearest(topoName string, target request.Set, exclude string) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bestKey, bestSize := "", -1
+	for _, c := range b.topo[topoName] {
+		if c.key == exclude {
+			continue
+		}
+		if d := delta.Compute(c.reqs, target).Size(); bestSize < 0 || d < bestSize {
+			bestKey, bestSize = c.key, d
+		}
+	}
+	if bestSize < 0 || bestSize*2 > len(target) {
+		return "", false
+	}
+	return bestKey, true
+}
+
+// storeGetArtifact reads a whole-program artifact back from the store.
+func (s *Server) storeGetArtifact(key string) (json.RawMessage, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	payload, ok := s.store.Get(store.KindArtifact, key)
+	if !ok {
+		return nil, false
+	}
+	return json.RawMessage(payload), true
+}
+
+// storePutArtifact writes a freshly compiled artifact through to the store.
+// Persistence is best-effort: a full disk degrades the daemon to
+// memory-only caching, it never fails a compile that already succeeded.
+func (s *Server) storePutArtifact(key string, raw json.RawMessage) {
+	if s.store == nil {
+		return
+	}
+	_ = s.store.Put(store.KindArtifact, key, raw)
+}
+
+// writeEvicted is the LRU's eviction callback: an artifact falling out of
+// memory is written through to the store if it is not already there, so it
+// stays one disk read away. This is the safety net behind the compile-time
+// write-through — it only pays a disk write when that write failed or the
+// entry was GCed since.
+func (s *Server) writeEvicted(key string, val json.RawMessage) {
+	if s.store == nil || s.store.Has(store.KindArtifact, key) {
+		return
+	}
+	if s.store.Put(store.KindArtifact, key, val) == nil {
+		s.metrics.observeEvictionWrite()
+	}
+}
+
+// warmBoot preloads the store into memory: the newest artifacts fill the
+// LRU (so a restarted daemon answers previously compiled programs as plain
+// cache hits), and every stored base schedule registers in the nearest-base
+// index. Corrupt entries quarantine inside Get and are simply skipped —
+// warm boot never fails.
+func (s *Server) warmBoot(cacheEntries int) {
+	if s.store == nil {
+		return
+	}
+	arts := s.store.Entries(store.KindArtifact)
+	if len(arts) > cacheEntries {
+		arts = arts[len(arts)-cacheEntries:]
+	}
+	loaded := 0
+	for _, info := range arts {
+		if payload, ok := s.store.Get(store.KindArtifact, info.Key); ok {
+			s.cache.Add(info.Key, json.RawMessage(payload))
+			loaded++
+		}
+	}
+	s.metrics.observeWarmBoot(loaded)
+	for _, info := range s.store.Entries(store.KindSchedule) {
+		payload, ok := s.store.Get(store.KindSchedule, info.Key)
+		if !ok {
+			continue
+		}
+		dec, err := store.DecodeResult(payload)
+		if err != nil {
+			continue
+		}
+		s.bases.add(dec.Topology, info.Key, dec.Requests())
+	}
+}
+
+// loadBase fetches and decodes a stored base schedule bound to topo. When
+// reqs is non-nil the decoded schedule must serve exactly that multiset —
+// the guard against codec drift and key collisions. Any failure is a miss,
+// never an error: the caller falls back to compiling.
+func (s *Server) loadBase(key string, topo network.Topology, reqs request.Set) *schedule.Result {
+	payload, ok := s.store.Get(store.KindSchedule, key)
+	if !ok {
+		return nil
+	}
+	dec, err := store.DecodeResult(payload)
+	if err != nil {
+		return nil
+	}
+	res, err := dec.Result(topo)
+	if err != nil {
+		return nil
+	}
+	if reqs != nil && res.Validate(reqs) != nil {
+		return nil
+	}
+	return res
+}
+
+// saveBase persists a phase's schedule as delta base material and registers
+// it in the candidate index. Best-effort, like storePutArtifact.
+func (s *Server) saveBase(key, topoName string, res *schedule.Result, reqs request.Set) {
+	if s.store == nil {
+		return
+	}
+	if s.store.Put(store.KindSchedule, key, store.EncodeResult(res)) == nil {
+		s.bases.add(topoName, key, reqs)
+	}
+}
+
+// compileHealthy compiles a program on the healthy topology. Without a
+// store it is exactly core.Compiler.Compile; with one, each static phase is
+// resolved through the store — exact stored schedule reused verbatim,
+// nearest stored base patched by the delta recompiler (full compile when
+// the patch misses the quality bound) — and written back as future base
+// material. Dynamic phases take the AAPC fallback either way.
+func (s *Server) compileHealthy(p *parsedRequest) (*core.CompiledProgram, error) {
+	if s.store == nil {
+		return core.Compiler{Topology: p.topo, Scheduler: p.scheduler}.Compile(p.prog)
+	}
+	out := &core.CompiledProgram{Program: p.prog}
+	for _, ph := range p.prog.Phases {
+		if ph.Dynamic || len(ph.Messages) == 0 {
+			one, err := core.Compiler{Topology: p.topo, Scheduler: p.scheduler}.Compile(
+				core.Program{Name: p.prog.Name, Phases: []core.Phase{ph}})
+			if err != nil {
+				return nil, err
+			}
+			out.Phases = append(out.Phases, one.Phases[0])
+			continue
+		}
+		res, err := s.schedulePhase(p, ph.Requests())
+		if err != nil {
+			return nil, fmt.Errorf("phase %q: %w", ph.Name, err)
+		}
+		sp, err := switchprog.Compile(res)
+		if err != nil {
+			return nil, fmt.Errorf("phase %q: %w", ph.Name, err)
+		}
+		out.Phases = append(out.Phases, core.CompiledPhase{Phase: ph, Schedule: res, Program: sp})
+	}
+	return out, nil
+}
+
+// schedulePhase resolves one static phase's schedule through the store.
+func (s *Server) schedulePhase(p *parsedRequest, reqs request.Set) (*schedule.Result, error) {
+	key := store.BaseKey(reqs, p.topoName, p.schedName)
+	if res := s.loadBase(key, p.topo, reqs); res != nil {
+		s.metrics.observeDelta(true, false)
+		return res, nil
+	}
+	var base *schedule.Result
+	if candKey, ok := s.bases.nearest(p.topoName, reqs, key); ok {
+		base = s.loadBase(candKey, p.topo, nil)
+	}
+	res, st, err := delta.Recompile(p.topo, base, reqs, delta.Options{Bound: s.deltaBound, Scheduler: p.scheduler})
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.observeDelta(false, st.Patched)
+	s.saveBase(key, p.topoName, res, reqs)
+	return res, nil
+}
+
+// compileMasked compiles a program against a fault-masked topology. Static
+// phases prefer the delta path — rebase a stored healthy schedule onto the
+// masked view — and fall back to fault.Recompile (scheduling on the masked
+// view from scratch) when no usable base exists. Both paths end in
+// switch-program lowering and light-trace verification that the degraded
+// programs drive the surviving hardware correctly. Dynamic phases fall back
+// to the predetermined AAPC configuration set recomputed on the masked
+// topology. The per-request masked view's route-cache entry is released
+// before returning so a serving daemon does not churn the process-wide
+// route cache.
+func (s *Server) compileMasked(p *parsedRequest) (*core.CompiledProgram, error) {
+	masked := fault.NewMasked(p.topo, p.faults)
+	defer network.InvalidateRoutes(masked)
+	out := &core.CompiledProgram{Program: p.prog}
+	for _, ph := range p.prog.Phases {
+		if ph.Dynamic {
+			one, err := core.Compiler{Topology: masked, Scheduler: p.scheduler}.Compile(
+				core.Program{Name: p.prog.Name, Phases: []core.Phase{ph}})
+			if err != nil {
+				return nil, err
+			}
+			out.Phases = append(out.Phases, one.Phases[0])
+			continue
+		}
+		reqs := ph.Requests()
+		if res, sp, ok := s.deltaMasked(masked, p, reqs); ok {
+			out.Phases = append(out.Phases, core.CompiledPhase{Phase: ph, Schedule: res, Program: sp})
+			continue
+		}
+		res, sp, err := fault.Recompile(masked, reqs, p.scheduler)
+		if err != nil {
+			return nil, fmt.Errorf("phase %q: %w", ph.Name, err)
+		}
+		out.Phases = append(out.Phases, core.CompiledPhase{Phase: ph, Schedule: res, Program: sp})
+	}
+	return out, nil
+}
+
+// deltaMasked serves one static phase of a fault-masked compile through the
+// incremental recompiler: the stored healthy schedule of the same pattern
+// (or the nearest stored base) is rebased onto the masked view — surviving
+// circuits keep their slots, broken ones detour — and the result is
+// accepted only after the same switch-program lowering and light-trace
+// verification fault.Recompile performs. Any miss or failure returns
+// ok=false and the caller runs the full recovery path.
+func (s *Server) deltaMasked(masked network.Topology, p *parsedRequest, reqs request.Set) (*schedule.Result, *switchprog.Program, bool) {
+	if s.store == nil {
+		return nil, nil, false
+	}
+	base := s.loadBase(store.BaseKey(reqs, p.topoName, p.schedName), p.topo, reqs)
+	if base == nil {
+		if candKey, ok := s.bases.nearest(p.topoName, reqs, ""); ok {
+			base = s.loadBase(candKey, p.topo, nil)
+		}
+	}
+	if base == nil {
+		return nil, nil, false
+	}
+	res, st, err := delta.Recompile(masked, base, reqs, delta.Options{Bound: s.deltaBound, Scheduler: p.scheduler})
+	if err != nil {
+		return nil, nil, false
+	}
+	prog, err := switchprog.Compile(res)
+	if err != nil {
+		return nil, nil, false
+	}
+	if _, err := optics.NewTracer(prog).VerifySchedule(res.Slot); err != nil {
+		return nil, nil, false
+	}
+	s.metrics.observeDelta(false, st.Patched)
+	return res, prog, true
+}

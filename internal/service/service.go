@@ -45,11 +45,13 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/request"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -75,6 +77,20 @@ type Config struct {
 	RetryAfter time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+
+	// StoreDir, when non-empty, enables the persistent schedule store
+	// rooted there: compiled artifacts and per-phase base schedules survive
+	// restarts (warm boot preloads them), and the delta recompiler patches
+	// stored bases instead of compiling from scratch.
+	StoreDir string
+	// StoreMaxEntries and StoreMaxAge bound the store; GC runs at startup.
+	// Zero means unbounded.
+	StoreMaxEntries int
+	StoreMaxAge     time.Duration
+	// DeltaBound accepts an incrementally patched schedule only when its
+	// multiplexing degree is at most DeltaBound x the from-scratch estimate;
+	// 0 means delta.DefaultBound.
+	DeltaBound float64
 }
 
 // Server is the compile service. It implements http.Handler.
@@ -89,6 +105,13 @@ type Server struct {
 	flight  *flightGroup
 	pool    *workerPool
 	metrics *metricsState
+
+	// store is the persistent schedule store; nil when disabled. bases is
+	// the in-memory nearest-base candidate index over its schedule entries,
+	// deltaBound the patch-quality gate.
+	store      *store.Store
+	bases      *baseIndex
+	deltaBound float64
 
 	// compileHook, when set, runs inside a pool worker immediately before a
 	// pipeline invocation. Test instrumentation: counting calls counts
@@ -116,16 +139,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.DeltaBound <= 0 {
+		cfg.DeltaBound = delta.DefaultBound
+	}
 	s := &Server{
-		topo:      cfg.Topology,
-		topoPEs:   network.TerminalCount(cfg.Topology),
-		scheduler: cfg.Scheduler,
-		retry:     cfg.RetryAfter,
-		mux:       http.NewServeMux(),
-		cache:     newLRUCache(cfg.CacheEntries),
-		flight:    newFlightGroup(),
-		pool:      newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		metrics:   newMetricsState(),
+		topo:       cfg.Topology,
+		topoPEs:    network.TerminalCount(cfg.Topology),
+		scheduler:  cfg.Scheduler,
+		retry:      cfg.RetryAfter,
+		mux:        http.NewServeMux(),
+		cache:      newLRUCache(cfg.CacheEntries),
+		flight:     newFlightGroup(),
+		pool:       newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		metrics:    newMetricsState(),
+		bases:      newBaseIndex(),
+		deltaBound: cfg.DeltaBound,
+	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{MaxEntries: cfg.StoreMaxEntries, MaxAge: cfg.StoreMaxAge})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := st.GC(); err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.cache.onEvict = s.writeEvicted
+		s.warmBoot(cfg.CacheEntries)
 	}
 	s.mux.HandleFunc("/compile", s.handleCompile)
 	s.mux.HandleFunc("/recompile", s.handleRecompile)
@@ -353,11 +393,18 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, recompile 
 	writeJSON(w, http.StatusOK, Response{Key: p.key, Cache: state, Result: raw})
 }
 
-// serve resolves a key to its artifact: cache, then coalesced compile
-// through the admission-controlled worker pool.
+// serve resolves a key to its artifact: the in-memory cache, then the
+// persistent store, then a coalesced compile through the
+// admission-controlled worker pool.
 func (s *Server) serve(key string, build func() (json.RawMessage, error)) (json.RawMessage, string, error) {
 	if v, ok := s.cache.Get(key); ok {
 		return v, CacheHit, nil
+	}
+	// An artifact evicted from memory — or compiled by a previous process —
+	// is a disk read, not a pipeline invocation.
+	if v, ok := s.storeGetArtifact(key); ok {
+		s.cache.Add(key, v)
+		return v, CacheStore, nil
 	}
 	lateHit := false
 	raw, err, leader := s.flight.Do(key, func() (json.RawMessage, error) {
@@ -384,6 +431,7 @@ func (s *Server) serve(key string, build func() (json.RawMessage, error)) (json.
 		out := <-done
 		if out.err == nil {
 			s.cache.Add(key, out.raw)
+			s.storePutArtifact(key, out.raw)
 		}
 		return out.raw, out.err
 	})
@@ -404,9 +452,9 @@ func (s *Server) buildArtifact(p *parsedRequest) (json.RawMessage, error) {
 	var cp *core.CompiledProgram
 	var err error
 	if p.faults == nil || p.faults.Empty() {
-		cp, err = core.Compiler{Topology: p.topo, Scheduler: p.scheduler}.Compile(p.prog)
+		cp, err = s.compileHealthy(p)
 	} else {
-		cp, err = compileMasked(p.prog, p.topo, p.faults, p.scheduler)
+		cp, err = s.compileMasked(p)
 	}
 	if err != nil {
 		return nil, compileError{err}
@@ -420,37 +468,6 @@ func (s *Server) buildArtifact(p *parsedRequest) (json.RawMessage, error) {
 		return nil, err
 	}
 	return raw, nil
-}
-
-// compileMasked compiles a program against a fault-masked topology. Static
-// phases go through fault.Recompile — scheduling on the masked view,
-// switch-program lowering, and light-trace verification that the degraded
-// programs drive the surviving hardware correctly. Dynamic phases fall back
-// to the predetermined AAPC configuration set recomputed on the masked
-// topology. The per-request masked view's route-cache entry is released
-// before returning so a serving daemon does not churn the process-wide
-// route cache.
-func compileMasked(prog core.Program, base network.Topology, faults *fault.Set, sched schedule.Scheduler) (*core.CompiledProgram, error) {
-	masked := fault.NewMasked(base, faults)
-	defer network.InvalidateRoutes(masked)
-	out := &core.CompiledProgram{Program: prog}
-	for _, ph := range prog.Phases {
-		if ph.Dynamic {
-			one, err := core.Compiler{Topology: masked, Scheduler: sched}.Compile(
-				core.Program{Name: prog.Name, Phases: []core.Phase{ph}})
-			if err != nil {
-				return nil, err
-			}
-			out.Phases = append(out.Phases, one.Phases[0])
-			continue
-		}
-		res, sp, err := fault.Recompile(masked, ph.Requests(), sched)
-		if err != nil {
-			return nil, fmt.Errorf("phase %q: %w", ph.Name, err)
-		}
-		out.Phases = append(out.Phases, core.CompiledPhase{Phase: ph, Schedule: res, Program: sp})
-	}
-	return out, nil
 }
 
 // buildResult renders a compiled program to the wire shape, predicting each
@@ -504,7 +521,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "service: metrics requires GET"})
 		return
 	}
-	snap := s.metrics.snapshot(s.topo.Name(), s.scheduler.Name(), s.cache.Metrics(), s.pool.Metrics())
+	var st StoreMetrics
+	if s.store != nil {
+		m := s.store.Metrics()
+		st = StoreMetrics{
+			Enabled:     true,
+			Entries:     m.Entries,
+			Bytes:       m.Bytes,
+			Puts:        m.Puts,
+			Hits:        m.Hits,
+			Misses:      m.Misses,
+			Quarantined: m.Quarantined,
+		}
+	}
+	snap := s.metrics.snapshot(s.topo.Name(), s.scheduler.Name(), s.cache.Metrics(), st, s.deltaBound, s.pool.Metrics())
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// traceBodyMsgs is traceBody with an explicit message list, for tests that
+// drift a pattern request by request.
+func traceBodyMsgs(t *testing.T, name string, msgs []trace.Message) []byte {
+	t.Helper()
+	doc := trace.Document{
+		Name:   name,
+		PEs:    16,
+		Phases: []trace.Phase{{Name: "ring", Messages: msgs}},
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeResponse(t *testing.T, rec *httptest.ResponseRecorder) Response {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func getMetrics(t *testing.T, s *Server) MetricsSnapshot {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestWarmBootServesWithoutCompiling is the restart end-to-end: a daemon
+// compiles a trace, dies, and a second daemon on the same store directory
+// answers the same trace byte-identically with zero pipeline invocations —
+// the warm boot preloaded the artifact into the LRU.
+func TestWarmBootServesWithoutCompiling(t *testing.T) {
+	dir := t.TempDir()
+	body := traceBody(t, "warm-boot")
+
+	s1 := newWhiteboxServer(t, Config{StoreDir: dir})
+	first := decodeResponse(t, postTrace(s1, "/compile", body))
+	if first.Cache != CacheMiss {
+		t.Fatalf("cold compile reported %q", first.Cache)
+	}
+	s1.Close()
+
+	s2 := newWhiteboxServer(t, Config{StoreDir: dir})
+	var compiles atomic.Int64
+	s2.compileHook = func(string) { compiles.Add(1) }
+
+	snap := getMetrics(t, s2)
+	if !snap.Store.Enabled || snap.Store.WarmLoaded < 1 {
+		t.Fatalf("store metrics after warm boot = %+v", snap.Store)
+	}
+	second := decodeResponse(t, postTrace(s2, "/compile", body))
+	if second.Cache != CacheHit {
+		t.Fatalf("restarted daemon reported %q, want %q", second.Cache, CacheHit)
+	}
+	if second.Key != first.Key || !bytes.Equal(second.Result, first.Result) {
+		t.Fatal("restarted daemon's artifact differs from the original compile")
+	}
+	if n := compiles.Load(); n != 0 {
+		t.Fatalf("restart ran %d pipeline invocations, want 0", n)
+	}
+}
+
+// TestStoreStateServesEvictedArtifact evicts an artifact from a one-entry
+// LRU and proves the next request for it is a disk read — the "store" cache
+// state, counted separately from LRU hits — not a recompile.
+func TestStoreStateServesEvictedArtifact(t *testing.T) {
+	s := newWhiteboxServer(t, Config{StoreDir: t.TempDir(), CacheEntries: 1})
+	var compiles atomic.Int64
+	s.compileHook = func(string) { compiles.Add(1) }
+
+	bodyA := traceBody(t, "evict-a")
+	first := decodeResponse(t, postTrace(s, "/compile", bodyA))
+	decodeResponse(t, postTrace(s, "/compile", traceBody(t, "evict-b"))) // evicts A
+	before := compiles.Load()
+
+	again := decodeResponse(t, postTrace(s, "/compile", bodyA))
+	if again.Cache != CacheStore {
+		t.Fatalf("evicted artifact served as %q, want %q", again.Cache, CacheStore)
+	}
+	if !bytes.Equal(again.Result, first.Result) {
+		t.Fatal("store read returned different bytes than the original compile")
+	}
+	if compiles.Load() != before {
+		t.Fatal("store hit ran the pipeline")
+	}
+	ep := getMetrics(t, s).Endpoints["compile"]
+	if ep.StoreHits != 1 || ep.Hits != 0 {
+		t.Fatalf("endpoint hits/store_hits = %d/%d, want 0/1", ep.Hits, ep.StoreHits)
+	}
+}
+
+// TestEvictionWriteThrough exercises the safety net: when the store lost an
+// artifact (here: deleted out from under the daemon, as GC would), the LRU
+// eviction callback writes it back so it stays one disk read away.
+func TestEvictionWriteThrough(t *testing.T) {
+	s := newWhiteboxServer(t, Config{StoreDir: t.TempDir(), CacheEntries: 1})
+
+	bodyA := traceBody(t, "through-a")
+	first := decodeResponse(t, postTrace(s, "/compile", bodyA))
+	if err := s.store.Delete(store.KindArtifact, first.Key); err != nil {
+		t.Fatal(err)
+	}
+
+	decodeResponse(t, postTrace(s, "/compile", traceBody(t, "through-b"))) // evicts A
+	if !s.store.Has(store.KindArtifact, first.Key) {
+		t.Fatal("evicted artifact was not written through to the store")
+	}
+	if snap := getMetrics(t, s); snap.Store.EvictionWrites != 1 {
+		t.Fatalf("eviction_writes = %d, want 1", snap.Store.EvictionWrites)
+	}
+	again := decodeResponse(t, postTrace(s, "/compile", bodyA))
+	if again.Cache != CacheStore || !bytes.Equal(again.Result, first.Result) {
+		t.Fatalf("written-through artifact served as %q", again.Cache)
+	}
+}
+
+// TestExactScheduleReuse compiles two programs that differ only in name:
+// their program keys differ (the artifact echoes the name) but the phase
+// pattern is identical, so the second compile must reuse the stored phase
+// schedule verbatim instead of scheduling again.
+func TestExactScheduleReuse(t *testing.T) {
+	s := newWhiteboxServer(t, Config{StoreDir: t.TempDir()})
+	msgs := []trace.Message{{Src: 0, Dst: 5, Flits: 2}, {Src: 5, Dst: 10, Flits: 2}, {Src: 10, Dst: 0, Flits: 2}}
+
+	a := decodeResponse(t, postTrace(s, "/compile", traceBodyMsgs(t, "alpha", msgs)))
+	b := decodeResponse(t, postTrace(s, "/compile", traceBodyMsgs(t, "beta", msgs)))
+	if a.Key == b.Key || a.Cache != CacheMiss || b.Cache != CacheMiss {
+		t.Fatalf("expected two distinct cold compiles, got %q/%q", a.Cache, b.Cache)
+	}
+	snap := getMetrics(t, s)
+	if snap.Delta.ScheduleHits != 1 {
+		t.Fatalf("schedule_hits = %d, want 1 (second program reuses the stored phase schedule)", snap.Delta.ScheduleHits)
+	}
+	// Identical phases must compile to identical configuration sets even
+	// though the artifacts differ (they echo the program name).
+	var ra, rb Result
+	if err := json.Unmarshal(a.Result, &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b.Result, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.MaxDegree != rb.MaxDegree || len(ra.Phases) != len(rb.Phases) {
+		t.Fatal("schedule reuse changed the compiled shape")
+	}
+}
+
+// TestRecompileUsesDeltaPath compiles a trace healthy (seeding the base
+// store), then recompiles it under a single-link fault mask and asserts the
+// incremental path — patch of the stored healthy base onto the masked view
+// — served it rather than a from-scratch fault.Recompile.
+func TestRecompileUsesDeltaPath(t *testing.T) {
+	s := newWhiteboxServer(t, Config{StoreDir: t.TempDir()})
+	body := traceBody(t, "delta-mask")
+
+	decodeResponse(t, postTrace(s, "/compile", body))
+	rec := postTrace(s, "/recompile?links=3", body)
+	resp := decodeResponse(t, rec)
+	if resp.Cache != CacheMiss {
+		t.Fatalf("masked recompile served as %q", resp.Cache)
+	}
+	var res Result
+	if err := json.Unmarshal(resp.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults == nil || len(res.Faults.Links) != 1 {
+		t.Fatalf("artifact does not echo the mask: %+v", res.Faults)
+	}
+	snap := getMetrics(t, s)
+	if snap.Delta.Patched < 1 {
+		t.Fatalf("delta metrics = %+v, want at least one accepted patch", snap.Delta)
+	}
+	if snap.Delta.Bound != s.deltaBound {
+		t.Fatalf("reported bound %v != configured %v", snap.Delta.Bound, s.deltaBound)
+	}
+}
+
+// TestDeltaDeterminismAcrossWorkers replays one drifting request sequence
+// against two daemons that differ only in worker count (and store
+// directory) and asserts every response — including the delta-patched ones
+// — is byte-identical. The patch path must not depend on scheduling or
+// parallelism of the serving process.
+func TestDeltaDeterminismAcrossWorkers(t *testing.T) {
+	ring := []trace.Message{
+		{Src: 0, Dst: 1, Flits: 2}, {Src: 1, Dst: 2, Flits: 2},
+		{Src: 2, Dst: 3, Flits: 2}, {Src: 3, Dst: 0, Flits: 2},
+	}
+	drift1 := append(append([]trace.Message(nil), ring...), trace.Message{Src: 4, Dst: 5, Flits: 2})
+	drift2 := append(append([]trace.Message(nil), ring[:3]...), trace.Message{Src: 8, Dst: 9, Flits: 2})
+	steps := [][]byte{
+		traceBodyMsgs(t, "seq", ring),
+		traceBodyMsgs(t, "seq", drift1),
+		traceBodyMsgs(t, "seq", drift2),
+	}
+
+	s1 := newWhiteboxServer(t, Config{StoreDir: t.TempDir(), Workers: 1})
+	s8 := newWhiteboxServer(t, Config{StoreDir: t.TempDir(), Workers: 8})
+	for i, body := range steps {
+		r1 := decodeResponse(t, postTrace(s1, "/compile", body))
+		r8 := decodeResponse(t, postTrace(s8, "/compile", body))
+		if r1.Key != r8.Key {
+			t.Fatalf("step %d: program keys diverge", i)
+		}
+		if !bytes.Equal(r1.Result, r8.Result) {
+			t.Fatalf("step %d: artifacts diverge across worker counts", i)
+		}
+	}
+	for _, s := range []*Server{s1, s8} {
+		if snap := getMetrics(t, s); snap.Delta.Patched < 1 {
+			t.Fatalf("delta metrics = %+v, want the drifted steps patched", snap.Delta)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// codec.go is the injective binary encoding of compiled schedule.Results —
+// the payload format of KindSchedule entries. The encoding preserves the
+// exact configuration and within-configuration request order, so
+// encode→decode→encode is a fixed point and a decoded schedule is
+// byte-identical material for the delta compiler's determinism guarantees.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+)
+
+// resultMagic versions the schedule encoding; bumping it orphans stored
+// schedules on purpose (they decode to an error and are recompiled).
+var resultMagic = []byte("ccres1\n")
+
+// EncodeResult serializes a schedule to the store's binary form: magic,
+// algorithm name, topology name, then the configurations as uvarint-framed
+// (src, dst) lists. Every field is length- or count-prefixed, so the
+// encoding is injective, and nothing is reordered, so it round-trips
+// exactly.
+func EncodeResult(r *schedule.Result) []byte {
+	n := 0
+	for _, cfg := range r.Configs {
+		n += len(cfg)
+	}
+	b := make([]byte, 0, len(resultMagic)+len(r.Algorithm)+32+10*n)
+	b = append(b, resultMagic...)
+	b = appendBytes(b, []byte(r.Algorithm))
+	b = appendBytes(b, []byte(r.Topology.Name()))
+	b = binary.AppendUvarint(b, uint64(len(r.Configs)))
+	for _, cfg := range r.Configs {
+		b = binary.AppendUvarint(b, uint64(len(cfg)))
+		for _, q := range cfg {
+			b = binary.AppendUvarint(b, uint64(q.Src))
+			b = binary.AppendUvarint(b, uint64(q.Dst))
+		}
+	}
+	return b
+}
+
+// Decoded is a schedule parsed from the store, not yet bound to a live
+// topology value.
+type Decoded struct {
+	// Algorithm is the producing scheduler's name (possibly "+delta"
+	// suffixed by the incremental compiler).
+	Algorithm string
+	// Topology is the name of the topology the schedule was computed for.
+	Topology string
+	// Configs is the configuration partition, in stored order.
+	Configs []request.Set
+}
+
+// DecodeResult parses a stored schedule encoding.
+func DecodeResult(data []byte) (*Decoded, error) {
+	if len(data) < len(resultMagic) || !bytes.Equal(data[:len(resultMagic)], resultMagic) {
+		return nil, fmt.Errorf("store: bad schedule magic")
+	}
+	rest := data[len(resultMagic):]
+	alg, rest, err := readBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	topo, rest, err := readBytes(rest)
+	if err != nil {
+		return nil, err
+	}
+	readUvarint := func() (uint64, error) {
+		n, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return 0, fmt.Errorf("store: truncated schedule")
+		}
+		rest = rest[w:]
+		return n, nil
+	}
+	nc, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nc > uint64(len(rest)) { // each config costs at least one byte
+		return nil, fmt.Errorf("store: schedule claims %d configurations in %d bytes", nc, len(rest))
+	}
+	d := &Decoded{Algorithm: string(alg), Topology: string(topo), Configs: make([]request.Set, nc)}
+	for k := range d.Configs {
+		nr, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nr > uint64(len(rest)) { // each request costs at least two bytes
+			return nil, fmt.Errorf("store: configuration claims %d requests in %d bytes", nr, len(rest))
+		}
+		cfg := make(request.Set, nr)
+		for i := range cfg {
+			src, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			dst, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			cfg[i] = request.Request{Src: network.NodeID(src), Dst: network.NodeID(dst)}
+		}
+		d.Configs[k] = cfg
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after schedule", len(rest))
+	}
+	return d, nil
+}
+
+// Requests flattens the decoded configurations into the request multiset
+// they serve, in stored order.
+func (d *Decoded) Requests() request.Set {
+	n := 0
+	for _, cfg := range d.Configs {
+		n += len(cfg)
+	}
+	out := make(request.Set, 0, n)
+	for _, cfg := range d.Configs {
+		out = append(out, cfg...)
+	}
+	return out
+}
+
+// Result binds the decoded schedule to a live topology, rebuilding the slot
+// index. The topology's name must match the one the schedule was stored
+// for; a decoded schedule is never silently rebound to a different network.
+func (d *Decoded) Result(topo network.Topology) (*schedule.Result, error) {
+	if topo.Name() != d.Topology {
+		return nil, fmt.Errorf("store: schedule is for %s, not %s", d.Topology, topo.Name())
+	}
+	slot := make(map[request.Request]int)
+	for k, cfg := range d.Configs {
+		for _, q := range cfg {
+			slot[q] = k
+		}
+	}
+	return &schedule.Result{Algorithm: d.Algorithm, Topology: topo, Configs: d.Configs, Slot: slot}, nil
+}
+
+// BaseKey is the store key of a pattern's healthy base schedule: the
+// canonical PatternKey of the (deduplicated) request set on a topology
+// under a scheduling algorithm. cmd/ccsched, the compile service and the
+// delta compiler all address base schedules through this one formula, so a
+// schedule compiled by any of them warms the others.
+func BaseKey(reqs request.Set, topoName, schedName string) string {
+	return request.PatternKey(reqs.Triples(0), topoName, "alg="+schedName, "kind=delta-base")
+}

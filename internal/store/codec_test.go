@@ -1,0 +1,131 @@
+package store_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/patterns"
+	"repro/internal/schedule"
+	"repro/internal/store"
+	"repro/internal/topology"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	set, err := patterns.Random(rand.New(rand.NewSource(7)), 64, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := schedule.Combined{}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := store.EncodeResult(res)
+	dec, err := store.DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Algorithm != res.Algorithm || dec.Topology != "torus-8x8" {
+		t.Fatalf("decoded header = %q/%q", dec.Algorithm, dec.Topology)
+	}
+	got, err := dec.Result(torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degree() != res.Degree() || got.NumRequests() != res.NumRequests() {
+		t.Fatalf("decoded shape %d/%d, want %d/%d", got.Degree(), got.NumRequests(), res.Degree(), res.NumRequests())
+	}
+	for k := range res.Configs {
+		if len(got.Configs[k]) != len(res.Configs[k]) {
+			t.Fatalf("config %d size changed", k)
+		}
+		for i := range res.Configs[k] {
+			if got.Configs[k][i] != res.Configs[k][i] {
+				t.Fatalf("config %d request %d: %v != %v", k, i, got.Configs[k][i], res.Configs[k][i])
+			}
+		}
+	}
+	if err := got.Validate(set); err != nil {
+		t.Fatalf("decoded schedule invalid: %v", err)
+	}
+	// encode(decode(encode(x))) == encode(x): the store round-trip is a
+	// fixed point, the determinism anchor of the delta layer.
+	if again := store.EncodeResult(got); !bytes.Equal(again, enc) {
+		t.Fatal("encode -> decode -> encode is not a fixed point")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	res, err := schedule.Greedy{}.Schedule(torus, patterns.Ring(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := store.EncodeResult(res)
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte("XXXXXX\n"), enc[7:]...),
+		"truncated":  enc[:len(enc)/2],
+		"trailing":   append(append([]byte(nil), enc...), 0x01),
+		"count bomb": append(append([]byte(nil), enc[:8]...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+	}
+	for name, data := range cases {
+		if _, err := store.DecodeResult(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// Binding to the wrong topology must fail loudly.
+	dec, err := store.DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Result(topology.NewTorus(8, 8)); err == nil {
+		t.Error("decoded schedule rebound to a different topology")
+	}
+}
+
+func TestDecodedRequests(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	set := patterns.Ring(16)
+	res, err := schedule.Greedy{}.Schedule(torus, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := store.DecodeResult(store.EncodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := dec.Requests()
+	if len(flat) != len(set) {
+		t.Fatalf("Requests = %d, want %d", len(flat), len(set))
+	}
+	want := map[string]int{}
+	for _, q := range set {
+		want[q.String()]++
+	}
+	for _, q := range flat {
+		want[q.String()]--
+	}
+	for k, n := range want {
+		if n != 0 {
+			t.Fatalf("request multiset drifted at %s (%+d)", k, n)
+		}
+	}
+}
+
+func TestBaseKeyCanonical(t *testing.T) {
+	set := patterns.Ring(16)
+	shuffled := set.Clone()
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if store.BaseKey(set, "torus-4x4", "combined") != store.BaseKey(shuffled, "torus-4x4", "combined") {
+		t.Fatal("BaseKey depends on request order")
+	}
+	if store.BaseKey(set, "torus-4x4", "combined") == store.BaseKey(set, "torus-4x4", "coloring") {
+		t.Fatal("BaseKey ignores the scheduler")
+	}
+	if store.BaseKey(set, "torus-4x4", "combined") == store.BaseKey(set, "mesh-4x4", "combined") {
+		t.Fatal("BaseKey ignores the topology")
+	}
+}
