@@ -25,9 +25,9 @@ package ccomm
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
+	"repro/internal/cliutil"
 	"repro/internal/network"
 	"repro/internal/request"
 	"repro/internal/schedule"
@@ -165,10 +165,7 @@ func (c Compiler) CompileAll(patterns []RequestSet) ([]*CompiledPhase, error) {
 	}
 	out := make([]*CompiledPhase, len(patterns))
 	errs := make([]error, len(patterns))
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := cliutil.Workers(c.Workers)
 	if workers > len(patterns) {
 		workers = len(patterns)
 	}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/fault"
 	"repro/internal/network"
+	"repro/internal/optics"
 	"repro/internal/patterns"
 	"repro/internal/perf"
 	"repro/internal/request"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/service/client"
 	"repro/internal/sim"
+	"repro/internal/switchprog"
 	"repro/internal/topology"
 	"repro/internal/trace"
 )
@@ -148,6 +150,38 @@ func main() {
 			_, err := schedule.Combined{}.Schedule(torus, drift)
 			return err
 		}))
+
+		// Scheduling core, no HTTP in the way: the arena compile the service
+		// runs per cache miss, next to the retained map-based oracle core the
+		// differential suite compares it against. The ratio between the two
+		// rows is the bitset-core speedup, locked into the JSON.
+		st := schedule.NewCompileState()
+		var combined schedule.Scheduler = schedule.Combined{}
+		check(report.Run("sched/compile/hypercube64", func() error {
+			_, err := st.Compile(combined, torus, hyper)
+			return err
+		}))
+		check(report.Run("sched/compile-oracle/hypercube64", func() error {
+			_, err := schedule.OracleCombined{}.Schedule(torus, hyper)
+			return err
+		}))
+
+		// Streaming incremental recompilation: a delta.Session absorbing an
+		// alternating pattern drift, against the stateless patch above. The
+		// session keeps the colored schedule alive between calls, so each
+		// iteration pays only the diff.
+		sess, err := delta.NewSession(torus, baseRes, delta.Options{})
+		check(err)
+		targets := [2]request.Set{drift, hyper}
+		flip := 0
+		check(report.Run("delta/session/hypercube64", func() error {
+			flip++
+			_, sst, err := sess.Recompile(targets[flip%2])
+			if err == nil && !sst.Patched {
+				return fmt.Errorf("session patch rejected: %s", sst.Fallback)
+			}
+			return err
+		}))
 	}
 
 	// Dynamic control under fault injection on a reused simulator: the
@@ -249,6 +283,61 @@ func main() {
 			}))
 			ts.Close()
 			svc.Close()
+		}
+
+		// The same two recompile paths with the protocol stripped away: the
+		// HTTP rows above pay a shared JSON-parse/encode/transport floor on
+		// both sides that compresses their ratio; these rows isolate what
+		// the compiler itself does per request. Full runs fault.Recompile
+		// (schedule from scratch on the masked view, lower, verify) per
+		// static phase; delta rebases each phase's stored healthy schedule
+		// (delta.Recompile, then the same lowering and light-trace check the
+		// service performs).
+		{
+			failset := fault.NewSet()
+			failset.FailLink(3)
+			masked := fault.NewMasked(torus, failset)
+			var phaseReqs []request.Set
+			var bases []*schedule.Result
+			for _, ph := range prog.Phases {
+				reqs := ph.Requests()
+				base, err := schedule.Combined{}.Schedule(torus, reqs)
+				check(err)
+				phaseReqs = append(phaseReqs, reqs)
+				bases = append(bases, base)
+			}
+			check(report.Run("fault/recompile-full/p3m64", func() error {
+				for i := range phaseReqs {
+					if _, _, err := fault.Recompile(masked, phaseReqs[i], nil); err != nil {
+						return fmt.Errorf("phase %d: %w", i, err)
+					}
+				}
+				return nil
+			}))
+			patched := 0
+			check(report.Run("fault/recompile-delta/p3m64", func() error {
+				patched = 0
+				for i := range phaseReqs {
+					res, st, err := delta.Recompile(masked, bases[i], phaseReqs[i], delta.Options{})
+					if err != nil {
+						return fmt.Errorf("phase %d: %w", i, err)
+					}
+					if st.Patched {
+						patched++
+					}
+					sp, err := switchprog.Compile(res)
+					if err != nil {
+						return fmt.Errorf("phase %d: %w", i, err)
+					}
+					if _, err := optics.NewTracer(sp).VerifySchedule(res.Slot); err != nil {
+						return fmt.Errorf("phase %d: %w", i, err)
+					}
+				}
+				return nil
+			}))
+			if patched == 0 {
+				check(fmt.Errorf("delta recompile never patched: every phase fell back to full scheduling"))
+			}
 		}
 	}
 

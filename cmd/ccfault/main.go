@@ -46,7 +46,7 @@ var (
 )
 
 func scheduler(name string) (schedule.Scheduler, error) {
-	return cliutil.ParseScheduler(name)
+	return schedule.ParseScheduler(name)
 }
 
 func main() {

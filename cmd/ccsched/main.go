@@ -17,7 +17,6 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/cliutil"
 	"repro/internal/network"
 	"repro/internal/patterns"
 	"repro/internal/request"
@@ -155,7 +154,7 @@ func buildPattern(nodes int) request.Set {
 }
 
 func buildScheduler() schedule.Scheduler {
-	sch, err := cliutil.ParseScheduler(*algFlag)
+	sch, err := schedule.ParseScheduler(*algFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ccsched: %v\n", err)
 		os.Exit(2)

@@ -26,8 +26,9 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/cliutil"
+	"repro/internal/schedule"
 	"repro/internal/service"
+	"repro/internal/topology"
 )
 
 var (
@@ -52,9 +53,9 @@ func main() {
 	log.SetPrefix("ccserved: ")
 	log.SetFlags(log.LstdFlags)
 
-	topo, err := cliutil.ParseTopology(*topologyFlag)
+	topo, err := topology.Parse(*topologyFlag)
 	check(err)
-	sched, err := cliutil.ParseScheduler(*algFlag)
+	sched, err := schedule.ParseScheduler(*algFlag)
 	check(err)
 
 	svc, err := service.New(service.Config{

@@ -151,7 +151,7 @@ func buildPattern() request.Set {
 }
 
 func buildScheduler() schedule.Scheduler {
-	sch, err := cliutil.ParseScheduler(*algFlag)
+	sch, err := schedule.ParseScheduler(*algFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ccviz: %v\n", err)
 		os.Exit(2)

@@ -1,12 +1,32 @@
 // Package cliutil holds the small flag-parsing helpers the cmd/ tools
-// share, so list-valued flags behave identically everywhere.
+// share, so list-valued flags behave identically everywhere, plus the
+// shared worker-count resolution every "-workers N (0 = GOMAXPROCS)" knob
+// delegates to. It deliberately has no repro dependencies so that any
+// package — including internal/schedule at the bottom of the stack — can
+// import it; the scheduler and topology name parsers that used to live
+// here moved next to the types they construct (schedule.ParseScheduler,
+// topology.Parse).
 package cliutil
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 )
+
+// Workers resolves a requested worker count: a positive request is taken
+// verbatim, anything else (the conventional "0 = GOMAXPROCS" flag default)
+// resolves to runtime.GOMAXPROCS(0). Every pool in the tree — the
+// conflict-graph build, batch compilation, trial sweeps, the service worker
+// pool — resolves through here so "default" means the same thing
+// everywhere.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // ParseIntList parses a comma-separated integer list ("1,2, 5") into its
 // values, tolerating whitespace around each element. An empty (or

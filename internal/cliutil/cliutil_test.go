@@ -2,8 +2,23 @@ package cliutil
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 )
+
+func TestWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Errorf("Workers(%d) = %d, want the request verbatim", n, got)
+		}
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		if got := Workers(n); got != want {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS = %d", n, got, want)
+		}
+	}
+}
 
 func TestParseIntList(t *testing.T) {
 	cases := []struct {

@@ -1,0 +1,130 @@
+package delta
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+)
+
+// Session is the streaming form of Recompile: it keeps the colored schedule
+// alive between recompiles as a schedule.Incremental, so a sequence of
+// drifting patterns on one topology pays the eviction/insertion cost of
+// each diff instead of re-walking the whole base schedule per call. The
+// produced schedules are byte-identical to chaining the stateless
+// Recompile — same patch rules, same quality gate, same fallback — which
+// the package tests assert; only the cost differs.
+//
+// A Session is bound to one topology. Rebasing onto a different (e.g.
+// fault-masked) topology view needs survivor re-routing, which the live
+// structure does not model; use Patch or Recompile for that.
+//
+// A Session is not safe for concurrent use.
+type Session struct {
+	topo network.Topology
+	opt  Options
+	inc  *schedule.Incremental
+	alg  string // algorithm name of the schedule the structure holds
+}
+
+// NewSession starts a session on topo. base may be nil: the first
+// Recompile then runs a full compile.
+func NewSession(topo network.Topology, base *schedule.Result, opt Options) (*Session, error) {
+	s := &Session{topo: topo, opt: opt}
+	if base != nil {
+		if base.Topology.Name() != topo.Name() {
+			return nil, fmt.Errorf("delta: session on %s cannot hold a %s schedule", topo.Name(), base.Topology.Name())
+		}
+		inc, err := schedule.NewIncremental(base)
+		if err != nil {
+			return nil, err
+		}
+		s.inc = inc
+		s.alg = base.Algorithm
+	}
+	return s, nil
+}
+
+// Degree returns the multiplexing degree of the held schedule, 0 when empty.
+func (s *Session) Degree() int {
+	if s.inc == nil {
+		return 0
+	}
+	return s.inc.Degree()
+}
+
+// Recompile produces a schedule for target, patching the live schedule
+// incrementally and falling back to a full compile under exactly the
+// Recompile rules (no base, patch failure, quality gate). Either way the
+// session afterwards holds the returned schedule, which is detached and
+// safe to retain.
+func (s *Session) Recompile(target request.Set) (*schedule.Result, Stats, error) {
+	var st Stats
+	full := func(reason string) (*schedule.Result, Stats, error) {
+		st.Patched = false
+		st.Fallback = reason
+		res, err := s.opt.scheduler().Schedule(s.topo, target)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Degree = res.Degree()
+		if err := s.rebase(res); err != nil {
+			return nil, st, err
+		}
+		return res, st, nil
+	}
+	if s.inc == nil {
+		return full("no base schedule")
+	}
+	st.BaseDegree = s.inc.Degree()
+	if err := target.Validate(s.topo); err != nil {
+		return nil, st, fmt.Errorf("delta: %w", err)
+	}
+	added, removed, err := s.inc.Update(target)
+	if err != nil {
+		// The live structure may now hold a half-applied patch; the full
+		// compile below rebases it onto a consistent schedule.
+		return full(fmt.Sprintf("patch failed: %v", err))
+	}
+	st.Added, st.Removed = added, removed
+	alg := s.alg
+	if !strings.HasSuffix(alg, "+delta") {
+		alg += "+delta"
+	}
+	res := s.inc.Result(alg)
+	if err := coversExactly(res, target); err != nil {
+		return full(fmt.Sprintf("patched schedule invalid: %v", err))
+	}
+	lb, err := schedule.LowerBound(s.topo, target)
+	if err != nil {
+		return full(fmt.Sprintf("estimating from-scratch degree: %v", err))
+	}
+	if lb < 1 {
+		lb = 1
+	}
+	st.Estimate = lb
+	if float64(res.Degree()) > s.opt.bound()*float64(lb) {
+		return full(fmt.Sprintf("patched degree %d exceeds %.2f x estimate %d", res.Degree(), s.opt.bound(), lb))
+	}
+	st.Patched = true
+	st.Degree = res.Degree()
+	s.alg = alg
+	return s.inc.Detach(alg), st, nil
+}
+
+// rebase rebinds the live structure to a freshly compiled schedule.
+func (s *Session) rebase(res *schedule.Result) error {
+	if s.inc == nil {
+		inc, err := schedule.NewIncremental(res)
+		if err != nil {
+			return err
+		}
+		s.inc = inc
+	} else if err := s.inc.Reset(res); err != nil {
+		return err
+	}
+	s.alg = res.Algorithm
+	return nil
+}

@@ -1,0 +1,146 @@
+package delta_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// sessionRNG is SplitMix64, matching the schedule package's differential
+// suite so failing seeds replay across packages.
+type sessionRNG uint64
+
+func (s *sessionRNG) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func randomSet(rng *sessionRNG, nn, n int) request.Set {
+	set := make(request.Set, 0, n)
+	for len(set) < n {
+		s := network.NodeID(rng.next() % uint64(nn))
+		d := network.NodeID(rng.next() % uint64(nn))
+		if s != d {
+			set = append(set, request.Request{Src: s, Dst: d})
+		}
+	}
+	return set
+}
+
+func drift(rng *sessionRNG, base request.Set, nn int, frac float64) request.Set {
+	keep := int(float64(len(base)) * (1 - frac))
+	out := base[:keep:keep].Clone()
+	return append(out, randomSet(rng, nn, len(base)-keep)...)
+}
+
+// assertSameSchedule compares two results field by field; both come from
+// the same package so reflect.DeepEqual is an exact byte-identity check.
+func assertSameSchedule(t *testing.T, got, want *schedule.Result) {
+	t.Helper()
+	if got.Algorithm != want.Algorithm {
+		t.Fatalf("algorithm %q, want %q", got.Algorithm, want.Algorithm)
+	}
+	if !reflect.DeepEqual(got.Configs, want.Configs) {
+		t.Fatalf("configs diverge:\ngot:  %v\nwant: %v", got.Configs, want.Configs)
+	}
+	if !reflect.DeepEqual(got.Slot, want.Slot) {
+		t.Fatal("slot index diverges")
+	}
+}
+
+// TestPatchMatchesOracle differentially tests the bitset patcher against
+// the retained map-based original across drift fractions.
+func TestPatchMatchesOracle(t *testing.T) {
+	topo := topology.NewTorus(8, 8)
+	nn := topo.NumNodes()
+	for _, frac := range []float64{0.05, 0.25, 0.75, 1.0} {
+		frac := frac
+		t.Run(fmt.Sprintf("drift=%.2f", frac), func(t *testing.T) {
+			rng := sessionRNG(uint64(frac*100) + 1)
+			pattern := randomSet(&rng, nn, 3*nn)
+			base, err := schedule.Combined{}.Schedule(topo, pattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			target := drift(&rng, pattern, nn, frac)
+			got, gotEv, err := delta.Patch(base, topo, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantEv, err := delta.OraclePatch(base, topo, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotEv != wantEv {
+				t.Fatalf("evicted %d, oracle evicted %d", gotEv, wantEv)
+			}
+			assertSameSchedule(t, got, want)
+			if err := got.Validate(target); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSessionMatchesRecompile drives a session and the stateless Recompile
+// through the same drifting pattern stream; every schedule and every Stats
+// must be identical, including steps that fall back to a full compile.
+func TestSessionMatchesRecompile(t *testing.T) {
+	topo := topology.NewTorus(8, 8)
+	nn := topo.NumNodes()
+	opt := delta.Options{}
+	sess, err := delta.NewSession(topo, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sessionRNG(1234)
+	pattern := randomSet(&rng, nn, 3*nn)
+	var base *schedule.Result
+	for step := 0; step < 6; step++ {
+		frac := 0.2
+		if step == 3 {
+			frac = 1.0 // full churn: drives the quality gate toward fallback
+		}
+		if step > 0 {
+			pattern = drift(&rng, pattern, nn, frac)
+		}
+		want, wantStats, err := delta.Recompile(topo, base, pattern, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotStats, err := sess.Recompile(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("step %d stats %+v, want %+v", step, gotStats, wantStats)
+		}
+		assertSameSchedule(t, got, want)
+		if sess.Degree() != want.Degree() {
+			t.Fatalf("step %d session degree %d, want %d", step, sess.Degree(), want.Degree())
+		}
+		base = want
+	}
+}
+
+// TestSessionRejectsForeignBase pins the topology binding rule.
+func TestSessionRejectsForeignBase(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	ring := topology.NewRing(16)
+	base, err := schedule.Greedy{}.Schedule(ring, request.Set{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := delta.NewSession(torus, base, delta.Options{}); err == nil {
+		t.Fatal("session accepted a base compiled for another topology")
+	}
+}

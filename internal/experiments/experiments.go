@@ -7,10 +7,10 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"repro/internal/apps"
+	"repro/internal/cliutil"
 	"repro/internal/network"
 	"repro/internal/patterns"
 	"repro/internal/redist"
@@ -57,7 +57,7 @@ func degreesForAll(t network.Topology, sets []request.Set) ([][]int, error) {
 	out := make([][]int, len(sets))
 	errs := make([]error, len(sets))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, cliutil.Workers(0))
 	for i := range sets {
 		wg.Add(1)
 		sem <- struct{}{}

@@ -1,0 +1,92 @@
+package network
+
+// BitOccupancy is the flat-bitset counterpart of Occupancy: one bit per
+// directed resource of a fixed topology — links first, then PE injection
+// ports (sources), then PE ejection ports (destinations). Conflict probes
+// and insertions touch O(path length) bits with no hashing and no
+// allocation, which is what lets the bitset scheduler core race orderings
+// and patch schedules at sub-millisecond cost. Bind it to a topology once,
+// Reset between configurations, and it never allocates again until a
+// larger topology is bound.
+//
+// The map-based Occupancy remains the differential-testing oracle (and the
+// convenient choice for one-shot callers); both implement the same
+// conflict relation: two circuits conflict iff they share a directed link,
+// a source, or a destination.
+type BitOccupancy struct {
+	nl, nn int
+	bits   []uint64
+}
+
+// Bind sizes the occupancy for a topology and clears it. Memory is reused
+// when the resource space fits; binding the same topology repeatedly is
+// allocation-free.
+func (o *BitOccupancy) Bind(t Topology) { o.BindSize(t.NumLinks(), t.NumNodes()) }
+
+// BindSize is Bind for callers that already know the resource-space shape.
+func (o *BitOccupancy) BindSize(numLinks, numNodes int) {
+	o.nl, o.nn = numLinks, numNodes
+	words := (numLinks + 2*numNodes + 63) / 64
+	if cap(o.bits) < words {
+		o.bits = make([]uint64, words)
+		return
+	}
+	o.bits = o.bits[:words]
+	o.Reset()
+}
+
+// Reset clears every resource without releasing memory.
+func (o *BitOccupancy) Reset() { clear(o.bits) }
+
+func (o *BitOccupancy) srcBit(n NodeID) int { return o.nl + int(n) }
+func (o *BitOccupancy) dstBit(n NodeID) int { return o.nl + o.nn + int(n) }
+
+func (o *BitOccupancy) has(bit int) bool { return o.bits[bit>>6]&(1<<uint(bit&63)) != 0 }
+func (o *BitOccupancy) set(bit int)      { o.bits[bit>>6] |= 1 << uint(bit&63) }
+func (o *BitOccupancy) unset(bit int)    { o.bits[bit>>6] &^= 1 << uint(bit&63) }
+
+// CanAdd reports whether the path is conflict-free with everything already
+// added, exactly like Occupancy.CanAdd.
+func (o *BitOccupancy) CanAdd(p Path) bool {
+	if o.has(o.srcBit(p.Src)) || o.has(o.dstBit(p.Dst)) {
+		return false
+	}
+	for _, l := range p.Links {
+		if o.has(int(l)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Add marks the path's resources as occupied. It does not re-check
+// conflicts; callers use CanAdd first.
+func (o *BitOccupancy) Add(p Path) {
+	o.set(o.srcBit(p.Src))
+	o.set(o.dstBit(p.Dst))
+	for _, l := range p.Links {
+		o.set(int(l))
+	}
+}
+
+// Remove releases the path's resources. Within one conflict-free
+// configuration circuits are resource-disjoint, so removing a member
+// releases exactly the bits it set — the operation the incremental
+// scheduler's evictions rely on.
+func (o *BitOccupancy) Remove(p Path) {
+	o.unset(o.srcBit(p.Src))
+	o.unset(o.dstBit(p.Dst))
+	for _, l := range p.Links {
+		o.unset(int(l))
+	}
+}
+
+// Empty reports whether no resource is occupied.
+func (o *BitOccupancy) Empty() bool {
+	for _, w := range o.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -23,17 +23,68 @@ import (
 // Tracer follows light through a compiled switch program.
 type Tracer struct {
 	prog *switchprog.Program
-	// linkAt maps (node, outPort) to the departing link.
-	linkAt map[[2]int]network.LinkInfo
+	// Crossbar states and wiring flattened at construction, so one hop is
+	// two array reads instead of two map probes: state holds out+1 per
+	// (node, slot, in) with 0 meaning dark, linkAt holds link index+1 per
+	// (node, outPort) with 0 meaning no fiber.
+	ports  int
+	stride int // Degree * ports
+	state  []int32
+	linkAt []int32
+	links  []network.LinkInfo
 }
 
-// NewTracer indexes the topology's wiring for the program.
+// NewTracer indexes the topology's wiring and the program's crossbar
+// states. The snapshot is taken here: mutations of prog.Switches after
+// construction are not seen by this Tracer.
 func NewTracer(prog *switchprog.Program) *Tracer {
-	t := &Tracer{prog: prog, linkAt: make(map[[2]int]network.LinkInfo)}
 	topo := prog.Topology
-	for id := 0; id < topo.NumLinks(); id++ {
+	nn := topo.NumNodes()
+	t := &Tracer{prog: prog, links: make([]network.LinkInfo, topo.NumLinks())}
+	ports := network.PEPort + 1
+	for id := range t.links {
 		li := topo.Link(network.LinkID(id))
-		t.linkAt[[2]int{int(li.From), li.OutPort}] = li
+		t.links[id] = li
+		if li.OutPort >= ports {
+			ports = li.OutPort + 1
+		}
+		if li.InPort >= ports {
+			ports = li.InPort + 1
+		}
+	}
+	// The program is untrusted here — its entries may name ports the wiring
+	// never uses — so the port bound must cover them too.
+	for n := range prog.Switches {
+		for _, m := range prog.Switches[n].Slots {
+			for in, out := range m {
+				if in >= ports {
+					ports = in + 1
+				}
+				if out >= ports {
+					ports = out + 1
+				}
+			}
+		}
+	}
+	t.ports = ports
+	t.stride = prog.Degree * ports
+	t.linkAt = make([]int32, nn*ports)
+	for id := range t.links {
+		li := &t.links[id]
+		t.linkAt[int(li.From)*ports+li.OutPort] = int32(id + 1)
+	}
+	t.state = make([]int32, nn*t.stride)
+	for n := range prog.Switches {
+		base := n * t.stride
+		for slot, m := range prog.Switches[n].Slots {
+			row := base + slot*ports
+			for in, out := range m {
+				if in < 0 || out < 0 {
+					continue // out of contract; reads back as dark
+				}
+				t.state[row+in] = int32(out + 1)
+			}
+		}
 	}
 	return t
 }
@@ -50,20 +101,21 @@ func (t *Tracer) Trace(src network.NodeID, slot int) (network.NodeID, int, error
 	node := src
 	in := network.PEPort
 	hops := 0
-	limit := t.prog.Topology.NumLinks() + 1
+	limit := len(t.links) + 1
 	for {
-		states := t.prog.Switches[node].Slots[slot]
-		out, ok := states[in]
-		if !ok {
+		v := t.state[int(node)*t.stride+slot*t.ports+in]
+		if v == 0 {
 			return 0, 0, fmt.Errorf("optics: dark input: switch %d slot %d port %d", node, slot, in)
 		}
+		out := int(v - 1)
 		if out == network.PEPort {
 			return node, hops, nil
 		}
-		li, wired := t.linkAt[[2]int{int(node), out}]
-		if !wired {
+		w := t.linkAt[int(node)*t.ports+out]
+		if w == 0 {
 			return 0, 0, fmt.Errorf("optics: switch %d output port %d leads to no fiber", node, out)
 		}
+		li := &t.links[w-1]
 		node = li.To
 		in = li.InPort
 		hops++
@@ -97,8 +149,7 @@ func (t *Tracer) VerifySchedule(slots map[request.Request]int) (int, error) {
 func (t *Tracer) SlotCensus(slot int) (request.Set, error) {
 	var set request.Set
 	for node := range t.prog.Switches {
-		states := t.prog.Switches[node].Slots[slot]
-		if _, lit := states[network.PEPort]; !lit {
+		if t.state[node*t.stride+slot*t.ports+network.PEPort] == 0 {
 			continue
 		}
 		dst, _, err := t.Trace(network.NodeID(node), slot)

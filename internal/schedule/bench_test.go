@@ -1,0 +1,97 @@
+package schedule_test
+
+import (
+	"testing"
+
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// benchPattern is the compile-miss workload: a dense random multiset on the
+// paper's 8x8 torus, the shape the service schedules per cache miss.
+func benchPattern(b *testing.B) (request.Set, *topology.Torus) {
+	b.Helper()
+	torus := topology.NewTorus(8, 8)
+	rng := splitmix64(1996)
+	return randomPattern(&rng, 64, 192), torus
+}
+
+// BenchmarkCompileMiss measures the arena compile path — what one service
+// cache miss costs at the scheduling layer, steady state.
+func BenchmarkCompileMiss(b *testing.B) {
+	reqs, torus := benchPattern(b)
+	st := schedule.NewCompileState()
+	var combined schedule.Scheduler = schedule.Combined{} // one interface conversion, outside the loop
+	if _, err := st.Compile(combined, torus, reqs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Compile(combined, torus, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileMissOracle is the same compile on the retained map-based
+// core; the ratio to BenchmarkCompileMiss is the bitset-core speedup.
+func BenchmarkCompileMissOracle(b *testing.B) {
+	reqs, torus := benchPattern(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (schedule.OracleCombined{}.Schedule(torus, reqs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConflictGraph measures the word-parallel CSR graph build alone.
+func BenchmarkConflictGraph(b *testing.B) {
+	reqs, torus := benchPattern(b)
+	paths, err := reqs.Routes(torus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		schedule.BuildConflictGraph(torus, paths)
+	}
+}
+
+// BenchmarkIncrementalUpdate measures one live-schedule patch cycle: Update
+// to a drifted target plus Result, alternating between two targets so every
+// iteration carries a real diff.
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	reqs, torus := benchPattern(b)
+	drifted := append(reqs[:144:144].Clone(), func() request.Set {
+		rng := splitmix64(7)
+		return randomPattern(&rng, 64, 48)
+	}()...)
+	base, err := schedule.Coloring{}.Schedule(torus, reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inc, err := schedule.NewIncremental(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := [2]request.Set{drifted, reqs}
+	for i := 0; i < 4; i++ { // settle capacities
+		if _, _, err := inc.Update(targets[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		inc.Result("coloring+delta")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := inc.Update(targets[i%2]); err != nil {
+			b.Fatal(err)
+		}
+		inc.Result("coloring+delta")
+	}
+}

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/network"
@@ -57,7 +58,7 @@ func CliqueBound(t network.Topology, reqs request.Set) (int, error) {
 			for w, word := range cand {
 				for word != 0 {
 					b := word & (-word)
-					v := w*64 + trailingZeros(b)
+					v := w*64 + bits.TrailingZeros64(b)
 					word &^= b
 					if d := g.CountWithin(cand, v); d > bestDeg {
 						bestV, bestDeg = v, d
@@ -76,15 +77,6 @@ func CliqueBound(t network.Topology, reqs request.Set) (int, error) {
 		}
 	}
 	return best, nil
-}
-
-func trailingZeros(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 // BestLowerBound combines the resource bound and the clique bound.

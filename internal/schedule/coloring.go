@@ -50,33 +50,44 @@ func PaperRatioPriority(pathLen, uncoloredDeg int) float64 {
 
 // Schedule implements Scheduler.
 func (c Coloring) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
+	return pooledSchedule(c, t, reqs)
+}
+
+func (c Coloring) scheduleInto(st *CompileState, t network.Topology, reqs request.Set) (*Result, error) {
 	if err := reqs.Validate(t); err != nil {
 		return nil, err
 	}
-	paths, err := reqs.Routes(t)
+	st.bind(t)
+	paths, err := st.routes(t, reqs)
 	if err != nil {
 		return nil, err
 	}
-	g := BuildConflictGraph(t, paths)
+	g := st.buildGraph(paths)
 	n := g.Len()
 
-	uncoloredDeg := make([]int, n)
+	st.uncoloredDeg = grow(st.uncoloredDeg, n)
+	uncoloredDeg := st.uncoloredDeg
 	for i := 0; i < n; i++ {
 		uncoloredDeg[i] = g.Degree(i)
 	}
-	colored := make([]bool, n)
+	st.colored = growZero(st.colored, n)
+	colored := st.colored
 
-	var configs []request.Set
-	blocked := make([]uint64, g.Words())
-	cand := make([]int, 0, n) // uncolored ids, ascending
-	ordered := make([]int, n) // counting-sort output buffer
-	inConfig := make([]int, 0, n)
+	st.resetConfigs(n)
+	st.blocked = grow(st.blocked, g.Words())
+	blocked := st.blocked
+	st.cand = grow(st.cand, n)
+	st.ordered = grow(st.ordered, n)
+	st.inConfig = grow(st.inConfig, n)
+	ordered := st.ordered
 	var cnt []int      // degree histogram for the default priority
 	var keys []float64 // per-vertex priorities for custom functions
 	if c.Priority == nil {
-		cnt = make([]int, n+1)
+		st.cnt = growZero(st.cnt, n+1)
+		cnt = st.cnt
 	} else {
-		keys = make([]float64, n)
+		st.keys = grow(st.keys, n)
+		keys = st.keys
 	}
 	for remaining := n; remaining > 0; {
 		// Sort the uncolored set by current priority (line 6 of Fig. 4),
@@ -85,7 +96,7 @@ func (c Coloring) Schedule(t network.Topology, reqs request.Set) (*Result, error
 		// descending-degree priority sorts by counting: a stable bucket
 		// pass over the ascending-id candidate list lands each degree
 		// class in id order.
-		cand = cand[:0]
+		cand := st.cand[:0]
 		for v := 0; v < n; v++ {
 			if !colored[v] {
 				cand = append(cand, v)
@@ -134,15 +145,15 @@ func (c Coloring) Schedule(t network.Topology, reqs request.Set) (*Result, error
 		// WORK starts as the whole sorted NCSET; coloring a vertex removes
 		// its neighbors from WORK. "blocked" accumulates exactly those
 		// removed vertices: the union of the colored vertices' adjacency.
-		var config request.Set
-		inConfig = inConfig[:0]
+		inConfig := st.inConfig[:0]
 		clear(blocked)
+		st.beginConfig()
 		for _, v := range round {
 			if blocked[v/64]&(1<<uint(v%64)) != 0 {
 				continue
 			}
 			inConfig = append(inConfig, v)
-			config = append(config, reqs[v])
+			st.push(reqs[v])
 			colored[v] = true
 			g.OrInto(blocked, v)
 		}
@@ -155,7 +166,7 @@ func (c Coloring) Schedule(t network.Topology, reqs request.Set) (*Result, error
 			})
 		}
 		remaining -= len(inConfig)
-		configs = append(configs, config)
+		st.endConfig()
 	}
-	return newResult("coloring", t, configs), nil
+	return st.finish("coloring", t), nil
 }

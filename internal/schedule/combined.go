@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"runtime"
 	"sync"
 
 	"repro/internal/network"
@@ -20,7 +21,9 @@ import (
 // deterministic rule — coloring wins ties, ordered AAPC must be strictly
 // better to be selected. Errors are equally deterministic: a coloring error
 // is reported first, exactly as in sequential order, regardless of which
-// goroutine failed first in wall-clock time.
+// goroutine failed first in wall-clock time. On a single-core runtime
+// (GOMAXPROCS=1) the race is pure overhead, so the members run sequentially
+// there regardless of the knob.
 type Combined struct {
 	coloring Coloring
 	aapc     OrderedAAPC
@@ -35,25 +38,32 @@ type Combined struct {
 // Name implements Scheduler.
 func (Combined) Name() string { return "combined" }
 
+// Precomputed winner names keep the steady-state compile path free of
+// string concatenation.
+const (
+	combinedColoringName = "combined(coloring)"
+	combinedAAPCName     = "combined(aapc)"
+)
+
 // Schedule implements Scheduler.
 func (c Combined) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
+	return pooledSchedule(c, t, reqs)
+}
+
+func (c Combined) scheduleInto(st *CompileState, t network.Topology, reqs request.Set) (*Result, error) {
+	if st.aux == nil {
+		st.aux = NewCompileState()
+	}
 	var col, ap *Result
 	var colErr, apErr error
-	if c.Sequential {
-		col, colErr = c.coloring.Schedule(t, reqs)
+	if c.Sequential || runtime.GOMAXPROCS(0) == 1 {
+		col, colErr = c.coloring.scheduleInto(st, t, reqs)
 		if colErr != nil {
 			return nil, colErr
 		}
-		ap, apErr = c.aapc.Schedule(t, reqs)
+		ap, apErr = c.aapc.scheduleInto(st.aux, t, reqs)
 	} else {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ap, apErr = c.aapc.Schedule(t, reqs)
-		}()
-		col, colErr = c.coloring.Schedule(t, reqs)
-		wg.Wait()
+		col, colErr, ap, apErr = c.race(st, t, reqs)
 	}
 	// Deterministic error order: coloring first, mirroring the sequential
 	// control flow.
@@ -63,14 +73,25 @@ func (c Combined) Schedule(t network.Topology, reqs request.Set) (*Result, error
 	if apErr != nil {
 		return nil, apErr
 	}
-	best := col
+	best, name := col, combinedColoringName
 	if ap.Degree() < col.Degree() {
-		best = ap
+		best, name = ap, combinedAAPCName
 	}
-	return &Result{
-		Algorithm: "combined(" + best.Algorithm + ")",
-		Topology:  best.Topology,
-		Configs:   best.Configs,
-		Slot:      best.Slot,
-	}, nil
+	best.Algorithm = name
+	return best, nil
+}
+
+// race fans the two members out on separate goroutines. It lives outside
+// scheduleInto so the closure's captures don't force the sequential path's
+// locals onto the heap — the single-core compile stays allocation-free.
+func (c Combined) race(st *CompileState, t network.Topology, reqs request.Set) (col *Result, colErr error, ap *Result, apErr error) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ap, apErr = c.aapc.scheduleInto(st.aux, t, reqs)
+	}()
+	col, colErr = c.coloring.scheduleInto(st, t, reqs)
+	wg.Wait()
+	return
 }

@@ -2,9 +2,9 @@ package schedule
 
 import (
 	"math/bits"
-	"runtime"
 	"sync"
 
+	"repro/internal/cliutil"
 	"repro/internal/network"
 )
 
@@ -35,63 +35,92 @@ var (
 	ConflictGraphWorkers = 0
 )
 
-// conflictGraphWorkers resolves the effective worker count.
-func conflictGraphWorkers() int {
-	if ConflictGraphWorkers > 0 {
-		return ConflictGraphWorkers
-	}
-	return runtime.GOMAXPROCS(0)
+// resourceIndex is the inverted index from each resource (directed link,
+// then source port, then destination port) to the requests occupying it, in
+// compressed-sparse-row form: resource r's users are
+// user[start[r]:start[r+1]]. The flat layout is what the arena reuses
+// across compiles — rebuilding it touches no allocator.
+type resourceIndex struct {
+	start []int32 // len nres+1, prefix sums
+	pos   []int32 // scratch: per-resource fill cursor
+	user  []int32 // concatenated user lists, in ascending request order
 }
 
-// BuildConflictGraph constructs the conflict graph for pre-routed requests.
-// Instead of testing all O(|R|^2) pairs directly, it builds an inverted
-// index from each resource (directed link, source port, destination port) to
-// the requests occupying it; every pair sharing a resource is adjacent.
-//
-// For graphs of at least ConflictGraphParallelCutoff vertices the adjacency
-// rows are built by ConflictGraphWorkers goroutines, each owning a
-// contiguous shard of rows so no two workers ever write the same word. The
-// resulting graph is identical to the serial build: adjacency is a set, so
-// row content does not depend on insertion order, and degrees are the
-// row population counts either way.
-func BuildConflictGraph(t network.Topology, paths []network.Path) *ConflictGraph {
-	n := len(paths)
-	words := (n + 63) / 64
-	g := &ConflictGraph{n: n, rows: make([][]uint64, n), deg: make([]int, n)}
-	flat := make([]uint64, n*words)
-	for i := range g.rows {
-		g.rows[i] = flat[i*words : (i+1)*words]
+// build fills the index for pre-routed requests on a resource space of
+// nl links and nn nodes, reusing the receiver's memory.
+func (ix *resourceIndex) build(nl, nn int, paths []network.Path) {
+	nres := nl + 2*nn
+	ix.start = growZero(ix.start, nres+1)
+	for _, p := range paths {
+		for _, l := range p.Links {
+			ix.start[int(l)+1]++
+		}
+		ix.start[nl+int(p.Src)+1]++
+		ix.start[nl+nn+int(p.Dst)+1]++
 	}
-
-	// Resource key space: links first, then source ports, then destination
-	// ports.
-	nl, nn := t.NumLinks(), t.NumNodes()
-	byResource := make([][]int32, nl+2*nn)
+	for r := 1; r <= nres; r++ {
+		ix.start[r] += ix.start[r-1]
+	}
+	ix.pos = grow(ix.pos, nres)
+	copy(ix.pos, ix.start[:nres])
+	ix.user = grow(ix.user, int(ix.start[nres]))
 	for i, p := range paths {
 		for _, l := range p.Links {
-			byResource[l] = append(byResource[l], int32(i))
+			ix.user[ix.pos[l]] = int32(i)
+			ix.pos[l]++
 		}
-		byResource[nl+int(p.Src)] = append(byResource[nl+int(p.Src)], int32(i))
-		byResource[nl+nn+int(p.Dst)] = append(byResource[nl+nn+int(p.Dst)], int32(i))
+		ix.user[ix.pos[nl+int(p.Src)]] = int32(i)
+		ix.pos[nl+int(p.Src)]++
+		ix.user[ix.pos[nl+nn+int(p.Dst)]] = int32(i)
+		ix.pos[nl+nn+int(p.Dst)]++
 	}
+}
 
-	workers := conflictGraphWorkers()
+// users returns the requests occupying resource r.
+func (ix *resourceIndex) users(r int) []int32 { return ix.user[ix.start[r]:ix.start[r+1]] }
+
+// fillRows constructs adjacency rows [lo, hi): each vertex or-s in the
+// users of every resource on its path, clears its own bit, and counts its
+// degree. Visiting each edge once from either endpoint, the result is the
+// same set-valued adjacency a pairwise resource scan produces, at a word
+// write per incidence instead of a read-modify-write per pair.
+func fillRows(g *ConflictGraph, nl, nn int, paths []network.Path, ix *resourceIndex, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := g.rows[i]
+		p := paths[i]
+		for _, l := range p.Links {
+			markUsers(row, ix.users(int(l)))
+		}
+		markUsers(row, ix.users(nl+int(p.Src)))
+		markUsers(row, ix.users(nl+nn+int(p.Dst)))
+		// The vertex saw itself through every one of its resources.
+		row[i>>6] &^= 1 << uint(i&63)
+		d := 0
+		for _, word := range row {
+			d += bits.OnesCount64(word)
+		}
+		g.deg[i] = d
+	}
+}
+
+func markUsers(row []uint64, users []int32) {
+	for _, j := range users {
+		row[j>>6] |= 1 << uint(j&63)
+	}
+}
+
+// fillAllRows runs fillRows serially or sharded across workers according to
+// the package knobs. Worker w owns a contiguous shard of rows, so no two
+// workers ever write the same word and the output is identical to the
+// serial build: adjacency is a set, so row content does not depend on
+// visit order, and degrees are the row population counts either way.
+func fillAllRows(g *ConflictGraph, nl, nn int, paths []network.Path, ix *resourceIndex) {
+	n := g.n
+	workers := cliutil.Workers(ConflictGraphWorkers)
 	if n < ConflictGraphParallelCutoff || workers <= 1 {
-		for _, users := range byResource {
-			for a := 0; a < len(users); a++ {
-				for b := a + 1; b < len(users); b++ {
-					g.addEdge(int(users[a]), int(users[b]))
-				}
-			}
-		}
-		return g
+		fillRows(g, nl, nn, paths, ix, 0, n)
+		return
 	}
-
-	// Sharded build: worker w constructs rows [lo, hi) by scanning each of
-	// its vertices' resources and or-ing in that resource's other users.
-	// Writes stay within the worker's own rows (and their deg entries), so
-	// the shards share nothing; the double-visit of each edge (once from
-	// each endpoint) is the price of lock-free symmetry.
 	if workers > n {
 		workers = n
 	}
@@ -102,42 +131,35 @@ func BuildConflictGraph(t network.Topology, paths []network.Path) *ConflictGraph
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				row := g.rows[i]
-				p := paths[i]
-				mark := func(users []int32) {
-					for _, j := range users {
-						row[int(j)/64] |= 1 << uint(int(j)%64)
-					}
-				}
-				for _, l := range p.Links {
-					mark(byResource[l])
-				}
-				mark(byResource[nl+int(p.Src)])
-				mark(byResource[nl+nn+int(p.Dst)])
-				// The vertex saw itself through every one of its resources.
-				row[i/64] &^= 1 << uint(i%64)
-				d := 0
-				for _, word := range row {
-					d += bits.OnesCount64(word)
-				}
-				g.deg[i] = d
-			}
+			fillRows(g, nl, nn, paths, ix, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return g
 }
 
-func (g *ConflictGraph) addEdge(a, b int) {
-	wa, ba := b/64, uint(b%64)
-	if g.rows[a][wa]&(1<<ba) != 0 {
-		return // already adjacent via another shared resource
+// BuildConflictGraph constructs the conflict graph for pre-routed requests.
+// Instead of testing all O(|R|^2) pairs directly, it builds an inverted
+// index from each resource to the requests occupying it and or-s each
+// vertex's resource user lists into its adjacency row — a word-parallel
+// sweep whose cost is one bit write per (vertex, resource-sharing request)
+// incidence.
+//
+// For graphs of at least ConflictGraphParallelCutoff vertices the rows are
+// built by ConflictGraphWorkers goroutines. The differential-testing oracle
+// for this construction is OracleConflictGraph, the direct O(|R|^2)
+// pairwise build.
+func BuildConflictGraph(t network.Topology, paths []network.Path) *ConflictGraph {
+	n := len(paths)
+	words := (n + 63) / 64
+	g := &ConflictGraph{n: n, rows: make([][]uint64, n), deg: make([]int, n)}
+	flat := make([]uint64, n*words)
+	for i := range g.rows {
+		g.rows[i] = flat[i*words : (i+1)*words]
 	}
-	g.rows[a][wa] |= 1 << ba
-	g.rows[b][a/64] |= 1 << uint(a%64)
-	g.deg[a]++
-	g.deg[b]++
+	var ix resourceIndex
+	ix.build(t.NumLinks(), t.NumNodes(), paths)
+	fillAllRows(g, t.NumLinks(), t.NumNodes(), paths, &ix)
+	return g
 }
 
 // Len returns the number of vertices.

@@ -44,7 +44,7 @@ func (e Exact) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
 	n := len(reqs)
 
 	// Upper bound from greedy gives the initial best.
-	best := greedyPartition(reqs, paths)
+	best := greedyPartition(t, reqs, paths)
 	bestColors := len(best)
 	color := make([]int, n)
 	for i := range color {

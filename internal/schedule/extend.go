@@ -3,7 +3,6 @@ package schedule
 import (
 	"fmt"
 
-	"repro/internal/network"
 	"repro/internal/request"
 )
 
@@ -15,46 +14,23 @@ import (
 // compilation (or at load time): the compiler schedules the common part
 // once and extends it cheaply per parameter value.
 //
-// The input schedule is not modified. Duplicates of requests already
-// scheduled conflict with themselves and get fresh slots, like any other
-// conflicting request.
+// The input schedule is not modified and must be valid (no empty
+// configurations). Duplicates of requests already scheduled conflict with
+// themselves and get fresh slots, like any other conflicting request.
+// Extend runs on the bitset incremental structure; OracleExtend is the
+// retained map-based original it is differentially tested against.
 func Extend(r *Result, extra request.Set) (*Result, error) {
 	if err := extra.Validate(r.Topology); err != nil {
 		return nil, err
 	}
-	configs := make([]request.Set, r.Degree())
-	occs := make([]*network.Occupancy, r.Degree())
-	for k, cfg := range r.Configs {
-		configs[k] = cfg.Clone()
-		occs[k] = network.NewOccupancy()
-		for _, req := range cfg {
-			p, err := network.CachedRoute(r.Topology, req.Src, req.Dst)
-			if err != nil {
-				return nil, fmt.Errorf("schedule: extend: %w", err)
-			}
-			occs[k].Add(p)
-		}
+	inc, err := NewIncremental(r)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: extend: %w", err)
 	}
 	for _, req := range extra {
-		p, err := network.CachedRoute(r.Topology, req.Src, req.Dst)
-		if err != nil {
+		if _, err := inc.Insert(req); err != nil {
 			return nil, fmt.Errorf("schedule: extend: %w", err)
 		}
-		placed := false
-		for k := range configs {
-			if occs[k].CanAdd(p) {
-				occs[k].Add(p)
-				configs[k] = append(configs[k], req)
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			occ := network.NewOccupancy()
-			occ.Add(p)
-			occs = append(occs, occ)
-			configs = append(configs, request.Set{req})
-		}
 	}
-	return newResult(r.Algorithm+"+extend", r.Topology, configs), nil
+	return inc.Detach(r.Algorithm + "+extend"), nil
 }

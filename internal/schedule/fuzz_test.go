@@ -86,6 +86,94 @@ func FuzzColoringValidPartition(f *testing.F) {
 	})
 }
 
+// bitsetGraphSeeds are request multisets lifted from the integration
+// schedules: the table patterns the experiment sweeps compile on a 4x4
+// torus, encoded as (src, dst) byte pairs.
+func bitsetGraphSeeds() [][]byte {
+	var transpose, shift, reverse, gather []byte
+	for i := 0; i < 16; i++ {
+		if j := (i*7 + 3) % 16; i != j {
+			transpose = append(transpose, byte(i), byte(j))
+		}
+		shift = append(shift, byte(i), byte((i+1)%16))
+		if i != 15-i {
+			reverse = append(reverse, byte(i), byte(15-i))
+		}
+		if i != 0 {
+			gather = append(gather, byte(i), byte(0))
+		}
+	}
+	return [][]byte{transpose, shift, reverse, gather,
+		{4, 9, 4, 9, 4, 9, 4, 9}, // duplicate-heavy
+		{0, 15, 15, 0, 0, 15, 3, 12, 12, 3}}
+}
+
+// FuzzBitsetGraph differentially fuzzes the conflict-graph build: for an
+// arbitrary request multiset, the word-parallel CSR construction (serial
+// and sharded, at a worker count drawn from the input) must produce exactly
+// the graph the retained pairwise oracle produces — edge for edge, degree
+// for degree — and the coloring scheduler on top of it must still emit a
+// valid schedule.
+func FuzzBitsetGraph(f *testing.F) {
+	for _, seed := range bitsetGraphSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		torus := topology.NewTorus(4, 4)
+		var set request.Set
+		workers := 1
+		if len(raw) > 0 {
+			workers = 1 + int(raw[0])%4
+		}
+		for i := 0; i+1 < len(raw); i += 2 {
+			s := network.NodeID(int(raw[i]) % 16)
+			d := network.NodeID(int(raw[i+1]) % 16)
+			if s != d {
+				set = append(set, request.Request{Src: s, Dst: d})
+			}
+		}
+		paths, err := set.Routes(torus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := schedule.OracleConflictGraph(paths)
+		check := func(g *schedule.ConflictGraph, how string) {
+			t.Helper()
+			if g.Len() != oracle.Len() {
+				t.Fatalf("%s: %d vertices, oracle has %d", how, g.Len(), oracle.Len())
+			}
+			for i := 0; i < g.Len(); i++ {
+				if g.Degree(i) != oracle.Degree(i) {
+					t.Fatalf("%s: vertex %d degree %d, oracle %d", how, i, g.Degree(i), oracle.Degree(i))
+				}
+				for j := 0; j < g.Len(); j++ {
+					if g.Adjacent(i, j) != oracle.Adjacent(i, j) {
+						t.Fatalf("%s: edge (%d,%d) = %v, oracle %v", how, i, j,
+							g.Adjacent(i, j), oracle.Adjacent(i, j))
+					}
+				}
+			}
+		}
+		check(schedule.BuildConflictGraph(torus, paths), "serial")
+		oldCutoff, oldWorkers := schedule.ConflictGraphParallelCutoff, schedule.ConflictGraphWorkers
+		schedule.ConflictGraphParallelCutoff, schedule.ConflictGraphWorkers = 1, workers
+		defer func() {
+			schedule.ConflictGraphParallelCutoff, schedule.ConflictGraphWorkers = oldCutoff, oldWorkers
+		}()
+		check(schedule.BuildConflictGraph(torus, paths), "sharded")
+		res, err := schedule.Coloring{}.Schedule(torus, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(set); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // FuzzCombinedParallelDeterminism differentially fuzzes the parallel
 // scheduling pipeline: for arbitrary request bytes, the goroutine-racing
 // Combined must return a schedule byte-identical to the sequential one, and

@@ -17,27 +17,36 @@ type Greedy struct{}
 func (Greedy) Name() string { return "greedy" }
 
 // Schedule implements Scheduler.
-func (Greedy) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
+func (g Greedy) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
+	return pooledSchedule(g, t, reqs)
+}
+
+func (Greedy) scheduleInto(st *CompileState, t network.Topology, reqs request.Set) (*Result, error) {
 	if err := reqs.Validate(t); err != nil {
 		return nil, err
 	}
-	paths, err := reqs.Routes(t)
+	st.bind(t)
+	paths, err := st.routes(t, reqs)
 	if err != nil {
 		return nil, err
 	}
-	configs := greedyPartition(reqs, paths)
-	return newResult("greedy", t, configs), nil
+	st.greedyConfigs(reqs, paths)
+	return st.finish("greedy", t), nil
 }
 
-// greedyPartition runs the Fig. 2 loop on pre-routed requests. It is shared
-// with the ordered-AAPC scheduler, which calls it after reordering.
-func greedyPartition(reqs request.Set, paths []network.Path) []request.Set {
+// greedyPartition runs the Fig. 2 loop on pre-routed requests, returning
+// freshly allocated configurations. It serves the callers that keep
+// partitions alive across runs (Exact's branch-and-bound incumbent,
+// IteratedGreedy's restarts); the hot scheduling paths use the arena's
+// greedyConfigs instead.
+func greedyPartition(t network.Topology, reqs request.Set, paths []network.Path) []request.Set {
 	remaining := make([]int, len(reqs)) // indices into reqs, in order
 	for i := range remaining {
 		remaining[i] = i
 	}
 	var configs []request.Set
-	occ := network.NewOccupancy()
+	var occ network.BitOccupancy
+	occ.Bind(t)
 	for len(remaining) > 0 {
 		occ.Reset()
 		var config request.Set

@@ -1,0 +1,324 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+)
+
+// Incremental keeps a compiled schedule alive as a mutable structure — one
+// occupancy bitset and one member list per time slot — so circuits can be
+// evicted and reinserted without rebuilding the conflict graph or
+// rescheduling from scratch. It is the engine behind delta.Session (pattern
+// streams that drift between compiles) and Extend (parametric patterns
+// resolved late).
+//
+// Mutations follow exactly the deterministic rules of the delta patcher:
+// removals take the lowest-slot occurrence first, insertions are first-fit
+// over non-empty slots in slot order and open a new slot only when nothing
+// fits, and Result compacts empty slots away preserving order. A batch
+// Update therefore produces byte-identical schedules to
+// delta.Patch applied to the same base on the same topology
+// (TestIncrementalMatchesPatch); the difference is cost — Update touches
+// O(diff × degree) words and allocates nothing once warm.
+//
+// An Incremental is not safe for concurrent use.
+type Incremental struct {
+	topo  network.Topology
+	nl    int
+	nn    int
+	words int // occupancy words per slot
+
+	slots   int           // slot lanes, including ones emptied mid-batch
+	occ     []uint64      // slots × words resource occupancy
+	members []request.Set // per-slot circuits, in insertion order
+	total   int           // live circuits across all slots
+
+	res Result // arena for Result
+
+	// Update scratch, reused across batches.
+	removeLeft map[request.Request]int
+	added      request.Set
+}
+
+// NewIncremental builds the live structure from a compiled schedule. The
+// base is not retained or modified. It fails if a member cannot be routed
+// on the base's topology or a configuration is internally conflicting
+// (i.e. the base is corrupt).
+func NewIncremental(base *Result) (*Incremental, error) {
+	inc := &Incremental{}
+	if err := inc.Reset(base); err != nil {
+		return nil, err
+	}
+	return inc, nil
+}
+
+// Reset rebinds the structure to a new base schedule, reusing all memory.
+func (inc *Incremental) Reset(base *Result) error {
+	if base == nil {
+		return fmt.Errorf("schedule: incremental: nil base schedule")
+	}
+	t := base.Topology
+	inc.topo = t
+	inc.nl, inc.nn = t.NumLinks(), t.NumNodes()
+	inc.words = (inc.nl + 2*inc.nn + 63) / 64
+	inc.slots = len(base.Configs)
+	inc.occ = growZero(inc.occ, inc.slots*inc.words)
+	if cap(inc.members) < inc.slots {
+		members := make([]request.Set, inc.slots)
+		copy(members, inc.members[:cap(inc.members)])
+		inc.members = members
+	}
+	inc.members = inc.members[:inc.slots]
+	inc.total = 0
+	for k, cfg := range base.Configs {
+		inc.members[k] = append(inc.members[k][:0], cfg...)
+		for _, q := range cfg {
+			p, err := network.CachedRoute(t, q.Src, q.Dst)
+			if err != nil {
+				return fmt.Errorf("schedule: incremental: request %v: %w", q, err)
+			}
+			if !inc.canAdd(k, p) {
+				return fmt.Errorf("schedule: incremental: config %d has conflicting request %v", k, q)
+			}
+			inc.add(k, p)
+		}
+		inc.total += len(cfg)
+	}
+	return nil
+}
+
+// Per-slot occupancy over the flat bitset; resource numbering matches
+// network.BitOccupancy (links, then sources, then destinations).
+
+func (inc *Incremental) slotBits(k int) []uint64 {
+	return inc.occ[k*inc.words : (k+1)*inc.words]
+}
+
+func (inc *Incremental) canAdd(k int, p network.Path) bool {
+	bits := inc.slotBits(k)
+	src, dst := inc.nl+int(p.Src), inc.nl+inc.nn+int(p.Dst)
+	if bits[src>>6]&(1<<uint(src&63)) != 0 || bits[dst>>6]&(1<<uint(dst&63)) != 0 {
+		return false
+	}
+	for _, l := range p.Links {
+		if bits[int(l)>>6]&(1<<uint(int(l)&63)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (inc *Incremental) add(k int, p network.Path) {
+	bits := inc.slotBits(k)
+	src, dst := inc.nl+int(p.Src), inc.nl+inc.nn+int(p.Dst)
+	bits[src>>6] |= 1 << uint(src&63)
+	bits[dst>>6] |= 1 << uint(dst&63)
+	for _, l := range p.Links {
+		bits[int(l)>>6] |= 1 << uint(int(l)&63)
+	}
+}
+
+func (inc *Incremental) unset(k int, p network.Path) {
+	bits := inc.slotBits(k)
+	src, dst := inc.nl+int(p.Src), inc.nl+inc.nn+int(p.Dst)
+	bits[src>>6] &^= 1 << uint(src&63)
+	bits[dst>>6] &^= 1 << uint(dst&63)
+	for _, l := range p.Links {
+		bits[int(l)>>6] &^= 1 << uint(int(l)&63)
+	}
+}
+
+// Len returns the number of live circuits.
+func (inc *Incremental) Len() int { return inc.total }
+
+// Degree returns the multiplexing degree: the number of non-empty slots.
+func (inc *Incremental) Degree() int {
+	d := 0
+	for _, m := range inc.members {
+		if len(m) > 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// Topology returns the topology the structure schedules on.
+func (inc *Incremental) Topology() network.Topology { return inc.topo }
+
+// Remove evicts one occurrence of q, taking the lowest slot that holds it
+// (the same occurrence a batch diff would evict). Within one conflict-free
+// configuration circuits are resource-disjoint, so the eviction releases
+// exactly q's resources. It reports whether q was present.
+func (inc *Incremental) Remove(q request.Request) bool {
+	for k := 0; k < inc.slots; k++ {
+		m := inc.members[k]
+		for i, have := range m {
+			if have != q {
+				continue
+			}
+			p, err := network.CachedRoute(inc.topo, q.Src, q.Dst)
+			if err != nil {
+				return false // unroutable requests can never have been inserted
+			}
+			inc.unset(k, p)
+			inc.members[k] = append(m[:i], m[i+1:]...)
+			inc.total--
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places q into the first non-empty slot whose resources are free,
+// opening a new slot when none fits, and returns the slot lane it landed
+// in. Slots emptied earlier in the current batch are skipped, mirroring the
+// delta patcher, which drops empty configurations before inserting.
+func (inc *Incremental) Insert(q request.Request) (int, error) {
+	p, err := network.CachedRoute(inc.topo, q.Src, q.Dst)
+	if err != nil {
+		return 0, fmt.Errorf("schedule: incremental: request %v: %w", q, err)
+	}
+	for k := 0; k < inc.slots; k++ {
+		if len(inc.members[k]) == 0 {
+			continue
+		}
+		if inc.canAdd(k, p) {
+			inc.add(k, p)
+			inc.members[k] = append(inc.members[k], q)
+			inc.total++
+			return k, nil
+		}
+	}
+	k := inc.newSlot()
+	inc.add(k, p)
+	inc.members[k] = append(inc.members[k], q)
+	inc.total++
+	return k, nil
+}
+
+func (inc *Incremental) newSlot() int {
+	inc.slots++
+	if cap(inc.members) >= inc.slots {
+		inc.members = inc.members[:inc.slots]
+		inc.members[inc.slots-1] = inc.members[inc.slots-1][:0]
+	} else {
+		inc.members = append(inc.members, nil)
+	}
+	need := inc.slots * inc.words
+	if cap(inc.occ) >= need {
+		inc.occ = inc.occ[:need]
+		clear(inc.occ[need-inc.words:])
+	} else {
+		inc.occ = append(inc.occ, make([]uint64, inc.words)...)
+	}
+	return inc.slots - 1
+}
+
+// Update patches the live schedule so it serves exactly the target
+// multiset: circuits not in the target are evicted (lowest slot first, in
+// slot order), then arrivals are first-fit inserted in target order. It
+// returns the diff sizes. The result is byte-identical to
+// delta.Patch(base, topo, target) on the structure's own topology.
+func (inc *Incremental) Update(target request.Set) (added, removed int, err error) {
+	if err := target.Validate(inc.topo); err != nil {
+		return 0, 0, fmt.Errorf("schedule: incremental: %w", err)
+	}
+	// Multiset diff, patchDiff-style: count the live circuits, cancel
+	// against the target; leftovers are the evictions, uncancelled target
+	// requests the arrivals (in target order).
+	if inc.removeLeft == nil {
+		inc.removeLeft = make(map[request.Request]int, len(target))
+	} else {
+		clear(inc.removeLeft)
+	}
+	for k := 0; k < inc.slots; k++ {
+		for _, q := range inc.members[k] {
+			inc.removeLeft[q]++
+		}
+	}
+	inc.added = inc.added[:0]
+	for _, q := range target {
+		if inc.removeLeft[q] > 0 {
+			inc.removeLeft[q]--
+		} else {
+			inc.added = append(inc.added, q)
+		}
+	}
+	// Eviction sweep in slot order, preserving member order of survivors.
+	for k := 0; k < inc.slots; k++ {
+		m := inc.members[k]
+		w := 0
+		for _, q := range m {
+			if inc.removeLeft[q] > 0 {
+				inc.removeLeft[q]--
+				p, rerr := network.CachedRoute(inc.topo, q.Src, q.Dst)
+				if rerr != nil {
+					return 0, 0, fmt.Errorf("schedule: incremental: request %v: %w", q, rerr)
+				}
+				inc.unset(k, p)
+				inc.total--
+				removed++
+				continue
+			}
+			m[w] = q
+			w++
+		}
+		inc.members[k] = m[:w]
+	}
+	for _, q := range inc.added {
+		if _, err := inc.Insert(q); err != nil {
+			return 0, 0, err
+		}
+	}
+	return len(inc.added), removed, nil
+}
+
+// Result compacts empty slots away (preserving slot order), renumbers, and
+// assembles the schedule under the given algorithm name. The returned
+// Result is owned by the structure: its configurations alias the live
+// member lists and are valid until the next mutation. Persisting callers
+// use Detach.
+func (inc *Incremental) Result(alg string) *Result {
+	j := 0
+	for k := 0; k < inc.slots; k++ {
+		if len(inc.members[k]) == 0 {
+			continue
+		}
+		if j != k {
+			// Swap rather than overwrite so the empty lane keeps its backing
+			// array for reuse by a future newSlot.
+			inc.members[j], inc.members[k] = inc.members[k], inc.members[j]
+			copy(inc.slotBits(j), inc.slotBits(k))
+		}
+		j++
+	}
+	inc.slots = j
+	inc.members = inc.members[:j]
+	inc.occ = inc.occ[:j*inc.words]
+
+	inc.res.Algorithm = alg
+	inc.res.Topology = inc.topo
+	if j == 0 {
+		inc.res.Configs = nil
+	} else {
+		inc.res.Configs = inc.members
+	}
+	if inc.res.Slot == nil {
+		inc.res.Slot = make(map[request.Request]int, inc.total)
+	} else {
+		clear(inc.res.Slot)
+	}
+	for k, c := range inc.res.Configs {
+		for _, q := range c {
+			inc.res.Slot[q] = k
+		}
+	}
+	return &inc.res
+}
+
+// Detach returns an independently owned copy of Result(alg).
+func (inc *Incremental) Detach(alg string) *Result {
+	return inc.Result(alg).detach()
+}

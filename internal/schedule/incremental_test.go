@@ -1,0 +1,165 @@
+package schedule_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/topology"
+)
+
+// driftedTarget mutates roughly frac of the pattern: survivors keep their
+// order, departures are dropped, arrivals are appended.
+func driftedTarget(rng *splitmix64, base request.Set, nn int, frac float64) request.Set {
+	keep := int(float64(len(base)) * (1 - frac))
+	target := base[:keep:keep].Clone()
+	return append(target, randomPattern(rng, nn, len(base)-keep)...)
+}
+
+// resultRequests flattens a schedule back into the multiset it serves, in
+// slot order.
+func resultRequests(r *schedule.Result) request.Set {
+	out := make(request.Set, 0, r.NumRequests())
+	for _, c := range r.Configs {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// TestIncrementalMatchesPatch is the byte-identity proof promised by the
+// Incremental doc comment: a batch Update on the live structure must
+// produce exactly the schedule delta.Patch derives from the same base and
+// target on the same topology. (This lives in the external test package so
+// it can import delta, which itself imports schedule.)
+func TestIncrementalMatchesPatch(t *testing.T) {
+	for _, topoName := range differentialTopologies {
+		topo, err := topology.Parse(topoName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn := network.TerminalCount(topo)
+		for seed := uint64(1); seed <= 4; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", topoName, seed), func(t *testing.T) {
+				rng := splitmix64(seed)
+				pattern := randomPattern(&rng, nn, 3*nn)
+				base, err := schedule.Combined{}.Schedule(topo, pattern)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inc, err := schedule.NewIncremental(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Chain several drifting targets: the live structure carries
+				// state across batches, the stateless patcher re-derives from
+				// the previous patched schedule; they must never diverge.
+				prev := base
+				for step := 0; step < 3; step++ {
+					target := driftedTarget(&rng, resultRequests(prev), nn, 0.25)
+					want, _, err := delta.Patch(prev, topo, target)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, _, err := inc.Update(target); err != nil {
+						t.Fatal(err)
+					}
+					got := inc.Detach(want.Algorithm)
+					if g, w := canonicalResult(got), canonicalResult(want); g != w {
+						t.Fatalf("step %d divergence:\nincremental:\n%s\npatch:\n%s", step, g, w)
+					}
+					if err := got.Validate(target); err != nil {
+						t.Fatal(err)
+					}
+					prev = want
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalRemoveInsert pins the single-circuit mutation rules:
+// Remove takes the lowest-slot occurrence, Insert first-fits over non-empty
+// slots, and a remove/insert round-trip of the same request lands it where
+// a batch diff would.
+func TestIncrementalRemoveInsert(t *testing.T) {
+	topo, err := topology.Parse("torus-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := splitmix64(99)
+	pattern := randomPattern(&rng, network.TerminalCount(topo), 40)
+	base, err := schedule.Greedy{}.Schedule(topo, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := schedule.NewIncremental(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Len() != len(pattern) || inc.Degree() != base.Degree() {
+		t.Fatalf("live structure mismatch: len %d degree %d, want %d/%d",
+			inc.Len(), inc.Degree(), len(pattern), base.Degree())
+	}
+	q := pattern[0]
+	if !inc.Remove(q) {
+		t.Fatalf("Remove(%v) = false, want true", q)
+	}
+	expected := pattern.Clone()[1:] // drops the one occurrence Remove took
+	probe := request.Request{Src: 0, Dst: 15}
+	present := 0
+	for _, r := range expected {
+		if r == probe {
+			present++
+		}
+	}
+	if removed := inc.Remove(probe); removed != (present > 0) {
+		t.Fatalf("Remove(%v) = %v with %d occurrences live", probe, removed, present)
+	} else if removed {
+		for i, r := range expected {
+			if r == probe {
+				expected = append(expected[:i:i], expected[i+1:]...)
+				break
+			}
+		}
+	}
+	if _, err := inc.Insert(q); err != nil {
+		t.Fatal(err)
+	}
+	expected = append(expected, q)
+	got := inc.Result(base.Algorithm)
+	if _, ok := got.Slot[q]; !ok {
+		t.Fatalf("%v missing from slot index after reinsertion", q)
+	}
+	if err := got.Validate(expected); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalResetReuse drives one structure across topologies and
+// bases: Reset must fully rebind, leaving no stale occupancy behind.
+func TestIncrementalResetReuse(t *testing.T) {
+	rng := splitmix64(5)
+	var inc schedule.Incremental
+	for _, topoName := range []string{"torus-4x4", "ring-16", "torus-4x4", "omega-16"} {
+		topo, err := topology.Parse(topoName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern := randomPattern(&rng, network.TerminalCount(topo), 2*topo.NumNodes())
+		base, err := schedule.Coloring{}.Schedule(topo, pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Reset(base); err != nil {
+			t.Fatal(err)
+		}
+		got := inc.Detach(base.Algorithm)
+		if g, w := canonicalResult(got), canonicalResult(base); g != w {
+			t.Fatalf("%s: Reset round-trip diverges:\ngot:\n%s\nwant:\n%s", topoName, g, w)
+		}
+	}
+}

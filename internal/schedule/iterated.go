@@ -51,7 +51,7 @@ func (g IteratedGreedy) Schedule(t network.Topology, reqs request.Set) (*Result,
 			shuffled[i] = reqs[j]
 			shuffledPaths[i] = paths[j]
 		}
-		configs := greedyPartition(shuffled, shuffledPaths)
+		configs := greedyPartition(t, shuffled, shuffledPaths)
 		if len(configs) < best.Degree() {
 			best = newResult("iterated-greedy(restart)", t, configs)
 		}

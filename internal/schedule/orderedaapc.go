@@ -2,7 +2,6 @@ package schedule
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/aapc"
@@ -49,6 +48,10 @@ func DecompositionFor(t network.Topology) (*aapc.Set, error) {
 
 // Schedule implements Scheduler.
 func (o OrderedAAPC) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
+	return pooledSchedule(o, t, reqs)
+}
+
+func (o OrderedAAPC) scheduleInto(st *CompileState, t network.Topology, reqs request.Set) (*Result, error) {
 	if err := reqs.Validate(t); err != nil {
 		return nil, err
 	}
@@ -60,15 +63,19 @@ func (o OrderedAAPC) Schedule(t network.Topology, reqs request.Set) (*Result, er
 			return nil, err
 		}
 	}
-	paths, err := reqs.Routes(t)
+	st.bind(t)
+	paths, err := st.routes(t, reqs)
 	if err != nil {
 		return nil, err
 	}
 
 	// Lines 1-5 of Fig. 5: accumulate each phase's rank as the total length
 	// of the requests mapped to it.
-	rank := make([]int, set.NumPhases())
-	phase := make([]int, len(reqs))
+	np := set.NumPhases()
+	st.rank = growZero(st.rank, np)
+	rank := st.rank
+	st.phase = grow(st.phase, len(reqs))
+	phase := st.phase
 	for i, r := range reqs {
 		k, ok := set.PhaseOf(r)
 		if !ok {
@@ -81,30 +88,45 @@ func (o OrderedAAPC) Schedule(t network.Topology, reqs request.Set) (*Result, er
 	// Lines 6-7: sort phases by rank and reorder R accordingly. Requests
 	// within one phase keep their relative order; that order is irrelevant
 	// to the greedy outcome because phase members are mutually
-	// conflict-free.
-	order := make([]int, set.NumPhases())
+	// conflict-free. The stable insertion sort matches a stable descending
+	// comparison sort exactly (phase count is small — O(nodes) — so the
+	// quadratic worst case never matters) and keeps this path
+	// allocation-free.
+	st.order = grow(st.order, np)
+	order := st.order
 	for i := range order {
 		order[i] = i
 	}
 	if !o.DisableRanking {
-		sort.SliceStable(order, func(a, b int) bool { return rank[order[a]] > rank[order[b]] })
+		for i := 1; i < len(order); i++ {
+			k := order[i]
+			j := i - 1
+			for j >= 0 && rank[order[j]] < rank[k] {
+				order[j+1] = order[j]
+				j--
+			}
+			order[j+1] = k
+		}
 	}
-	pos := make([]int, set.NumPhases())
+	st.pos = grow(st.pos, np)
+	pos := st.pos
 	for i, k := range order {
 		pos[k] = i
 	}
 	// Stable counting sort of the requests by phase position: requests of
 	// the same phase keep their relative order, exactly as a stable
 	// comparison sort would leave them, in O(n + phases).
-	cnt := make([]int, set.NumPhases()+1)
+	st.pcnt = growZero(st.pcnt, np+1)
+	cnt := st.pcnt
 	for _, k := range phase {
 		cnt[pos[k]+1]++
 	}
-	for p := 1; p <= set.NumPhases(); p++ {
+	for p := 1; p <= np; p++ {
 		cnt[p] += cnt[p-1]
 	}
-	reordered := make(request.Set, len(reqs))
-	rpaths := make([]network.Path, len(reqs))
+	st.reordered = grow(st.reordered, len(reqs))
+	st.rpaths = grow(st.rpaths, len(reqs))
+	reordered, rpaths := st.reordered, st.rpaths
 	for j := range reqs {
 		p := pos[phase[j]]
 		reordered[cnt[p]] = reqs[j]
@@ -113,6 +135,6 @@ func (o OrderedAAPC) Schedule(t network.Topology, reqs request.Set) (*Result, er
 	}
 
 	// Line 8: greedy on the reordered request list.
-	configs := greedyPartition(reordered, rpaths)
-	return newResult("aapc", t, configs), nil
+	st.greedyConfigs(reordered, rpaths)
+	return st.finish("aapc", t), nil
 }

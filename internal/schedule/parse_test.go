@@ -1,0 +1,33 @@
+package schedule_test
+
+import (
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestParseScheduler(t *testing.T) {
+	for name, want := range map[string]string{
+		"":             "combined",
+		"combined":     "combined",
+		"combined-seq": "combined",
+		"greedy":       "greedy",
+		"coloring":     "coloring",
+		"aapc":         "aapc",
+		"exact":        "exact",
+	} {
+		sch, err := schedule.ParseScheduler(name)
+		if err != nil {
+			t.Fatalf("ParseScheduler(%q): %v", name, err)
+		}
+		if sch.Name() != want {
+			t.Fatalf("ParseScheduler(%q).Name() = %q, want %q", name, sch.Name(), want)
+		}
+	}
+	if _, err := schedule.ParseScheduler("nope"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+	if c, _ := schedule.ParseScheduler("combined-seq"); !c.(schedule.Combined).Sequential {
+		t.Fatal("combined-seq not sequential")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package schedule_test
+
+// raceEnabled reports whether the race detector is active; the allocation
+// pins skip under it (instrumentation allocates, and sync.Pool drops puts
+// at random to widen the race window).
+const raceEnabled = true

@@ -115,31 +115,11 @@ type Scheduler interface {
 // LowerBound returns a lower bound on the multiplexing degree of any
 // schedule for the request set: the maximum over (a) the load of any
 // directed link, (b) the number of requests sharing a source (PE injection
-// port), and (c) the number sharing a destination (PE ejection port).
+// port), and (c) the number sharing a destination (PE ejection port). The
+// load counters come from the pooled compile arena, so repeated bounds (the
+// delta recompiler's quality gate evaluates one per patch) do not allocate.
 func LowerBound(t network.Topology, reqs request.Set) (int, error) {
-	paths, err := reqs.Routes(t)
-	if err != nil {
-		return 0, err
-	}
-	linkLoad := make([]int, t.NumLinks())
-	srcLoad := make([]int, t.NumNodes())
-	dstLoad := make([]int, t.NumNodes())
-	bound := 0
-	for _, p := range paths {
-		for _, l := range p.Links {
-			linkLoad[l]++
-			if linkLoad[l] > bound {
-				bound = linkLoad[l]
-			}
-		}
-		srcLoad[p.Src]++
-		if srcLoad[p.Src] > bound {
-			bound = srcLoad[p.Src]
-		}
-		dstLoad[p.Dst]++
-		if dstLoad[p.Dst] > bound {
-			bound = dstLoad[p.Dst]
-		}
-	}
-	return bound, nil
+	st := statePool.Get().(*CompileState)
+	defer statePool.Put(st)
+	return st.lowerBound(t, reqs)
 }

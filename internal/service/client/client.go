@@ -17,12 +17,12 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/cliutil"
 	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/request"
 	"repro/internal/schedule"
 	"repro/internal/service"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -81,9 +81,11 @@ func (c *Client) Recompile(ctx context.Context, doc trace.Document, mask service
 }
 
 func (c *Client) post(ctx context.Context, path string, doc trace.Document, opt Options, mask *service.FaultMask) (*service.Response, *service.Result, error) {
+	// Compact encoding: trace.Write's indentation is for humans reading
+	// files; on the wire it only inflates the body the server has to scan.
 	var body bytes.Buffer
-	if err := trace.Write(&body, doc); err != nil {
-		return nil, nil, err
+	if err := json.NewEncoder(&body).Encode(doc); err != nil {
+		return nil, nil, fmt.Errorf("client: encode trace: %w", err)
 	}
 	q := url.Values{}
 	if opt.Topology != "" {
@@ -188,7 +190,7 @@ func intList(vs []int) string {
 // checked for coverage instead: every request of the phase must hold a slot
 // in the predetermined configuration set.
 func Verify(doc trace.Document, res *service.Result) error {
-	base, err := cliutil.ParseTopology(res.Topology)
+	base, err := topology.Parse(res.Topology)
 	if err != nil {
 		return fmt.Errorf("client: verify: %w", err)
 	}

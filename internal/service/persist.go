@@ -36,14 +36,65 @@ import (
 // through it and is unbounded.
 const maxBaseCandidates = 32
 
+// maxMaskedViews bounds the masked-view cache: a real fault persists across
+// many recompile requests, so the daemon keeps the handful of fault masks
+// it is actively serving (with their warm route caches) instead of building
+// a cold view per request. Evicted views release their route-cache entry,
+// so the process-wide cache cannot churn without bound.
+const maxMaskedViews = 8
+
+// maskedViewCache caches fault-masked topology views keyed by topology name
+// plus the canonical fault-set string.
+type maskedViewCache struct {
+	mu sync.Mutex
+	m  map[string]*fault.Masked
+}
+
+// view returns the shared masked view for (topoName, faults), building and
+// caching it on first use. Views are read-only after construction, so
+// concurrent requests with the same mask share one view and one route-cache
+// table.
+func (c *maskedViewCache) view(topoName string, topo network.Topology, faults *fault.Set) *fault.Masked {
+	key := topoName + "|" + faults.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.m[key]; ok {
+		return m
+	}
+	if c.m == nil {
+		c.m = make(map[string]*fault.Masked, maxMaskedViews)
+	}
+	for len(c.m) >= maxMaskedViews { // rare: more live masks than the cap
+		for k, victim := range c.m {
+			network.InvalidateRoutes(victim)
+			delete(c.m, k)
+			break
+		}
+	}
+	m := fault.NewMasked(topo, faults)
+	c.m[key] = m
+	return m
+}
+
 type baseCandidate struct {
 	key  string
 	reqs request.Set
+	// res caches the decoded schedule so the delta path patches from memory
+	// instead of re-reading, re-decoding and re-validating the store entry
+	// on every request. nil until first decoded (warm boot registers
+	// patterns only); bounded by maxBaseCandidates like everything else in
+	// the index. Cached results are shared read-only.
+	res *schedule.Result
+	// checked records whether res passed the exact-multiset validation the
+	// exact-key path demands; nearest-base material is cached unchecked and
+	// validated once if an exact hit ever needs it.
+	checked bool
 }
 
 // baseIndex is the small in-memory candidate index over the store's base
 // schedules: per topology, the most recently saved patterns with their
-// store keys, so nearest-base selection never scans the disk.
+// store keys and decoded schedules, so nearest-base selection never scans
+// the disk and steady-state patching never touches it at all.
 type baseIndex struct {
 	mu   sync.Mutex
 	topo map[string][]baseCandidate
@@ -51,21 +102,52 @@ type baseIndex struct {
 
 func newBaseIndex() *baseIndex { return &baseIndex{topo: make(map[string][]baseCandidate)} }
 
-func (b *baseIndex) add(topoName, key string, reqs request.Set) {
+func (b *baseIndex) add(topoName, key string, reqs request.Set, res *schedule.Result) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	list := b.topo[topoName]
 	for i := range list {
 		if list[i].key == key {
 			list[i].reqs = reqs
+			if res != nil {
+				list[i].res, list[i].checked = res, true
+			}
 			return
 		}
 	}
-	list = append(list, baseCandidate{key: key, reqs: reqs})
+	list = append(list, baseCandidate{key: key, reqs: reqs, res: res, checked: res != nil})
 	if len(list) > maxBaseCandidates {
 		list = list[len(list)-maxBaseCandidates:]
 	}
 	b.topo[topoName] = list
+}
+
+// cached returns the decoded schedule for a key, if the index holds one,
+// and whether it has passed exact-multiset validation.
+func (b *baseIndex) cached(topoName, key string) (*schedule.Result, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, c := range b.topo[topoName] {
+		if c.key == key {
+			return c.res, c.checked
+		}
+	}
+	return nil, false
+}
+
+// fill attaches a freshly decoded schedule to an already registered key; a
+// key no longer in the index (trimmed since) is ignored.
+func (b *baseIndex) fill(topoName, key string, res *schedule.Result, checked bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	list := b.topo[topoName]
+	for i := range list {
+		if list[i].key == key {
+			list[i].res = res
+			list[i].checked = list[i].checked || checked
+			return
+		}
+	}
 }
 
 // nearest returns the store key of the candidate whose pattern has the
@@ -157,15 +239,30 @@ func (s *Server) warmBoot(cacheEntries int) {
 		if err != nil {
 			continue
 		}
-		s.bases.add(dec.Topology, info.Key, dec.Requests())
+		s.bases.add(dec.Topology, info.Key, dec.Requests(), nil)
 	}
 }
 
-// loadBase fetches and decodes a stored base schedule bound to topo. When
+// loadBase fetches a stored base schedule bound to topo, preferring the
+// index's in-memory decoded copy and falling back to a store read. When
 // reqs is non-nil the decoded schedule must serve exactly that multiset —
-// the guard against codec drift and key collisions. Any failure is a miss,
-// never an error: the caller falls back to compiling.
+// the guard against codec drift and key collisions (already-cached
+// schedules passed that guard when they were cached, or were produced by
+// this process). Any failure is a miss, never an error: the caller falls
+// back to compiling.
 func (s *Server) loadBase(key string, topo network.Topology, reqs request.Set) *schedule.Result {
+	if res, checked := s.bases.cached(topo.Name(), key); res != nil {
+		if reqs == nil || checked {
+			return res
+		}
+		// Cached off the nearest-base path, now needed for an exact hit:
+		// run the multiset guard it skipped, once.
+		if res.Validate(reqs) != nil {
+			return nil
+		}
+		s.bases.fill(topo.Name(), key, res, true)
+		return res
+	}
 	payload, ok := s.store.Get(store.KindSchedule, key)
 	if !ok {
 		return nil
@@ -181,17 +278,19 @@ func (s *Server) loadBase(key string, topo network.Topology, reqs request.Set) *
 	if reqs != nil && res.Validate(reqs) != nil {
 		return nil
 	}
+	s.bases.fill(topo.Name(), key, res, reqs != nil)
 	return res
 }
 
 // saveBase persists a phase's schedule as delta base material and registers
-// it in the candidate index. Best-effort, like storePutArtifact.
+// it — pattern and decoded schedule both — in the candidate index.
+// Best-effort, like storePutArtifact.
 func (s *Server) saveBase(key, topoName string, res *schedule.Result, reqs request.Set) {
 	if s.store == nil {
 		return
 	}
 	if s.store.Put(store.KindSchedule, key, store.EncodeResult(res)) == nil {
-		s.bases.add(topoName, key, reqs)
+		s.bases.add(topoName, key, reqs, res)
 	}
 }
 
@@ -256,12 +355,11 @@ func (s *Server) schedulePhase(p *parsedRequest, reqs request.Set) (*schedule.Re
 // switch-program lowering and light-trace verification that the degraded
 // programs drive the surviving hardware correctly. Dynamic phases fall back
 // to the predetermined AAPC configuration set recomputed on the masked
-// topology. The per-request masked view's route-cache entry is released
-// before returning so a serving daemon does not churn the process-wide
-// route cache.
+// topology. The masked view (and its route-cache table) is shared across
+// requests carrying the same fault mask via the bounded masked-view cache,
+// so a persistent failure is routed once, not once per request.
 func (s *Server) compileMasked(p *parsedRequest) (*core.CompiledProgram, error) {
-	masked := fault.NewMasked(p.topo, p.faults)
-	defer network.InvalidateRoutes(masked)
+	masked := s.maskedViews.view(p.topoName, p.topo, p.faults)
 	out := &core.CompiledProgram{Program: p.prog}
 	for _, ph := range p.prog.Phases {
 		if ph.Dynamic {

@@ -2,13 +2,14 @@ package service
 
 import (
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/cliutil"
 )
 
 // defaultWorkers sizes the pool to the machine when Config.Workers is zero.
-func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+func defaultWorkers() int { return cliutil.Workers(0) }
 
 // ErrOverloaded is returned by the pool when the compile queue is full; the
 // HTTP layer maps it to 429 + Retry-After. Rejecting at admission keeps the

@@ -52,6 +52,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/topology"
 	"repro/internal/trace"
 )
 
@@ -112,6 +113,10 @@ type Server struct {
 	store      *store.Store
 	bases      *baseIndex
 	deltaBound float64
+
+	// maskedViews shares fault-masked topology views (and their route
+	// caches) across recompile requests with the same fault mask.
+	maskedViews maskedViewCache
 
 	// compileHook, when set, runs inside a pool worker immediately before a
 	// pipeline invocation. Test instrumentation: counting calls counts
@@ -216,7 +221,7 @@ func (s *Server) parse(r *http.Request, w http.ResponseWriter, recompile bool) (
 	p := &parsedRequest{topo: s.topo, scheduler: s.scheduler}
 	pes := s.topoPEs
 	if name := q.Get("topology"); name != "" {
-		topo, err := cliutil.ParseTopology(name)
+		topo, err := topology.Parse(name)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +230,7 @@ func (s *Server) parse(r *http.Request, w http.ResponseWriter, recompile bool) (
 	}
 	p.topoName = p.topo.Name()
 	if name := q.Get("alg"); name != "" {
-		sch, err := cliutil.ParseScheduler(name)
+		sch, err := schedule.ParseScheduler(name)
 		if err != nil {
 			return nil, err
 		}
@@ -483,12 +488,17 @@ func buildResult(cp *core.CompiledProgram, pes int, topoName, schedName string, 
 		MaxDegree:        cp.MaxDegree(),
 		Reconfigurations: cp.Reconfigurations(),
 	}
+	// One RunCompiled per phase covers both the per-phase prediction and the
+	// single-iteration program time: ProgramTime(1, rc) is exactly
+	// sum(rc.Cost(degree) + comm) whether or not the program is one phase.
+	total := 0
 	for i := range cp.Phases {
 		ph := &cp.Phases[i]
 		out, err := sim.RunCompiled(ph.Schedule, ph.Phase.Messages)
 		if err != nil {
 			return nil, fmt.Errorf("predicting phase %q: %w", ph.Phase.Name, err)
 		}
+		total += core.DefaultReconfigCost.Cost(ph.Degree()) + out.Time
 		configs := make([][]Pair, len(ph.Schedule.Configs))
 		for k, c := range ph.Schedule.Configs {
 			configs[k] = make([]Pair, len(c))
@@ -505,10 +515,6 @@ func buildResult(cp *core.CompiledProgram, pes int, topoName, schedName string, 
 			PredictedSlots: out.Time,
 			Configs:        configs,
 		})
-	}
-	total, err := cp.ProgramTime(1, core.DefaultReconfigCost)
-	if err != nil {
-		return nil, err
 	}
 	res.TotalSlots = total
 	return res, nil

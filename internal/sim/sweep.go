@@ -3,9 +3,10 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/cliutil"
 )
 
 // TrialSeed derives the RNG seed of one trial from a sweep's master seed
@@ -39,9 +40,7 @@ func Sweep(trials, workers int, seed int64, fn func(trial int, rng *rand.Rand) e
 	if trials == 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = cliutil.Workers(workers)
 	if workers > trials {
 		workers = trials
 	}

@@ -38,33 +38,62 @@ type Program struct {
 // one crossbar entry to each switch it traverses: PE-in to first link at
 // the source, link to link at intermediate switches, and last link to
 // PE-out at the destination.
+//
+// Crossbar legality is tracked in flat claim tables indexed by
+// (node, slot, port) rather than in the output maps themselves: one array
+// read replaces a map probe plus a linear output scan per hop, and the
+// per-slot maps are materialized presized in a single pass at the end.
 func Compile(res *schedule.Result) (*Program, error) {
 	t := res.Topology
+	degree := res.Degree()
+	nn := t.NumNodes()
 	prog := &Program{
 		Topology: t,
-		Degree:   res.Degree(),
-		Switches: make([]SwitchProgram, t.NumNodes()),
+		Degree:   degree,
+		Switches: make([]SwitchProgram, nn),
 	}
 	for n := range prog.Switches {
 		prog.Switches[n].Node = network.NodeID(n)
-		prog.Switches[n].Slots = make([]map[int]int, res.Degree())
+		prog.Switches[n].Slots = make([]map[int]int, degree)
 	}
+	if degree == 0 {
+		return prog, nil
+	}
+	// Route replay touches the same few links in every slot; fetch each
+	// LinkInfo through the interface once.
+	links := make([]network.LinkInfo, t.NumLinks())
+	ports := network.PEPort + 1
+	for i := range links {
+		links[i] = t.Link(network.LinkID(i))
+		if links[i].OutPort >= ports {
+			ports = links[i].OutPort + 1
+		}
+		if links[i].InPort >= ports {
+			ports = links[i].InPort + 1
+		}
+	}
+	// inClaim[(node,slot,in)] = out+1, outClaim[(node,slot,out)] = in+1;
+	// zero means the port is dark in that slot.
+	stride := degree * ports
+	inClaim := make([]int32, nn*stride)
+	outClaim := make([]int32, nn*stride)
+	counts := make([]int32, nn*degree)
 	setting := func(node network.NodeID, slot, in, out int) error {
-		sw := &prog.Switches[node]
-		if sw.Slots[slot] == nil {
-			sw.Slots[slot] = make(map[int]int)
-		}
-		if prev, ok := sw.Slots[slot][in]; ok && prev != out {
-			return fmt.Errorf("switchprog: switch %d slot %d input %d claimed for outputs %d and %d",
-				node, slot, in, prev, out)
-		}
-		for otherIn, otherOut := range sw.Slots[slot] {
-			if otherOut == out && otherIn != in {
-				return fmt.Errorf("switchprog: switch %d slot %d output %d claimed by inputs %d and %d",
-					node, slot, out, otherIn, in)
+		base := int(node)*stride + slot*ports
+		if prev := inClaim[base+in]; prev != 0 {
+			if int(prev-1) != out {
+				return fmt.Errorf("switchprog: switch %d slot %d input %d claimed for outputs %d and %d",
+					node, slot, in, prev-1, out)
 			}
+			return nil
 		}
-		sw.Slots[slot][in] = out
+		if prev := outClaim[base+out]; prev != 0 {
+			return fmt.Errorf("switchprog: switch %d slot %d output %d claimed by inputs %d and %d",
+				node, slot, out, prev-1, in)
+		}
+		inClaim[base+in] = int32(out + 1)
+		outClaim[base+out] = int32(in + 1)
+		counts[int(node)*degree+slot]++
 		return nil
 	}
 	for slot, config := range res.Configs {
@@ -76,7 +105,7 @@ func Compile(res *schedule.Result) (*Program, error) {
 			in := network.PEPort
 			node := p.Src
 			for _, l := range p.Links {
-				li := t.Link(l)
+				li := &links[l]
 				if err := setting(node, slot, in, li.OutPort); err != nil {
 					return nil, err
 				}
@@ -86,6 +115,23 @@ func Compile(res *schedule.Result) (*Program, error) {
 			if err := setting(node, slot, in, network.PEPort); err != nil {
 				return nil, err
 			}
+		}
+	}
+	for n := 0; n < nn; n++ {
+		sw := &prog.Switches[n]
+		for slot := 0; slot < degree; slot++ {
+			c := counts[n*degree+slot]
+			if c == 0 {
+				continue
+			}
+			m := make(map[int]int, c)
+			base := n*stride + slot*ports
+			for in := 0; in < ports; in++ {
+				if v := inClaim[base+in]; v != 0 {
+					m[in] = int(v - 1)
+				}
+			}
+			sw.Slots[slot] = m
 		}
 	}
 	return prog, nil

@@ -13,6 +13,8 @@ import (
 // exercised on a topology with logarithmic diameter; the paper's evaluation
 // itself runs on the torus.
 type Hypercube struct {
+	name string // precomputed by the constructor so Name() never allocates
+
 	Dim int
 }
 
@@ -21,11 +23,16 @@ func NewHypercube(dim int) *Hypercube {
 	if dim < 1 || dim > 20 {
 		panic(fmt.Sprintf("topology: hypercube dimension %d out of range", dim))
 	}
-	return &Hypercube{Dim: dim}
+	return &Hypercube{Dim: dim, name: fmt.Sprintf("hypercube-%d", dim)}
 }
 
 // Name implements network.Topology.
-func (h *Hypercube) Name() string { return fmt.Sprintf("hypercube-%d", h.Dim) }
+func (h *Hypercube) Name() string {
+	if h.name != "" {
+		return h.name
+	}
+	return fmt.Sprintf("hypercube-%d", h.Dim)
+}
 
 // NumNodes implements network.Topology.
 func (h *Hypercube) NumNodes() int { return 1 << h.Dim }

@@ -17,6 +17,8 @@ const (
 // paper's Fig. 3 scheduling example. Each adjacent pair is joined by one
 // link per direction.
 type Linear struct {
+	name string // precomputed by the constructor so Name() never allocates
+
 	N int
 }
 
@@ -25,11 +27,16 @@ func NewLinear(n int) *Linear {
 	if n < 2 {
 		panic(fmt.Sprintf("topology: linear array of %d nodes too small", n))
 	}
-	return &Linear{N: n}
+	return &Linear{N: n, name: fmt.Sprintf("linear-%d", n)}
 }
 
 // Name implements network.Topology.
-func (l *Linear) Name() string { return fmt.Sprintf("linear-%d", l.N) }
+func (l *Linear) Name() string {
+	if l.name != "" {
+		return l.name
+	}
+	return fmt.Sprintf("linear-%d", l.N)
+}
 
 // NumNodes implements network.Topology.
 func (l *Linear) NumNodes() int { return l.N }

@@ -11,6 +11,8 @@ import (
 // matches the torus; border switches simply leave the corresponding ports
 // unconnected.
 type Mesh struct {
+	name string // precomputed by the constructor so Name() never allocates
+
 	W, H int
 }
 
@@ -19,11 +21,16 @@ func NewMesh(w, h int) *Mesh {
 	if w < 2 || h < 2 {
 		panic(fmt.Sprintf("topology: mesh dimensions %dx%d too small", w, h))
 	}
-	return &Mesh{W: w, H: h}
+	return &Mesh{W: w, H: h, name: fmt.Sprintf("mesh-%dx%d", w, h)}
 }
 
 // Name implements network.Topology.
-func (m *Mesh) Name() string { return fmt.Sprintf("mesh-%dx%d", m.W, m.H) }
+func (m *Mesh) Name() string {
+	if m.name != "" {
+		return m.name
+	}
+	return fmt.Sprintf("mesh-%dx%d", m.W, m.H)
+}
 
 // NumNodes implements network.Topology.
 func (m *Mesh) NumNodes() int { return m.W * m.H }

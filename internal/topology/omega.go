@@ -27,6 +27,8 @@ import (
 // multiplexing degree of a permutation equals the number of passes the
 // Omega network classically needs for it.
 type Omega struct {
+	name string // precomputed by the constructor so Name() never allocates
+
 	N      int // PEs
 	stages int
 }
@@ -36,11 +38,16 @@ func NewOmega(n int) *Omega {
 	if n < 4 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("topology: omega size %d not a power of two >= 4", n))
 	}
-	return &Omega{N: n, stages: bits.TrailingZeros(uint(n))}
+	return &Omega{N: n, stages: bits.TrailingZeros(uint(n)), name: fmt.Sprintf("omega-%d", n)}
 }
 
 // Name implements network.Topology.
-func (o *Omega) Name() string { return fmt.Sprintf("omega-%d", o.N) }
+func (o *Omega) Name() string {
+	if o.name != "" {
+		return o.name
+	}
+	return fmt.Sprintf("omega-%d", o.N)
+}
 
 // NumTerminals implements network.Terminals: only the N PEs originate or
 // terminate circuits; the interior nodes are fabric switches.

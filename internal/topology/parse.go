@@ -1,4 +1,4 @@
-package cliutil
+package topology
 
 import (
 	"fmt"
@@ -7,86 +7,63 @@ import (
 	"strings"
 
 	"repro/internal/network"
-	"repro/internal/schedule"
-	"repro/internal/topology"
 )
 
-// ParseScheduler resolves a scheduling-algorithm name to its implementation.
-// The names match the -alg flags of the cmd/ tools and the compile service's
-// alg parameter: greedy, coloring, aapc, combined, combined-seq, exact. An
-// empty name selects the compiler's default, the paper's combined algorithm.
-func ParseScheduler(name string) (schedule.Scheduler, error) {
-	switch name {
-	case "", "combined":
-		return schedule.Combined{}, nil
-	case "combined-seq":
-		return schedule.Combined{Sequential: true}, nil
-	case "greedy":
-		return schedule.Greedy{}, nil
-	case "coloring":
-		return schedule.Coloring{}, nil
-	case "aapc":
-		return schedule.OrderedAAPC{}, nil
-	case "exact":
-		return schedule.Exact{}, nil
-	default:
-		return nil, fmt.Errorf("cliutil: unknown scheduler %q (want greedy, coloring, aapc, combined, combined-seq or exact)", name)
-	}
-}
-
-// ParseTopology resolves a topology name of the form every
+// Parse resolves a topology name of the form every
 // network.Topology.Name() produces — "torus-8x8", "mesh-4x4",
 // "torus3d-4x4x4", "ring-16", "linear-8", "hypercube-6", "omega-64" — back
 // to a topology value, validating dimensions before construction so bad
-// input yields an error, never a panic.
-func ParseTopology(name string) (network.Topology, error) {
+// input yields an error, never a panic. (Moved here from internal/cliutil
+// so that low-level packages can share cliutil without importing the
+// topology constructors.)
+func Parse(name string) (network.Topology, error) {
 	family, arg, ok := strings.Cut(name, "-")
 	if !ok || arg == "" {
-		return nil, fmt.Errorf("cliutil: topology %q not of the form family-dims (e.g. torus-8x8)", name)
+		return nil, fmt.Errorf("topology: %q not of the form family-dims (e.g. torus-8x8)", name)
 	}
 	dims, err := parseDims(arg)
 	if err != nil {
-		return nil, fmt.Errorf("cliutil: topology %q: %w", name, err)
+		return nil, fmt.Errorf("topology: %q: %w", name, err)
 	}
 	bad := func(why string) (network.Topology, error) {
-		return nil, fmt.Errorf("cliutil: topology %q: %s", name, why)
+		return nil, fmt.Errorf("topology: %q: %s", name, why)
 	}
 	switch family {
 	case "torus":
 		if len(dims) != 2 || dims[0] < 2 || dims[1] < 2 {
 			return bad("want torus-WxH with W,H >= 2")
 		}
-		return topology.NewTorus(dims[0], dims[1]), nil
+		return NewTorus(dims[0], dims[1]), nil
 	case "mesh":
 		if len(dims) != 2 || dims[0] < 2 || dims[1] < 2 {
 			return bad("want mesh-WxH with W,H >= 2")
 		}
-		return topology.NewMesh(dims[0], dims[1]), nil
+		return NewMesh(dims[0], dims[1]), nil
 	case "torus3d":
 		if len(dims) != 3 || dims[0] < 2 || dims[1] < 2 || dims[2] < 2 {
 			return bad("want torus3d-XxYxZ with X,Y,Z >= 2")
 		}
-		return topology.NewTorus3D(dims[0], dims[1], dims[2]), nil
+		return NewTorus3D(dims[0], dims[1], dims[2]), nil
 	case "ring":
 		if len(dims) != 1 || dims[0] < 3 {
 			return bad("want ring-N with N >= 3")
 		}
-		return topology.NewRing(dims[0]), nil
+		return NewRing(dims[0]), nil
 	case "linear":
 		if len(dims) != 1 || dims[0] < 2 {
 			return bad("want linear-N with N >= 2")
 		}
-		return topology.NewLinear(dims[0]), nil
+		return NewLinear(dims[0]), nil
 	case "hypercube":
 		if len(dims) != 1 || dims[0] < 1 || dims[0] > 20 {
 			return bad("want hypercube-D with dimension 1..20")
 		}
-		return topology.NewHypercube(dims[0]), nil
+		return NewHypercube(dims[0]), nil
 	case "omega":
 		if len(dims) != 1 || dims[0] < 4 || dims[0]&(dims[0]-1) != 0 || bits.Len(uint(dims[0])) > 21 {
 			return bad("want omega-N with N a power of two >= 4")
 		}
-		return topology.NewOmega(dims[0]), nil
+		return NewOmega(dims[0]), nil
 	default:
 		return bad("unknown family (want torus, mesh, torus3d, ring, linear, hypercube or omega)")
 	}

@@ -1,0 +1,34 @@
+package topology_test
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, name := range []string{
+		"torus-8x8", "mesh-4x4", "torus3d-4x4x4", "ring-16", "linear-8",
+		"hypercube-6", "omega-64",
+	} {
+		topo, err := topology.Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if topo.Name() != name {
+			t.Fatalf("Parse(%q).Name() = %q", name, topo.Name())
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, name := range []string{
+		"", "torus", "torus-", "torus-8", "torus-8x8x8", "torus-1x8",
+		"mesh-8", "ring-2", "linear-1", "hypercube-0", "hypercube-21",
+		"omega-6", "omega-2", "klein-8", "torus-axb", "torus-8x-1",
+	} {
+		if _, err := topology.Parse(name); err == nil {
+			t.Fatalf("Parse(%q) accepted", name)
+		}
+	}
+}

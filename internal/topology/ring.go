@@ -10,6 +10,8 @@ import (
 // nodes. It is the one-dimensional specialization of the torus and is used
 // by the per-dimension AAPC analysis and additional experiments.
 type Ring struct {
+	name string // precomputed by the constructor so Name() never allocates
+
 	N   int
 	Tie TiePolicy
 }
@@ -19,11 +21,16 @@ func NewRing(n int) *Ring {
 	if n < 3 {
 		panic(fmt.Sprintf("topology: ring of %d nodes too small", n))
 	}
-	return &Ring{N: n, Tie: TieBalanced}
+	return &Ring{N: n, Tie: TieBalanced, name: fmt.Sprintf("ring-%d", n)}
 }
 
 // Name implements network.Topology.
-func (r *Ring) Name() string { return fmt.Sprintf("ring-%d", r.N) }
+func (r *Ring) Name() string {
+	if r.name != "" {
+		return r.name
+	}
+	return fmt.Sprintf("ring-%d", r.N)
+}
 
 // NumNodes implements network.Topology.
 func (r *Ring) NumNodes() int { return r.N }

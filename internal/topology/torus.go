@@ -23,6 +23,8 @@ const (
 // destination row, taking the shorter wraparound direction in each
 // dimension.
 type Torus struct {
+	name string // precomputed by the constructor so Name() never allocates
+
 	W, H int
 	Tie  TiePolicy
 }
@@ -32,11 +34,16 @@ func NewTorus(w, h int) *Torus {
 	if w < 2 || h < 2 {
 		panic(fmt.Sprintf("topology: torus dimensions %dx%d too small", w, h))
 	}
-	return &Torus{W: w, H: h, Tie: TieBalanced}
+	return &Torus{W: w, H: h, Tie: TieBalanced, name: fmt.Sprintf("torus-%dx%d", w, h)}
 }
 
 // Name implements network.Topology.
-func (t *Torus) Name() string { return fmt.Sprintf("torus-%dx%d", t.W, t.H) }
+func (t *Torus) Name() string {
+	if t.name != "" {
+		return t.name
+	}
+	return fmt.Sprintf("torus-%dx%d", t.W, t.H)
+}
 
 // NumNodes implements network.Topology.
 func (t *Torus) NumNodes() int { return t.W * t.H }

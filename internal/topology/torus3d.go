@@ -24,6 +24,8 @@ const (
 // with shortest wraparound per dimension and the same balanced tie policy
 // as the 2-D torus.
 type Torus3D struct {
+	name string // precomputed by the constructor so Name() never allocates
+
 	X, Y, Z int
 	Tie     TiePolicy
 }
@@ -33,11 +35,16 @@ func NewTorus3D(x, y, z int) *Torus3D {
 	if x < 2 || y < 2 || z < 2 {
 		panic(fmt.Sprintf("topology: 3-D torus dimensions %dx%dx%d too small", x, y, z))
 	}
-	return &Torus3D{X: x, Y: y, Z: z, Tie: TieBalanced}
+	return &Torus3D{X: x, Y: y, Z: z, Tie: TieBalanced, name: fmt.Sprintf("torus3d-%dx%dx%d", x, y, z)}
 }
 
 // Name implements network.Topology.
-func (t *Torus3D) Name() string { return fmt.Sprintf("torus3d-%dx%dx%d", t.X, t.Y, t.Z) }
+func (t *Torus3D) Name() string {
+	if t.name != "" {
+		return t.name
+	}
+	return fmt.Sprintf("torus3d-%dx%dx%d", t.X, t.Y, t.Z)
+}
 
 // NumNodes implements network.Topology.
 func (t *Torus3D) NumNodes() int { return t.X * t.Y * t.Z }
