@@ -21,10 +21,12 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"runtime"
 	"text/tabwriter"
 
 	"repro/internal/apps"
+	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/delta"
 	"repro/internal/fault"
@@ -228,6 +230,154 @@ func main() {
 		}))
 		ts.Close()
 		svc.Close()
+	}
+
+	// Overlap-aware iteration time: the reconfigure-or-not planner against
+	// the paper's model of a full register load at every phase boundary.
+	// Three totals per workload go into the JSON: the overlap plan
+	// (keep/patch/recompile with loads hidden under idle TDM slots), the
+	// same plan with serialized loading, and the per-phase full-load
+	// baseline (IterationTime). The ring all-reduce is the circuit-sharing
+	// workload the planner must win outright: after round one the circuits
+	// never change, so every boundary is a keep and the baseline's 2(n-1)
+	// reconfigurations collapse to one.
+	{
+		rc := core.DefaultReconfigCost
+		coll, err := collective.RingAllReduce(64, 64)
+		check(err)
+		ringAR := coll.Program(1)
+		ringAR.Phases = ringAR.Phases[:8]
+		ag, err := collective.AllGather(64, 8)
+		check(err)
+		p3mPhases, err := apps.P3M(32)
+		check(err)
+		p3m := core.Program{Name: "p3m-32"}
+		for _, ph := range p3mPhases {
+			p3m.Phases = append(p3m.Phases, core.Phase{Name: ph.Name, Messages: ph.Messages})
+		}
+		for _, w := range []struct {
+			name string
+			prog core.Program
+		}{
+			{"ring-allreduce64", ringAR},
+			{"allgather64", ag.Program(1)},
+			{"p3m64", p3m},
+		} {
+			cp, err := core.Compiler{Topology: torus, Scheduler: schedule.Combined{}}.Compile(w.prog)
+			check(err)
+			var plan *core.OverlapPlan
+			check(report.Run("overlap/plan/"+w.name, func() error {
+				plan, err = cp.PlanOverlap(rc)
+				return err
+			}))
+			if plan.Total > plan.Serialized {
+				check(fmt.Errorf("overlap/%s: overlap total %d exceeds serialized %d", w.name, plan.Total, plan.Serialized))
+			}
+			report.AddValue("overlap/"+w.name+"/overlapped", float64(plan.Total), "slots")
+			report.AddValue("overlap/"+w.name+"/serialized", float64(plan.Serialized), "slots")
+			report.AddValue("overlap/"+w.name+"/baseline", float64(plan.Baseline), "slots")
+		}
+		// The headline acceptance number: on the circuit-sharing workload
+		// the planned iteration must be strictly cheaper than serialized
+		// per-phase reconfiguration.
+		cp, err := core.Compiler{Topology: torus, Scheduler: schedule.Combined{}}.Compile(ringAR)
+		check(err)
+		plan, err := cp.PlanOverlap(rc)
+		check(err)
+		if plan.Total >= plan.Baseline {
+			check(fmt.Errorf("overlap/ring-allreduce64: planned %d slots does not beat the %d-slot full-reconfiguration baseline", plan.Total, plan.Baseline))
+		}
+	}
+
+	// Multi-phase serving: one pipelined /session stream against the same
+	// phase sequence issued as independent /compile calls (fresh names per
+	// iteration so neither path hits the artifact cache). Two workloads: the
+	// ring all-reduce, where after round one every phase is byte-identical
+	// and the session skips the compile entirely (the amortization headline
+	// — asserted to win in full mode, after a one-shot check that the
+	// session's schedules really are the ones the N compiles return), and
+	// p3m, where every phase differs and the session pays a compile plus
+	// candidate pricing per boundary (the honest overhead row).
+	{
+		coll, err := collective.RingAllReduce(64, 64)
+		check(err)
+		ringAR := coll.Program(1)
+		ringAR.Phases = ringAR.Phases[:8]
+		p3mPhases, err := apps.P3M(32)
+		check(err)
+		p3m := core.Program{Name: "p3m-32"}
+		for _, ph := range p3mPhases {
+			p3m.Phases = append(p3m.Phases, core.Phase{Name: ph.Name, Messages: ph.Messages})
+		}
+		svc, err := service.New(service.Config{Topology: torus})
+		check(err)
+		ts := httptest.NewServer(svc)
+		c := &client.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+		ctx := context.Background()
+		for _, w := range []struct {
+			name string
+			prog core.Program
+		}{
+			{"ring-allreduce64", ringAR},
+			{"p3m64", p3m},
+		} {
+			doc := trace.FromProgram(w.prog, 64)
+			perPhaseDocs := func(n int) []trace.Document {
+				docs := make([]trace.Document, len(doc.Phases))
+				for i := range doc.Phases {
+					docs[i] = trace.Document{
+						Name:   fmt.Sprintf("%s/%d/%d", doc.Name, n, i),
+						PEs:    doc.PEs,
+						Phases: []trace.Phase{doc.Phases[i]},
+					}
+				}
+				return docs
+			}
+			// One untimed pass proving the session serves byte-identical
+			// schedules to what N independent compiles return.
+			sessRes, err := c.Session(ctx, doc, client.Options{}, nil)
+			check(err)
+			for i, d := range perPhaseDocs(0) {
+				_, res, err := c.Compile(ctx, d, client.Options{})
+				check(err)
+				if !reflect.DeepEqual(sessRes.Phases[i].Result.Configs, res.Phases[0].Configs) {
+					check(fmt.Errorf("service/session/%s: phase %d schedule differs from its independent compile", w.name, i))
+				}
+			}
+			check(report.Run("service/session/"+w.name, func() error {
+				res, err := c.Session(ctx, doc, client.Options{}, nil)
+				if err != nil {
+					return err
+				}
+				if len(res.Phases) != len(doc.Phases) {
+					return fmt.Errorf("session served %d phases, want %d", len(res.Phases), len(doc.Phases))
+				}
+				return nil
+			}))
+			n := 0
+			check(report.Run("service/compile-per-phase/"+w.name, func() error {
+				n++
+				for i, d := range perPhaseDocs(n) {
+					if _, _, err := c.Compile(ctx, d, client.Options{}); err != nil {
+						return fmt.Errorf("phase %d: %w", i, err)
+					}
+				}
+				return nil
+			}))
+		}
+		ts.Close()
+		svc.Close()
+		if !*quickFlag {
+			sess, ok1 := report.LastResult("service/session/ring-allreduce64")
+			perPhase, ok2 := report.LastResult("service/compile-per-phase/ring-allreduce64")
+			if !ok1 || !ok2 {
+				check(fmt.Errorf("session benchmark rows missing"))
+			}
+			if sess.NsPerOp >= perPhase.NsPerOp {
+				check(fmt.Errorf("/session (%.0f ns) not faster than %d independent /compile calls (%.0f ns)",
+					sess.NsPerOp, len(ringAR.Phases), perPhase.NsPerOp))
+			}
+		}
 	}
 
 	// Fault-masked recompilation through the daemon, on the paper's p3m64

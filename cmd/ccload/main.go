@@ -17,11 +17,20 @@
 // configurable number of distinct programs (distinct cache keys), and
 // reports latency percentiles, cache-state counts and 429 rejections.
 //
+// Phases mode (-server URL -phases) replays the multi-phase trace through
+// the streaming /session endpoint instead of per-phase /compile calls: each
+// request is one whole program iteration, the driver reads phase chunks as
+// they arrive, and the report shows the keep/patch/recompile decision mix,
+// the overlapped vs serialized vs independent-compile slot totals from the
+// trailer, time-to-first-phase (the streaming head start), and how many
+// compiles the daemon ran pipelined behind the stream.
+//
 // Usage:
 //
 //	ccload
 //	ccload -flits 4 -messages 30 -degree 5 -gaps 3200,1600,800,400,200 -json
 //	ccload -server http://localhost:8080 -requests 200 -rate 100 -distinct 8 -verify
+//	ccload -server http://localhost:8080 -phases -requests 50 -rate 20 -verify
 package main
 
 import (
@@ -58,6 +67,7 @@ var (
 	jsonFlag     = flag.Bool("json", false, "emit results as JSON instead of a table")
 
 	serverFlag   = flag.String("server", "", "stress mode: base URL of a ccserved daemon")
+	phasesFlag   = flag.Bool("phases", false, "with -server: replay the multi-phase trace through /session")
 	requestsFlag = flag.Int("requests", 100, "stress mode: total requests to send")
 	rateFlag     = flag.Float64("rate", 50, "stress mode: offered request rate per second")
 	distinctFlag = flag.Int("distinct", 4, "stress mode: distinct programs (cache keys) to cycle through")
@@ -68,7 +78,11 @@ var (
 func main() {
 	flag.Parse()
 	if *serverFlag != "" {
-		stress()
+		if *phasesFlag {
+			replayPhases()
+		} else {
+			stress()
+		}
 		return
 	}
 	sweep()
@@ -299,6 +313,144 @@ func stress() {
 	if len(latencies) > 0 {
 		fmt.Printf("  latency µs: mean %.0f  p50 %d  p95 %d  p99 %d  max %d\n",
 			rep.LatencyUsMean, rep.LatencyUsP50, rep.LatencyUsP95, rep.LatencyUsP99, rep.LatencyUsMax)
+	}
+}
+
+// phasesReport is the phases-mode result document: one row per replayed
+// program iteration is collapsed into latency percentiles, and the
+// model-level numbers (decision mix, slot totals) come from the trailer of
+// the last successful session — they are a property of the trace, identical
+// across iterations, which the driver asserts.
+type phasesReport struct {
+	Server      string  `json:"server"`
+	Sessions    int     `json:"sessions"`
+	Phases      int     `json:"phases"`
+	Distinct    int     `json:"distinct"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	DurationSec float64 `json:"duration_sec"`
+
+	OK       int `json:"ok"`
+	Errors   int `json:"errors"`
+	Verified int `json:"verified,omitempty"`
+
+	Decisions         map[string]int `json:"decisions"`
+	TotalSlots        int            `json:"total_slots"`
+	SerializedSlots   int            `json:"serialized_slots"`
+	BaselineSlots     int            `json:"baseline_slots"`
+	PipelinedCompiles uint64         `json:"pipelined_compiles"`
+
+	LatencyUsMean    float64 `json:"latency_us_mean"`
+	LatencyUsP50     int     `json:"latency_us_p50"`
+	LatencyUsP95     int     `json:"latency_us_p95"`
+	LatencyUsMax     int     `json:"latency_us_max"`
+	FirstPhaseUsMean float64 `json:"first_phase_us_mean"`
+}
+
+func replayPhases() {
+	doc := stressDoc()
+	docs := make([]trace.Document, *distinctFlag)
+	for i := range docs {
+		docs[i] = doc
+		docs[i].Name = fmt.Sprintf("%s/replay-%d", doc.Name, i)
+	}
+
+	c := &client.Client{BaseURL: *serverFlag}
+	before, err := c.Metrics(context.Background())
+	check(err)
+
+	type outcome struct {
+		res          *client.SessionResult
+		err          error
+		latencyUs    int
+		firstPhaseUs int
+	}
+	outcomes := make([]outcome, *requestsFlag)
+	interval := time.Duration(float64(time.Second) / *rateFlag)
+	var wg sync.WaitGroup
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	for i := 0; i < *requestsFlag; i++ {
+		if i > 0 {
+			<-ticker.C
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			first := false
+			res, err := c.Session(context.Background(), docs[i%len(docs)], client.Options{},
+				func(service.SessionChunk) {
+					if !first {
+						outcomes[i].firstPhaseUs = int(time.Since(t0).Microseconds())
+						first = true
+					}
+				})
+			outcomes[i].latencyUs = int(time.Since(t0).Microseconds())
+			outcomes[i].res, outcomes[i].err = res, err
+		}(i)
+	}
+	wg.Wait()
+	ticker.Stop()
+	elapsed := time.Since(start)
+
+	after, err := c.Metrics(context.Background())
+	check(err)
+
+	rep := phasesReport{
+		Server: *serverFlag, Sessions: *requestsFlag, Phases: len(doc.Phases),
+		Distinct: *distinctFlag, RatePerSec: *rateFlag, DurationSec: elapsed.Seconds(),
+		PipelinedCompiles: after.Session.PipelinedCompiles - before.Session.PipelinedCompiles,
+	}
+	var latencies, firsts []int
+	for i, o := range outcomes {
+		if o.err != nil {
+			rep.Errors++
+			fmt.Fprintln(os.Stderr, "ccload:", o.err)
+			continue
+		}
+		rep.OK++
+		latencies = append(latencies, o.latencyUs)
+		firsts = append(firsts, o.firstPhaseUs)
+		rep.Decisions = o.res.Decisions()
+		rep.TotalSlots = o.res.Trailer.TotalSlots
+		rep.SerializedSlots = o.res.Trailer.SerializedSlots
+		rep.BaselineSlots = o.res.Trailer.BaselineSlots
+		if *verifyFlag {
+			if err := client.VerifySession(docs[i%len(docs)], o.res); err != nil {
+				check(fmt.Errorf("session failed client-side validation: %w", err))
+			}
+			rep.Verified++
+		}
+	}
+	if len(latencies) > 0 {
+		rep.LatencyUsMean = stats.Summarize(latencies).Mean
+		rep.LatencyUsMax = stats.Summarize(latencies).Max
+		rep.LatencyUsP50 = stats.Percentile(latencies, 50)
+		rep.LatencyUsP95 = stats.Percentile(latencies, 95)
+		rep.FirstPhaseUsMean = stats.Summarize(firsts).Mean
+	}
+	if rep.Errors > 0 {
+		defer os.Exit(1)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rep))
+		return
+	}
+	fmt.Printf("%d session replays of %q (%d phases) to %s at %.0f/s over %.2fs\n",
+		rep.Sessions, doc.Name, rep.Phases, rep.Server, rep.RatePerSec, rep.DurationSec)
+	fmt.Printf("  ok %d   errors %d   decisions %v\n", rep.OK, rep.Errors, rep.Decisions)
+	fmt.Printf("  iteration slots: overlapped %d, serialized %d, independent compiles %d\n",
+		rep.TotalSlots, rep.SerializedSlots, rep.BaselineSlots)
+	fmt.Printf("  daemon ran %d compiles pipelined behind the stream\n", rep.PipelinedCompiles)
+	if *verifyFlag {
+		fmt.Printf("  verified %d sessions client-side\n", rep.Verified)
+	}
+	if len(latencies) > 0 {
+		fmt.Printf("  latency µs: mean %.0f  p50 %d  p95 %d  max %d   first phase mean %.0f\n",
+			rep.LatencyUsMean, rep.LatencyUsP50, rep.LatencyUsP95, rep.LatencyUsMax, rep.FirstPhaseUsMean)
 	}
 }
 

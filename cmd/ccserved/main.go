@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/schedule"
 	"repro/internal/service"
 	"repro/internal/topology"
@@ -46,6 +47,9 @@ var (
 	storeMaxFlag   = flag.Int("store-max-entries", 0, "store GC: keep at most this many entries (0 = unbounded)")
 	storeAgeFlag   = flag.Duration("store-max-age", 0, "store GC: expire entries older than this (0 = unbounded)")
 	deltaBoundFlag = flag.Float64("delta-bound", 0, "accept an incrementally patched schedule when its degree is within this factor of the from-scratch estimate (0 = default 1.5)")
+
+	reconfigPerSlotFlag = flag.Int("reconfig-perslot", core.DefaultReconfigCost.PerSlot, "register-load slots charged per TDM slot entry at a /session phase boundary")
+	reconfigBarrierFlag = flag.Int("reconfig-barrier", core.DefaultReconfigCost.Barrier, "barrier slots charged when any register write occurs at a /session phase boundary")
 )
 
 func main() {
@@ -70,6 +74,7 @@ func main() {
 		StoreMaxEntries: *storeMaxFlag,
 		StoreMaxAge:     *storeAgeFlag,
 		DeltaBound:      *deltaBoundFlag,
+		Reconfig:        core.ReconfigCost{PerSlot: *reconfigPerSlotFlag, Barrier: *reconfigBarrierFlag},
 	})
 	check(err)
 	if *storeDirFlag != "" {

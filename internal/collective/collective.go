@@ -203,6 +203,36 @@ func AllReduce(n, elements int) (Collective, error) {
 	return c, nil
 }
 
+// RingAllReduce is the bandwidth-optimal ring algorithm: a reduce-scatter
+// of n-1 rounds followed by an all-gather of n-1 rounds, every round the
+// same pattern — rank i sends one 1/n chunk to rank i+1 mod n. All 2(n-1)
+// phases share the identical circuit set, which makes the ring the
+// canonical workload for keep-vs-reconfigure decisions: after the first
+// round the compiled circuits never change, only the chunk indices do.
+func RingAllReduce(n, elements int) (Collective, error) {
+	if err := checkArgs(0, n, elements); err != nil {
+		return Collective{}, err
+	}
+	chunk := (elements + n - 1) / n
+	if chunk < 1 {
+		chunk = 1
+	}
+	var ring request.Set
+	for i := 0; i < n; i++ {
+		ring = append(ring, request.Request{Src: network.NodeID(i), Dst: network.NodeID((i + 1) % n)})
+	}
+	c := Collective{Name: "ring-all-reduce", Nodes: n}
+	for r := 0; r < 2*(n-1); r++ {
+		vol := make(map[request.Request]int, n)
+		for _, req := range ring {
+			vol[req] = chunk
+		}
+		c.Rounds = append(c.Rounds, ring.Clone())
+		c.Volumes = append(c.Volumes, vol)
+	}
+	return c, nil
+}
+
 func checkArgs(root, n, elements int) error {
 	if n < 2 {
 		return fmt.Errorf("collective: need >= 2 ranks, got %d", n)

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func ringProgram(n, phases, flits int) Program {
+	prog := Program{Name: "ring-loop"}
+	for p := 0; p < phases; p++ {
+		ph := Phase{Name: "round"}
+		for i := 0; i < n; i++ {
+			ph.Messages = append(ph.Messages, sim.Message{Src: i, Dst: (i + 1) % n, Flits: flits})
+		}
+		prog.Phases = append(prog.Phases, ph)
+	}
+	return prog
+}
+
+func ringPhaseMsgs(n, flits int) []sim.Message {
+	msgs := make([]sim.Message, n)
+	for i := 0; i < n; i++ {
+		msgs[i] = sim.Message{Src: i, Dst: (i + 1) % n, Flits: flits}
+	}
+	return msgs
+}
+
+func mustSchedule(t *testing.T, topo network.Topology, reqs request.Set) *schedule.Result {
+	t.Helper()
+	res, err := schedule.Combined{}.Schedule(topo, reqs)
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	return res
+}
+
+// Identical phase pair: the previous schedule covers the pattern with zero
+// register writes, so keep must win.
+func TestChooseScheduleIdenticalKeeps(t *testing.T) {
+	topo := topology.NewRing(8)
+	msgs := ringPhaseMsgs(8, 4)
+	prev := mustSchedule(t, topo, Phase{Messages: msgs}.Requests())
+	scratch := mustSchedule(t, topo, Phase{Messages: msgs}.Requests())
+	ev, err := ChooseSchedule(prev, 10, msgs, scratch, DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Decision != DecisionKeep {
+		t.Fatalf("identical pattern decided %q, want keep", ev.Decision)
+	}
+	if ev.Schedule != prev {
+		t.Fatal("keep must reuse the previous schedule verbatim")
+	}
+	if ev.Stall != 0 || ev.Load.Total != 0 {
+		t.Fatalf("keep charged stall %d, load %d; want zero", ev.Stall, ev.Load.Total)
+	}
+}
+
+// One circuit changed: patch pays only the touched registers and must beat
+// a full recompile's cold load.
+func TestChooseScheduleOneCircuitChangedPatches(t *testing.T) {
+	topo := topology.NewRing(16)
+	prevMsgs := ringPhaseMsgs(16, 4)
+	prev := mustSchedule(t, topo, Phase{Messages: prevMsgs}.Requests())
+	// Replace 0->1 with 0->2: one eviction, one insertion.
+	msgs := append([]sim.Message(nil), prevMsgs[1:]...)
+	msgs = append(msgs, sim.Message{Src: 0, Dst: 2, Flits: 4})
+	scratch := mustSchedule(t, topo, Phase{Messages: msgs}.Requests())
+	ev, err := ChooseSchedule(prev, 10, msgs, scratch, DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Decision != DecisionPatch {
+		t.Fatalf("one-circuit change decided %q (stall %d comm %d), want patch", ev.Decision, ev.Stall, ev.Comm)
+	}
+	if ev.Load.Total == 0 {
+		t.Fatal("patch must write the touched registers")
+	}
+	// The patched schedule serves exactly the new pattern.
+	for _, m := range msgs {
+		if _, ok := ev.Schedule.Slot[m.Request()]; !ok {
+			t.Fatalf("patched schedule misses %v", m.Request())
+		}
+	}
+}
+
+// Disjoint phase pair: nothing to keep, patching would rebuild everything,
+// so the decision must be recompile (and use the scratch schedule).
+func TestChooseScheduleDisjointRecompiles(t *testing.T) {
+	topo := topology.NewRing(16)
+	prev := mustSchedule(t, topo, Phase{Messages: ringPhaseMsgs(16, 4)}.Requests())
+	msgs := make([]sim.Message, 0, 8)
+	for i := 0; i < 16; i += 2 {
+		msgs = append(msgs, sim.Message{Src: i, Dst: (i + 3) % 16, Flits: 4})
+	}
+	scratch := mustSchedule(t, topo, Phase{Messages: msgs}.Requests())
+	ev, err := ChooseSchedule(prev, 10, msgs, scratch, DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Decision != DecisionRecompile {
+		t.Fatalf("disjoint pattern decided %q, want recompile", ev.Decision)
+	}
+	if ev.Schedule != scratch {
+		t.Fatal("recompile must use the scratch schedule")
+	}
+}
+
+// Cold start always recompiles regardless of pattern.
+func TestChooseScheduleColdStartRecompiles(t *testing.T) {
+	topo := topology.NewRing(8)
+	msgs := ringPhaseMsgs(8, 4)
+	scratch := mustSchedule(t, topo, Phase{Messages: msgs}.Requests())
+	ev, err := ChooseSchedule(nil, 0, msgs, scratch, DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Decision != DecisionRecompile {
+		t.Fatalf("cold start decided %q, want recompile", ev.Decision)
+	}
+	if ev.Stall != ev.SerializedStall {
+		t.Fatalf("cold start stall %d must equal serialized %d", ev.Stall, ev.SerializedStall)
+	}
+}
+
+func TestPlanOverlapRingLoopKeepsAndWins(t *testing.T) {
+	topo := topology.NewRing(16)
+	prog := ringProgram(16, 6, 8)
+	cp, err := Compiler{Topology: topo}.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cp.PlanOverlap(DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Phases[0].Decision != DecisionRecompile {
+		t.Fatalf("first phase decided %q, want recompile", plan.Phases[0].Decision)
+	}
+	for i, ph := range plan.Phases[1:] {
+		if ph.Decision != DecisionKeep {
+			t.Fatalf("phase %d decided %q, want keep", i+1, ph.Decision)
+		}
+		if ph.Stall != 0 {
+			t.Fatalf("kept phase %d charged stall %d", i+1, ph.Stall)
+		}
+	}
+	if plan.Total >= plan.Baseline {
+		t.Fatalf("overlap-aware total %d not below full-reconfig baseline %d", plan.Total, plan.Baseline)
+	}
+	if plan.Total > plan.Serialized {
+		t.Fatalf("overlap-aware total %d above serialized %d", plan.Total, plan.Serialized)
+	}
+	// Baseline must agree with IterationTime.
+	base, _, err := cp.IterationTime(DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Baseline != base {
+		t.Fatalf("plan baseline %d != IterationTime %d", plan.Baseline, base)
+	}
+}
+
+func TestIterationTimeOverlappedNeverWorse(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	prog := Program{Name: "mixed"}
+	// Three phases: ring, same ring again, transpose-ish shift.
+	prog.Phases = append(prog.Phases, ringProgram(16, 2, 4).Phases...)
+	shift := Phase{Name: "shift"}
+	for i := 0; i < 16; i++ {
+		shift.Messages = append(shift.Messages, sim.Message{Src: i, Dst: (i + 5) % 16, Flits: 4})
+	}
+	prog.Phases = append(prog.Phases, shift)
+	cp, err := Compiler{Topology: topo}.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serTotal, serBrk, err := cp.IterationTime(DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovTotal, ovBrk, err := cp.IterationTimeOverlapped(DefaultReconfigCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serBrk) != len(ovBrk) {
+		t.Fatalf("breakdown lengths differ: %d vs %d", len(serBrk), len(ovBrk))
+	}
+	for i := range serBrk {
+		if serBrk[i][1] != ovBrk[i][1] {
+			t.Fatalf("phase %d comm differs: %d vs %d", i, serBrk[i][1], ovBrk[i][1])
+		}
+		if ovBrk[i][0] > serBrk[i][0] {
+			t.Fatalf("phase %d overlapped stall %d exceeds full reconfig %d", i, ovBrk[i][0], serBrk[i][0])
+		}
+	}
+	if ovTotal > serTotal {
+		t.Fatalf("overlapped %d exceeds serialized %d", ovTotal, serTotal)
+	}
+	// The duplicated ring phase shares every circuit: strictly cheaper.
+	if ovTotal == serTotal {
+		t.Fatal("circuit-sharing phases must make overlap strictly cheaper")
+	}
+}

@@ -69,7 +69,10 @@ func (m *Masked) Route(src, dst network.NodeID) (network.Path, error) {
 	if int(dst) >= 0 && int(dst) < m.NumNodes() && m.Faults.NodeFailed(dst) {
 		return network.Path{}, fmt.Errorf("%w: destination switch %d failed", network.ErrNoRoute, dst)
 	}
-	p, err := m.Base.Route(src, dst)
+	// The base topology is long-lived (many masked views of one network),
+	// so its routes come from the shared route cache; only the detours
+	// around failed resources are computed per mask.
+	p, err := network.CachedRoute(m.Base, src, dst)
 	if err == nil && !m.Faults.BlocksPath(m.Base, p) {
 		return p, nil
 	}

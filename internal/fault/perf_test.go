@@ -1,0 +1,59 @@
+package fault_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/patterns"
+	"repro/internal/topology"
+)
+
+// BenchmarkRecompileHypercube64 is the recovery hot path the BENCH_sim row
+// fault/recompile/hypercube64 tracks: mask a fresh failure set, reschedule
+// the surviving hypercube traffic, lower to switch programs and verify by
+// light trace. The masked view is rebuilt per iteration, as it would be for
+// a failure the compiler has never seen.
+func BenchmarkRecompileHypercube64(b *testing.B) {
+	torus := topology.NewTorus(8, 8)
+	hyper, err := patterns.Hypercube(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	failset := fault.SetOf(fault.RandomLinkPlan(torus, 1996, 6, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fault.Recompile(fault.NewMasked(torus, failset), hyper, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRecompileAllocBound pins the recovery path's allocation count. The
+// path went from ~1730 allocs per recompile to ~110 by lowering schedules
+// into flat register tables (switchprog), serving base routes of masked
+// views from the shared route cache, and pooling the BFS detour scratch;
+// this bound keeps those wins from regressing. The remaining allocations
+// are real outputs (the schedule, the program, the per-mask route cache),
+// so the bound has ~2x headroom rather than an exact count.
+func TestRecompileAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting under -short")
+	}
+	torus := topology.NewTorus(8, 8)
+	hyper, err := patterns.Hypercube(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failset := fault.SetOf(fault.RandomLinkPlan(torus, 1996, 6, 0))
+	run := func() {
+		if _, _, err := fault.Recompile(fault.NewMasked(torus, failset), hyper, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the base-topology route cache and scratch pools
+	const bound = 250
+	if avg := testing.AllocsPerRun(10, run); avg > bound {
+		t.Errorf("fault.Recompile allocates %.0f times per run, bound %d", avg, bound)
+	}
+}

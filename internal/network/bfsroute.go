@@ -1,10 +1,54 @@
 package network
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ErrNoRoute is returned when no path survives between two nodes — every
 // route from src to dst crosses an excluded (typically failed) link.
 var ErrNoRoute = fmt.Errorf("network: no surviving route")
+
+// bfsScratch is the per-call working set of BFSRoute, pooled so recovery
+// paths that reroute many pairs (fresh masked view per failure) do not pay
+// six allocations per search. Only the returned Path.Links escapes.
+type bfsScratch struct {
+	deg    []int32
+	infos  []LinkInfo
+	use    []bool
+	adj    []int32
+	fill   []int32
+	parent []int32
+	queue  []NodeID
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
+func (s *bfsScratch) size(n, nl int) {
+	if cap(s.deg) < n+1 {
+		s.deg = make([]int32, n+1)
+		s.fill = make([]int32, n)
+		s.parent = make([]int32, n)
+		s.queue = make([]NodeID, 0, n)
+	}
+	s.deg = s.deg[:n+1]
+	for i := range s.deg {
+		s.deg[i] = 0
+	}
+	s.fill = s.fill[:n]
+	s.parent = s.parent[:n]
+	s.queue = s.queue[:0]
+	if cap(s.infos) < nl {
+		s.infos = make([]LinkInfo, nl)
+		s.use = make([]bool, nl)
+		s.adj = make([]int32, nl)
+	}
+	s.infos = s.infos[:nl]
+	s.use = s.use[:nl]
+	for i := range s.use {
+		s.use[i] = false
+	}
+}
 
 // BFSRoute computes a shortest path from src to dst using only the links
 // for which avoid returns false. It is the fallback router of the fault
@@ -32,9 +76,10 @@ func BFSRoute(t Topology, src, dst NodeID, avoid func(LinkInfo) bool) (Path, err
 	// Outgoing links per node, in LinkID order (the loop below visits ids in
 	// increasing order, so each adjacency list is naturally sorted).
 	nl := t.NumLinks()
-	deg := make([]int32, n+1)
-	infos := make([]LinkInfo, nl)
-	use := make([]bool, nl)
+	s := bfsPool.Get().(*bfsScratch)
+	defer bfsPool.Put(s)
+	s.size(n, nl)
+	deg, infos, use := s.deg, s.infos, s.use
 	for id := 0; id < nl; id++ {
 		li := t.Link(LinkID(id))
 		infos[id] = li
@@ -47,8 +92,8 @@ func BFSRoute(t Topology, src, dst NodeID, avoid func(LinkInfo) bool) (Path, err
 	for i := 0; i < n; i++ {
 		deg[i+1] += deg[i]
 	}
-	adj := make([]int32, deg[n])
-	fill := make([]int32, n)
+	adj := s.adj[:deg[n]]
+	fill := s.fill
 	copy(fill, deg[:n])
 	for id := 0; id < nl; id++ {
 		if !use[id] {
@@ -60,12 +105,11 @@ func BFSRoute(t Topology, src, dst NodeID, avoid func(LinkInfo) bool) (Path, err
 	}
 
 	// Standard BFS; parent[v] is the link that first reached v.
-	parent := make([]int32, n)
+	parent := s.parent
 	for i := range parent {
 		parent[i] = -1
 	}
-	queue := make([]NodeID, 0, n)
-	queue = append(queue, src)
+	queue := append(s.queue, src)
 	parent[src] = -2 // visited, no incoming link
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]

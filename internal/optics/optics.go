@@ -35,7 +35,7 @@ type Tracer struct {
 }
 
 // NewTracer indexes the topology's wiring and the program's crossbar
-// states. The snapshot is taken here: mutations of prog.Switches after
+// states. The snapshot is taken here: mutations of the program after
 // construction are not seen by this Tracer.
 func NewTracer(prog *switchprog.Program) *Tracer {
 	topo := prog.Topology
@@ -52,19 +52,11 @@ func NewTracer(prog *switchprog.Program) *Tracer {
 			ports = li.InPort + 1
 		}
 	}
-	// The program is untrusted here — its entries may name ports the wiring
-	// never uses — so the port bound must cover them too.
-	for n := range prog.Switches {
-		for _, m := range prog.Switches[n].Slots {
-			for in, out := range m {
-				if in >= ports {
-					ports = in + 1
-				}
-				if out >= ports {
-					ports = out + 1
-				}
-			}
-		}
+	// The program is untrusted here — it may have been compiled against a
+	// wider crossbar than the wiring uses — so the port bound must cover
+	// its registers too.
+	if prog.Ports() > ports {
+		ports = prog.Ports()
 	}
 	t.ports = ports
 	t.stride = prog.Degree * ports
@@ -74,16 +66,13 @@ func NewTracer(prog *switchprog.Program) *Tracer {
 		t.linkAt[int(li.From)*ports+li.OutPort] = int32(id + 1)
 	}
 	t.state = make([]int32, nn*t.stride)
-	for n := range prog.Switches {
+	for n := 0; n < nn; n++ {
 		base := n * t.stride
-		for slot, m := range prog.Switches[n].Slots {
+		for slot := 0; slot < prog.Degree; slot++ {
 			row := base + slot*ports
-			for in, out := range m {
-				if in < 0 || out < 0 {
-					continue // out of contract; reads back as dark
-				}
+			prog.EachEntry(network.NodeID(n), slot, func(in, out int) {
 				t.state[row+in] = int32(out + 1)
-			}
+			})
 		}
 	}
 	return t
@@ -148,7 +137,7 @@ func (t *Tracer) VerifySchedule(slots map[request.Request]int) (int, error) {
 // establishes in that slot.
 func (t *Tracer) SlotCensus(slot int) (request.Set, error) {
 	var set request.Set
-	for node := range t.prog.Switches {
+	for node := 0; node < t.prog.Topology.NumNodes(); node++ {
 		if t.state[node*t.stride+slot*t.ports+network.PEPort] == 0 {
 			continue
 		}

@@ -123,8 +123,10 @@ func TestTracerDetectsCorruptedRegisters(t *testing.T) {
 	}
 	mid := torus.Link(p.Links[0]).To
 	slot := res.Slot[set[0]]
-	for in := range prog.Switches[mid].Slots[slot] {
-		prog.Switches[mid].Slots[slot][in] = network.PEPort
+	var ins []int
+	prog.EachEntry(mid, slot, func(in, out int) { ins = append(ins, in) })
+	for _, in := range ins {
+		prog.SetEntry(mid, slot, in, network.PEPort)
 	}
 	tracer := optics.NewTracer(prog)
 	dst, _, err := tracer.Trace(0, slot)

@@ -40,6 +40,16 @@ type SweepResult struct {
 	WallMs  float64 `json:"wall_ms"`
 }
 
+// Value is one named scalar locked into the report — not a timing but a
+// model-level number (iteration slot counts, decision tallies) that the
+// benchmark binary computes, asserts, and records so reviewers can diff it
+// across commits like any other row.
+type Value struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
 // Report is the BENCH_*.json document.
 type Report struct {
 	GoVersion  string        `json:"go_version"`
@@ -47,6 +57,23 @@ type Report struct {
 	Quick      bool          `json:"quick"`
 	Benchmarks []Result      `json:"benchmarks"`
 	Sweeps     []SweepResult `json:"sweeps,omitempty"`
+	Values     []Value       `json:"values,omitempty"`
+}
+
+// AddValue appends a named scalar to the report.
+func (r *Report) AddValue(name string, v float64, unit string) {
+	r.Values = append(r.Values, Value{Name: name, Value: v, Unit: unit})
+}
+
+// LastResult returns the most recently appended benchmark row with the
+// given name, for binaries that assert relations between their own rows.
+func (r *Report) LastResult(name string) (Result, bool) {
+	for i := len(r.Benchmarks) - 1; i >= 0; i-- {
+		if r.Benchmarks[i].Name == name {
+			return r.Benchmarks[i], true
+		}
+	}
+	return Result{}, false
 }
 
 // NewReport stamps the environment of this process.

@@ -73,13 +73,74 @@ type Response struct {
 	Result json.RawMessage `json:"result"`
 }
 
-// Cache states reported in Response.Cache.
+// Cache states reported in Response.Cache. CacheUnchanged appears only in
+// /session phase chunks: the phase's message list is identical to the
+// previous phase's, so the running schedule was kept without resolving a
+// recompile candidate at all.
 const (
 	CacheMiss      = "miss"
 	CacheHit       = "hit"
 	CacheStore     = "store"
 	CacheCoalesced = "coalesced"
+	CacheUnchanged = "unchanged"
 )
+
+// SessionChunk is one line of the /session NDJSON stream. The server
+// writes a "session" header, one "phase" chunk per phase — in order, each
+// flushed as soon as its compile(i) finished, while compile(i+1) is already
+// running — and a "done" trailer. A mid-stream failure ends the stream with
+// an "error" chunk (the HTTP status is already 200 by then).
+type SessionChunk struct {
+	Type string `json:"type"`
+
+	// Header fields ("session").
+	Key       string `json:"key,omitempty"`
+	Program   string `json:"program,omitempty"`
+	PEs       int    `json:"pes,omitempty"`
+	Topology  string `json:"topology,omitempty"`
+	Scheduler string `json:"scheduler,omitempty"`
+	Phases    int    `json:"phases,omitempty"`
+
+	// Phase fields ("phase"). Decision is the keep/patch/recompile choice;
+	// Cache reports how the recompile candidate was resolved ("hit" for a
+	// stored schedule reused verbatim, "patched" for a nearest-base delta,
+	// "miss" for a full compile). Stall/Hidden/SerializedStall are the
+	// overlap accounting of the phase's reconfiguration in slots.
+	Index           int          `json:"index,omitempty"`
+	Decision        string       `json:"decision,omitempty"`
+	Cache           string       `json:"cache,omitempty"`
+	Stall           int          `json:"stall,omitempty"`
+	Hidden          int          `json:"hidden,omitempty"`
+	SerializedStall int          `json:"serialized_stall,omitempty"`
+	Result          *PhaseResult `json:"result,omitempty"`
+
+	// Trailer fields ("done"). TotalSlots is the overlap-aware iteration
+	// time of the served plan; SerializedSlots the same plan with
+	// serialized register loading; PipelinedCompiles counts phases whose
+	// compile began before the previous phase's chunk was flushed.
+	TotalSlots        int            `json:"total_slots,omitempty"`
+	SerializedSlots   int            `json:"serialized_slots,omitempty"`
+	BaselineSlots     int            `json:"baseline_slots,omitempty"`
+	Reconfigurations  int            `json:"reconfigurations,omitempty"`
+	PipelinedCompiles int            `json:"pipelined_compiles,omitempty"`
+	Decisions         map[string]int `json:"decisions,omitempty"`
+
+	// Error field ("error").
+	Error string `json:"error,omitempty"`
+}
+
+// SessionChunk.Type values.
+const (
+	SessionChunkHeader = "session"
+	SessionChunkPhase  = "phase"
+	SessionChunkDone   = "done"
+	SessionChunkError  = "error"
+)
+
+// CachePatched is the per-phase cache state of a /session phase resolved by
+// patching the nearest stored base (the other states reuse the Response
+// constants).
+const CachePatched = "patched"
 
 // ErrorBody is the JSON shape of every non-2xx reply.
 type ErrorBody struct {
@@ -141,6 +202,25 @@ type DeltaMetrics struct {
 	Full    uint64 `json:"full"`
 }
 
+// SessionMetrics reports the multi-phase /session pipeline's activity.
+type SessionMetrics struct {
+	// Sessions counts completed session streams; PhasesServed the phase
+	// chunks they delivered.
+	Sessions     uint64 `json:"sessions"`
+	PhasesServed uint64 `json:"phases_served"`
+	// Keep/Patch/Recompile count the per-boundary decisions.
+	Keep      uint64 `json:"keep"`
+	Patch     uint64 `json:"patch"`
+	Recompile uint64 `json:"recompile"`
+	// PipelinedCompiles counts phase compiles that began before the
+	// previous phase's chunk had been written to the client — the direct
+	// evidence that compile(i+1) overlaps serve(i).
+	PipelinedCompiles uint64 `json:"pipelined_compiles"`
+	// HiddenSlots accumulates reconfiguration slots hidden under
+	// communication across all served phases.
+	HiddenSlots uint64 `json:"hidden_slots"`
+}
+
 // QueueMetrics reports the worker pool's state.
 type QueueMetrics struct {
 	Workers  int   `json:"workers"`
@@ -157,6 +237,7 @@ type MetricsSnapshot struct {
 	Cache         CacheMetrics               `json:"cache"`
 	Store         StoreMetrics               `json:"store"`
 	Delta         DeltaMetrics               `json:"delta"`
+	Session       SessionMetrics             `json:"session"`
 	Queue         QueueMetrics               `json:"queue"`
 	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
 }

@@ -134,6 +134,96 @@ func (c *Client) post(ctx context.Context, path string, doc trace.Document, opt 
 	return &envelope, &result, nil
 }
 
+// SessionResult is a fully drained /session stream.
+type SessionResult struct {
+	// Header is the "session" chunk the stream opened with.
+	Header service.SessionChunk
+	// Phases holds one "phase" chunk per phase, in phase order.
+	Phases []service.SessionChunk
+	// Trailer is the closing "done" chunk with the iteration totals.
+	Trailer service.SessionChunk
+}
+
+// Decisions tallies the per-phase keep/patch/recompile choices.
+func (r *SessionResult) Decisions() map[string]int {
+	out := make(map[string]int, 3)
+	for _, ph := range r.Phases {
+		out[ph.Decision]++
+	}
+	return out
+}
+
+// Session posts a trace document to /session and drains the NDJSON stream.
+// onPhase, when non-nil, is called for every phase chunk as it arrives —
+// before the stream has finished — which is how a caller observes the
+// pipelining rather than just its result.
+func (c *Client) Session(ctx context.Context, doc trace.Document, opt Options, onPhase func(service.SessionChunk)) (*SessionResult, error) {
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(doc); err != nil {
+		return nil, fmt.Errorf("client: encode trace: %w", err)
+	}
+	q := url.Values{}
+	if opt.Topology != "" {
+		q.Set("topology", opt.Topology)
+	}
+	if opt.Scheduler != "" {
+		q.Set("alg", opt.Scheduler)
+	}
+	u := strings.TrimSuffix(c.BaseURL, "/") + "/session"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return nil, decodeError(resp, data)
+	}
+	out := &SessionResult{}
+	dec := json.NewDecoder(resp.Body)
+	sawDone := false
+	for {
+		var chunk service.SessionChunk
+		if err := dec.Decode(&chunk); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("service: decoding session stream: %w", err)
+		}
+		switch chunk.Type {
+		case service.SessionChunkHeader:
+			out.Header = chunk
+		case service.SessionChunkPhase:
+			out.Phases = append(out.Phases, chunk)
+			if onPhase != nil {
+				onPhase(chunk)
+			}
+		case service.SessionChunkDone:
+			out.Trailer = chunk
+			sawDone = true
+		case service.SessionChunkError:
+			return nil, fmt.Errorf("service: session failed: %s", chunk.Error)
+		default:
+			return nil, fmt.Errorf("service: unknown session chunk type %q", chunk.Type)
+		}
+	}
+	if !sawDone {
+		return nil, fmt.Errorf("service: session stream ended without a done chunk")
+	}
+	if len(out.Phases) != len(doc.Phases) {
+		return nil, fmt.Errorf("service: session returned %d phases, trace has %d", len(out.Phases), len(doc.Phases))
+	}
+	return out, nil
+}
+
 // Metrics fetches /metrics.
 func (c *Client) Metrics(ctx context.Context) (*service.MetricsSnapshot, error) {
 	u := strings.TrimSuffix(c.BaseURL, "/") + "/metrics"
@@ -180,6 +270,67 @@ func intList(vs []int) string {
 		parts[i] = strconv.Itoa(v)
 	}
 	return strings.Join(parts, ",")
+}
+
+// VerifySession proves a session result correct against its trace. A
+// "keep" phase reuses the previous phase's (possibly larger) circuit set,
+// so it is checked like a fallback phase — the configs must be
+// conflict-free among themselves and every request of the phase must hold
+// a slot. Patch and recompile phases serve exactly the phase's pattern and
+// get the full exact-multiset Validate.
+func VerifySession(doc trace.Document, res *SessionResult) error {
+	base, err := topology.Parse(res.Header.Topology)
+	if err != nil {
+		return fmt.Errorf("client: verify session: %w", err)
+	}
+	if len(res.Phases) != len(doc.Phases) {
+		return fmt.Errorf("client: verify session: result has %d phases, trace has %d", len(res.Phases), len(doc.Phases))
+	}
+	for i, ph := range res.Phases {
+		if ph.Result == nil {
+			return fmt.Errorf("client: verify session phase %d: no result", i)
+		}
+		want := make(request.Set, 0, len(doc.Phases[i].Messages))
+		for _, m := range doc.Phases[i].Messages {
+			want = append(want, request.Request{Src: network.NodeID(m.Src), Dst: network.NodeID(m.Dst)})
+		}
+		want = want.Dedup()
+		configs := make([]request.Set, len(ph.Result.Configs))
+		slot := make(map[request.Request]int)
+		own := make(request.Set, 0, len(want))
+		for k, c := range ph.Result.Configs {
+			configs[k] = make(request.Set, len(c))
+			for j, pair := range c {
+				q := request.Request{Src: network.NodeID(pair[0]), Dst: network.NodeID(pair[1])}
+				configs[k][j] = q
+				slot[q] = k
+				own = append(own, q)
+			}
+		}
+		rebuilt := &schedule.Result{
+			Algorithm: ph.Result.Algorithm,
+			Topology:  base,
+			Configs:   configs,
+			Slot:      slot,
+		}
+		if ph.Decision == "keep" || ph.Result.Fallback {
+			// Conflict-freedom over the kept circuits, coverage for the
+			// phase's own pattern.
+			if err := rebuilt.Validate(own); err != nil {
+				return fmt.Errorf("client: verify session phase %q: %w", ph.Result.Name, err)
+			}
+			for _, q := range want {
+				if _, ok := slot[q]; !ok {
+					return fmt.Errorf("client: verify session phase %q: kept schedule has no slot for %v", ph.Result.Name, q)
+				}
+			}
+			continue
+		}
+		if err := rebuilt.Validate(want); err != nil {
+			return fmt.Errorf("client: verify session phase %q: %w", ph.Result.Name, err)
+		}
+	}
+	return nil
 }
 
 // Verify proves a compile result correct against the trace that produced

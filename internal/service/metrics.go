@@ -21,6 +21,15 @@ type metricsState struct {
 	scheduleHits   uint64
 	deltaPatched   uint64
 	deltaFull      uint64
+
+	// Session pipeline counters.
+	sessions          uint64
+	sessionPhases     uint64
+	sessionKeep       uint64
+	sessionPatch      uint64
+	sessionRecompile  uint64
+	sessionPipelined  uint64
+	sessionHiddenSlot uint64
 }
 
 type endpointState struct {
@@ -91,6 +100,32 @@ func (m *metricsState) observeDelta(scheduleHit, patched bool) {
 	}
 }
 
+// observeSession records one completed session stream: its decision mix,
+// how many compiles overlapped the previous phase's write, and how many
+// reconfiguration slots the overlap accounting hid.
+func (m *metricsState) observeSession(decisions map[string]int, pipelined, hidden int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoint("session")
+	ep.requests++
+	ep.misses++
+	ep.latency.Observe(int(elapsed.Microseconds()))
+	m.sessions++
+	for d, n := range decisions {
+		m.sessionPhases += uint64(n)
+		switch d {
+		case "keep":
+			m.sessionKeep += uint64(n)
+		case "patch":
+			m.sessionPatch += uint64(n)
+		case "recompile":
+			m.sessionRecompile += uint64(n)
+		}
+	}
+	m.sessionPipelined += uint64(pipelined)
+	m.sessionHiddenSlot += uint64(hidden)
+}
+
 // observeFailure records a rejected (overload) or failed request.
 func (m *metricsState) observeFailure(endpoint string, rejected bool) {
 	m.mu.Lock()
@@ -121,6 +156,15 @@ func (m *metricsState) snapshot(topo, sched string, cache CacheMetrics, st Store
 			ScheduleHits: m.scheduleHits,
 			Patched:      m.deltaPatched,
 			Full:         m.deltaFull,
+		},
+		Session: SessionMetrics{
+			Sessions:          m.sessions,
+			PhasesServed:      m.sessionPhases,
+			Keep:              m.sessionKeep,
+			Patch:             m.sessionPatch,
+			Recompile:         m.sessionRecompile,
+			PipelinedCompiles: m.sessionPipelined,
+			HiddenSlots:       m.sessionHiddenSlot,
 		},
 		Queue:     queue,
 		Endpoints: make(map[string]EndpointMetrics, len(m.endpoints)),

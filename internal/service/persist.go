@@ -330,10 +330,27 @@ func (s *Server) compileHealthy(p *parsedRequest) (*core.CompiledProgram, error)
 
 // schedulePhase resolves one static phase's schedule through the store.
 func (s *Server) schedulePhase(p *parsedRequest, reqs request.Set) (*schedule.Result, error) {
+	res, _, err := s.resolvePhase(p, reqs)
+	return res, err
+}
+
+// resolvePhase resolves one static phase's schedule, reporting how: "hit"
+// (stored schedule of exactly this pattern reused verbatim), "patched"
+// (nearest stored base patched by the delta recompiler), or "miss" (full
+// compile — also the only path without a store). This is /compile's
+// per-phase store resolution and /session's recompile-candidate source.
+func (s *Server) resolvePhase(p *parsedRequest, reqs request.Set) (*schedule.Result, string, error) {
+	if s.store == nil {
+		res, err := p.scheduler.Schedule(p.topo, reqs)
+		if err != nil {
+			return nil, "", err
+		}
+		return res, CacheMiss, nil
+	}
 	key := store.BaseKey(reqs, p.topoName, p.schedName)
 	if res := s.loadBase(key, p.topo, reqs); res != nil {
 		s.metrics.observeDelta(true, false)
-		return res, nil
+		return res, CacheHit, nil
 	}
 	var base *schedule.Result
 	if candKey, ok := s.bases.nearest(p.topoName, reqs, key); ok {
@@ -341,11 +358,14 @@ func (s *Server) schedulePhase(p *parsedRequest, reqs request.Set) (*schedule.Re
 	}
 	res, st, err := delta.Recompile(p.topo, base, reqs, delta.Options{Bound: s.deltaBound, Scheduler: p.scheduler})
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	s.metrics.observeDelta(false, st.Patched)
 	s.saveBase(key, p.topoName, res, reqs)
-	return res, nil
+	if st.Patched {
+		return res, CachePatched, nil
+	}
+	return res, CacheMiss, nil
 }
 
 // compileMasked compiles a program against a fault-masked topology. Static

@@ -92,6 +92,11 @@ type Config struct {
 	// multiplexing degree is at most DeltaBound x the from-scratch estimate;
 	// 0 means delta.DefaultBound.
 	DeltaBound float64
+
+	// Reconfig is the reconfiguration cost model /session prices its
+	// keep/patch/recompile decisions under; the zero value means
+	// core.DefaultReconfigCost.
+	Reconfig core.ReconfigCost
 }
 
 // Server is the compile service. It implements http.Handler.
@@ -113,6 +118,7 @@ type Server struct {
 	store      *store.Store
 	bases      *baseIndex
 	deltaBound float64
+	reconfig   core.ReconfigCost
 
 	// maskedViews shares fault-masked topology views (and their route
 	// caches) across recompile requests with the same fault mask.
@@ -147,6 +153,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DeltaBound <= 0 {
 		cfg.DeltaBound = delta.DefaultBound
 	}
+	if cfg.Reconfig == (core.ReconfigCost{}) {
+		cfg.Reconfig = core.DefaultReconfigCost
+	}
 	s := &Server{
 		topo:       cfg.Topology,
 		topoPEs:    network.TerminalCount(cfg.Topology),
@@ -159,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		metrics:    newMetricsState(),
 		bases:      newBaseIndex(),
 		deltaBound: cfg.DeltaBound,
+		reconfig:   cfg.Reconfig,
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, store.Options{MaxEntries: cfg.StoreMaxEntries, MaxAge: cfg.StoreMaxAge})
@@ -174,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("/compile", s.handleCompile)
 	s.mux.HandleFunc("/recompile", s.handleRecompile)
+	s.mux.HandleFunc("/session", s.handleSession)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if cfg.EnablePprof {

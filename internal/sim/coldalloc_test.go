@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestDynamicColdAllocBound pins the cold-start cost of the dynamic
+// simulator: constructing a Simulator and running one pattern on it. The
+// tables are cut from per-type slabs sized by the topology's dimensions and
+// the run buffers are pre-sized at construction, leaving ~8 allocations —
+// the slabs, the states/heap/lock buffers, and the result. The bound has
+// headroom for map/grow noise, not for a new per-table allocation pattern.
+func TestDynamicColdAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting under -short")
+	}
+	torus := topology.NewTorus(8, 8)
+	msgs := make([]sim.Message, 64)
+	for i := range msgs {
+		msgs[i] = sim.Message{Src: i, Dst: (i + 1) % 64, Flits: 32}
+	}
+	run := func() {
+		if _, err := (sim.Dynamic{Topology: torus, Params: sim.DefaultParams(2)}).Run(msgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the shared route cache; cold start should not pay routing
+	const bound = 12
+	if avg := testing.AllocsPerRun(10, run); avg > bound {
+		t.Errorf("cold Dynamic.Run allocates %.0f times, bound %d", avg, bound)
+	}
+}

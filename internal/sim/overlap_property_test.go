@@ -1,0 +1,123 @@
+package sim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/patterns"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// TestOverlapSerializedEquivalenceAcrossFamilies is the property the whole
+// overlap model rests on: overlapped register loading changes WHEN a phase
+// may start, never WHAT the network delivers. For multi-phase programs over
+// three topology families — mixing repeated, drifted, and random patterns
+// so boundaries of every kind occur — the overlapped and serialized runs
+// must produce byte-identical per-phase schedules and message finish times;
+// only the stall accounting may differ, and only downward.
+func TestOverlapSerializedEquivalenceAcrossFamilies(t *testing.T) {
+	families := []struct {
+		name string
+		topo network.Topology
+	}{
+		{"ring-16", topology.NewRing(16)},
+		{"torus-8x8", topology.NewTorus(8, 8)},
+		{"hypercube-32", topology.NewHypercube(5)},
+	}
+	for _, f := range families {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			n := f.topo.NumNodes()
+			rng := rand.New(rand.NewSource(int64(7 * n)))
+			ring := patterns.Ring(n)
+			drift := ring.Clone()
+			drift[0].Dst = network.NodeID(2) // one circuit replaced
+			randA, err := patterns.Random(rng, n, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Phase sequence with keep-shaped (repeat), patch-shaped
+			// (drift), and recompile-shaped (random) boundaries.
+			sets := []request.Set{ring, ring, drift, randA, randA, ring}
+			specs := make([]sim.PhaseSpec, len(sets))
+			for i, set := range sets {
+				res, err := schedule.Combined{}.Schedule(f.topo, set.Dedup())
+				if err != nil {
+					t.Fatal(err)
+				}
+				msgs := make([]sim.Message, len(set))
+				for j, r := range set {
+					msgs[j] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: 1 + (i+j)%5}
+				}
+				specs[i] = sim.PhaseSpec{Schedule: res, Messages: msgs}
+			}
+			over, err := sim.RunProgram(specs, 1, 16, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ser, err := sim.RunProgram(specs, 1, 16, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(over.Finish, ser.Finish) {
+				t.Fatal("overlapped and serialized runs deliver different finish times")
+			}
+			for i := range over.Costs {
+				if over.Costs[i].Comm != ser.Costs[i].Comm {
+					t.Fatalf("phase %d: comm %d vs %d", i, over.Costs[i].Comm, ser.Costs[i].Comm)
+				}
+				if over.Costs[i].Stall > over.Costs[i].SerializedStall {
+					t.Fatalf("phase %d: overlap stall %d above serialized %d", i, over.Costs[i].Stall, over.Costs[i].SerializedStall)
+				}
+				if over.Costs[i].SerializedStall != ser.Costs[i].Stall {
+					t.Fatalf("phase %d: serialized accounting disagrees between modes", i)
+				}
+			}
+			if over.Total > ser.Total {
+				t.Fatalf("overlap total %d exceeds serialized %d", over.Total, ser.Total)
+			}
+			if over.Serialized != ser.Total {
+				t.Fatalf("overlap run reports serialized %d, serialized run %d", over.Serialized, ser.Total)
+			}
+		})
+	}
+}
+
+// TestRunProgramDeterministic: the accounting path is a pure function — two
+// runs over the same specs are identical in every field.
+func TestRunProgramDeterministic(t *testing.T) {
+	topo := topology.NewTorus(4, 4)
+	rng := rand.New(rand.NewSource(99))
+	var specs []sim.PhaseSpec
+	for i := 0; i < 4; i++ {
+		set, err := patterns.Random(rng, 16, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := schedule.Combined{}.Schedule(topo, set.Dedup())
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := make([]sim.Message, len(set))
+		for j, r := range set {
+			msgs[j] = sim.Message{Src: int(r.Src), Dst: int(r.Dst), Flits: 2}
+		}
+		specs = append(specs, sim.PhaseSpec{Schedule: res, Messages: msgs})
+	}
+	a, err := sim.RunProgram(specs, 1, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunProgram(specs, 1, 16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunProgram is not deterministic")
+	}
+}

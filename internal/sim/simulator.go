@@ -109,17 +109,30 @@ func NewSimulator(t network.Topology, p Params) (*Simulator, error) {
 		fullMask: uint64(1)<<uint(p.Degree) - 1,
 	}
 	nl := t.NumLinks()
-	s.linkFrom = make([]int32, nl)
-	s.linkTo = make([]int32, nl)
+	nn := t.NumNodes()
+	// The cold-start tables are cut from two slabs sized by the topology's
+	// dimensions — one allocation per element type instead of one per table
+	// — and the per-run buffers are pre-sized here too (hop windows to two
+	// slots per link, heap and states to the node count), so a cold
+	// construct-and-run pays a fixed handful of allocations and a reused
+	// simulator none.
+	i32 := make([]int32, 2*nl+nn)
+	s.linkFrom = i32[:nl:nl]
+	s.linkTo = i32[nl : 2*nl : 2*nl]
+	s.lastOf = i32[2*nl:]
 	for i := 0; i < nl; i++ {
 		li := t.Link(network.LinkID(i))
 		s.linkFrom[i] = int32(li.From)
 		s.linkTo[i] = int32(li.To)
 	}
-	s.links = make([]uint64, nl)
-	s.lastOf = make([]int32, t.NumNodes())
+	u64 := make([]uint64, 3*nl)
+	s.links = u64[:nl:nl]
+	s.locked = u64[nl : nl : 3*nl]
+	s.lockTime = make([]int, 0, 2*nl)
+	s.states = make([]simMsg, 0, nn)
+	s.heap = make([]event, 0, 2*nn)
 	if p.ShadowQueuing {
-		s.busyUntil = make([]int, t.NumNodes())
+		s.busyUntil = make([]int, nn)
 	}
 	return s, nil
 }

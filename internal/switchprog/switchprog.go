@@ -12,26 +12,92 @@ package switchprog
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/network"
 	"repro/internal/schedule"
 )
 
-// SwitchProgram is the shift-register content of one switch: for every TDM
-// slot, the crossbar setting as an input-port to output-port mapping.
-// Unmapped inputs are dark (no circuit enters through them in that slot).
-type SwitchProgram struct {
-	Node  network.NodeID
-	Slots []map[int]int
-}
-
-// Program is the compiled network control for one communication phase.
+// Program is the compiled network control for one communication phase. The
+// register contents are held in one flat table indexed by (switch, slot,
+// input port) — the shape the shift registers physically have — rather than
+// per-slot maps: reads are single array loads and compiling a phase costs a
+// handful of allocations however many circuits it routes.
 type Program struct {
 	Topology network.Topology
 	Degree   int
-	Switches []SwitchProgram
+	// ports is the crossbar width: one entry per port, PEPort included.
+	ports  int
+	stride int // Degree * ports
+	// state[(node, slot, in)] = out+1; zero means the input is dark.
+	state []int32
+	// counts[(node, slot)] is the number of lit inputs of that register.
+	counts []int32
+}
+
+// Ports is the crossbar width the program was compiled for (the number of
+// distinct ports per switch, PE ports included).
+func (p *Program) Ports() int { return p.ports }
+
+// Entry reads one register: the output port the switch connects input `in`
+// to during `slot`, with ok false when the input is dark.
+func (p *Program) Entry(node network.NodeID, slot, in int) (out int, ok bool) {
+	if slot < 0 || slot >= p.Degree || in < 0 || in >= p.ports {
+		return 0, false
+	}
+	v := p.state[int(node)*p.stride+slot*p.ports+in]
+	if v == 0 {
+		return 0, false
+	}
+	return int(v - 1), true
+}
+
+// SetEntry overwrites one register unchecked — no crossbar-legality
+// enforcement. out < 0 darkens the input. This is the fault-injection hook
+// the optics tests use to corrupt a program and confirm the light trace
+// notices; production code never mutates a compiled program.
+func (p *Program) SetEntry(node network.NodeID, slot, in, out int) {
+	if slot < 0 || slot >= p.Degree || in < 0 || in >= p.ports {
+		panic(fmt.Sprintf("switchprog: SetEntry(%d, %d, %d) outside degree %d x ports %d", node, slot, in, p.Degree, p.ports))
+	}
+	idx := int(node)*p.stride + slot*p.ports + in
+	prev := p.state[idx]
+	if out < 0 {
+		p.state[idx] = 0
+		if prev != 0 {
+			p.counts[int(node)*p.Degree+slot]--
+		}
+		return
+	}
+	if out >= p.ports {
+		panic(fmt.Sprintf("switchprog: SetEntry output %d outside ports %d", out, p.ports))
+	}
+	p.state[idx] = int32(out + 1)
+	if prev == 0 {
+		p.counts[int(node)*p.Degree+slot]++
+	}
+}
+
+// EachEntry calls fn for every lit register of (node, slot) in input-port
+// order.
+func (p *Program) EachEntry(node network.NodeID, slot int, fn func(in, out int)) {
+	if slot < 0 || slot >= p.Degree {
+		return
+	}
+	base := int(node)*p.stride + slot*p.ports
+	for in := 0; in < p.ports; in++ {
+		if v := p.state[base+in]; v != 0 {
+			fn(in, int(v-1))
+		}
+	}
+}
+
+// SlotEntries is the number of lit inputs of (node, slot).
+func (p *Program) SlotEntries(node network.NodeID, slot int) int {
+	if slot < 0 || slot >= p.Degree {
+		return 0
+	}
+	return int(p.counts[int(node)*p.Degree+slot])
 }
 
 // Compile lowers a schedule to switch programs. Every circuit contributes
@@ -39,23 +105,14 @@ type Program struct {
 // the source, link to link at intermediate switches, and last link to
 // PE-out at the destination.
 //
-// Crossbar legality is tracked in flat claim tables indexed by
-// (node, slot, port) rather than in the output maps themselves: one array
-// read replaces a map probe plus a linear output scan per hop, and the
-// per-slot maps are materialized presized in a single pass at the end.
+// Crossbar legality is tracked during the fill in a transient output-claim
+// table; the input-side table is the program's register state itself, so
+// nothing is materialized afterwards.
 func Compile(res *schedule.Result) (*Program, error) {
 	t := res.Topology
 	degree := res.Degree()
 	nn := t.NumNodes()
-	prog := &Program{
-		Topology: t,
-		Degree:   degree,
-		Switches: make([]SwitchProgram, nn),
-	}
-	for n := range prog.Switches {
-		prog.Switches[n].Node = network.NodeID(n)
-		prog.Switches[n].Slots = make([]map[int]int, degree)
-	}
+	prog := &Program{Topology: t, Degree: degree}
 	if degree == 0 {
 		return prog, nil
 	}
@@ -72,15 +129,15 @@ func Compile(res *schedule.Result) (*Program, error) {
 			ports = links[i].InPort + 1
 		}
 	}
-	// inClaim[(node,slot,in)] = out+1, outClaim[(node,slot,out)] = in+1;
-	// zero means the port is dark in that slot.
-	stride := degree * ports
-	inClaim := make([]int32, nn*stride)
-	outClaim := make([]int32, nn*stride)
-	counts := make([]int32, nn*degree)
+	prog.ports = ports
+	prog.stride = degree * ports
+	prog.state = make([]int32, nn*prog.stride)
+	prog.counts = make([]int32, nn*degree)
+	// outClaim[(node,slot,out)] = in+1; zero means the output is free.
+	outClaim := make([]int32, nn*prog.stride)
 	setting := func(node network.NodeID, slot, in, out int) error {
-		base := int(node)*stride + slot*ports
-		if prev := inClaim[base+in]; prev != 0 {
+		base := int(node)*prog.stride + slot*ports
+		if prev := prog.state[base+in]; prev != 0 {
 			if int(prev-1) != out {
 				return fmt.Errorf("switchprog: switch %d slot %d input %d claimed for outputs %d and %d",
 					node, slot, in, prev-1, out)
@@ -91,9 +148,9 @@ func Compile(res *schedule.Result) (*Program, error) {
 			return fmt.Errorf("switchprog: switch %d slot %d output %d claimed by inputs %d and %d",
 				node, slot, out, prev-1, in)
 		}
-		inClaim[base+in] = int32(out + 1)
+		prog.state[base+in] = int32(out + 1)
 		outClaim[base+out] = int32(in + 1)
-		counts[int(node)*degree+slot]++
+		prog.counts[int(node)*degree+slot]++
 		return nil
 	}
 	for slot, config := range res.Configs {
@@ -117,23 +174,6 @@ func Compile(res *schedule.Result) (*Program, error) {
 			}
 		}
 	}
-	for n := 0; n < nn; n++ {
-		sw := &prog.Switches[n]
-		for slot := 0; slot < degree; slot++ {
-			c := counts[n*degree+slot]
-			if c == 0 {
-				continue
-			}
-			m := make(map[int]int, c)
-			base := n*stride + slot*ports
-			for in := 0; in < ports; in++ {
-				if v := inClaim[base+in]; v != 0 {
-					m[in] = int(v - 1)
-				}
-			}
-			sw.Slots[slot] = m
-		}
-	}
 	return prog, nil
 }
 
@@ -151,7 +191,7 @@ func (p *Program) CircuitPorts(src, dst network.NodeID, slot int) ([][3]int, err
 	node := path.Src
 	for _, l := range path.Links {
 		li := p.Topology.Link(l)
-		out, ok := p.Switches[node].Slots[slot][in]
+		out, ok := p.Entry(node, slot, in)
 		if !ok || out != li.OutPort {
 			return nil, fmt.Errorf("switchprog: circuit %d->%d broken at switch %d slot %d", src, dst, node, slot)
 		}
@@ -159,7 +199,7 @@ func (p *Program) CircuitPorts(src, dst network.NodeID, slot int) ([][3]int, err
 		node = li.To
 		in = li.InPort
 	}
-	out, ok := p.Switches[node].Slots[slot][in]
+	out, ok := p.Entry(node, slot, in)
 	if !ok || out != network.PEPort {
 		return nil, fmt.Errorf("switchprog: circuit %d->%d not ejected at switch %d slot %d", src, dst, node, slot)
 	}
@@ -171,10 +211,8 @@ func (p *Program) CircuitPorts(src, dst network.NodeID, slot int) ([][3]int, err
 // switches and slots, a proxy for control-register occupancy.
 func (p *Program) ActiveEntries() int {
 	n := 0
-	for _, sw := range p.Switches {
-		for _, m := range sw.Slots {
-			n += len(m)
-		}
+	for _, c := range p.counts {
+		n += int(c)
 	}
 	return n
 }
@@ -184,20 +222,15 @@ func (p *Program) ActiveEntries() int {
 func (p *Program) Dump() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "network %s, multiplexing degree %d\n", p.Topology.Name(), p.Degree)
-	for _, sw := range p.Switches {
-		for slot, m := range sw.Slots {
-			if len(m) == 0 {
+	for n := 0; n < p.Topology.NumNodes(); n++ {
+		for slot := 0; slot < p.Degree; slot++ {
+			if p.SlotEntries(network.NodeID(n), slot) == 0 {
 				continue
 			}
-			ins := make([]int, 0, len(m))
-			for in := range m {
-				ins = append(ins, in)
-			}
-			sort.Ints(ins)
-			fmt.Fprintf(&b, "switch %3d slot %2d:", sw.Node, slot)
-			for _, in := range ins {
-				fmt.Fprintf(&b, " %d->%d", in, m[in])
-			}
+			fmt.Fprintf(&b, "switch %3d slot %2d:", n, slot)
+			p.EachEntry(network.NodeID(n), slot, func(in, out int) {
+				fmt.Fprintf(&b, " %d->%d", in, out)
+			})
 			b.WriteByte('\n')
 		}
 	}

@@ -59,15 +59,15 @@ func TestEveryCircuitReconstructible(t *testing.T) {
 func TestCrossbarLegality(t *testing.T) {
 	torus := topology.NewTorus(8, 8)
 	_, prog := compilePattern(t, torus, patterns.AllToAll(64))
-	for _, sw := range prog.Switches {
-		for slot, m := range sw.Slots {
+	for n := 0; n < torus.NumNodes(); n++ {
+		for slot := 0; slot < prog.Degree; slot++ {
 			outs := map[int]bool{}
-			for _, out := range m {
+			prog.EachEntry(network.NodeID(n), slot, func(in, out int) {
 				if outs[out] {
-					t.Fatalf("switch %d slot %d: output port %d doubly claimed", sw.Node, slot, out)
+					t.Fatalf("switch %d slot %d: output port %d doubly claimed", n, slot, out)
 				}
 				outs[out] = true
-			}
+			})
 		}
 	}
 }
