@@ -19,13 +19,16 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"reflect"
 	"runtime"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"repro/internal/apps"
+	"repro/internal/cluster"
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/delta"
@@ -48,6 +51,20 @@ var (
 	outFlag   = flag.String("o", "BENCH_sim.json", "output file; - means stdout only")
 	quickFlag = flag.Bool("quick", false, "run each benchmark once (CI smoke mode)")
 )
+
+// clusterSwap defers handler installation on a httptest server: member
+// URLs must exist before the cluster nodes that answer on them.
+type clusterSwap struct{ h atomic.Value }
+
+func (s *clusterSwap) set(h http.Handler) { s.h.Store(&h) }
+
+func (s *clusterSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.h.Load().(*http.Handler); ok {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
 
 // ringMessages is the light-contention acceptance workload: every terminal
 // of the 8x8 torus sends to its successor.
@@ -230,6 +247,128 @@ func main() {
 		}))
 		ts.Close()
 		svc.Close()
+	}
+
+	// Cluster serving: three federated daemons over loopback HTTP with a
+	// replica set of 1, so every key has exactly one home and requests to
+	// the wrong node must cross the wire. Three rows bracket the costs: a
+	// cold compile reached through a forward (cold-forward), a forward that
+	// lands on a warm owner (forward-hit — the entry node's cache is pinned
+	// to one slot so alternating two keys always evicts and re-forwards),
+	// and a plain local hit through the same cluster handler (local-hit,
+	// the routing layer's overhead floor).
+	{
+		const members = 3
+		swaps := make([]*clusterSwap, members)
+		servers := make([]*httptest.Server, members)
+		urls := make([]string, members)
+		for i := range swaps {
+			swaps[i] = &clusterSwap{}
+			servers[i] = httptest.NewServer(swaps[i])
+			urls[i] = servers[i].URL
+		}
+		svcs := make([]*service.Server, members)
+		nodes := make([]*cluster.Node, members)
+		for i := range svcs {
+			cfg := service.Config{Topology: torus}
+			if i == 0 {
+				cfg.CacheEntries = 1
+			}
+			svc, err := service.New(cfg)
+			check(err)
+			node, err := cluster.NewNode(svc, cluster.Config{Self: urls[i], Peers: urls, Replication: 1})
+			check(err)
+			svc.SetPeers(node)
+			swaps[i].set(node)
+			svcs[i], nodes[i] = svc, node
+		}
+		hashRing := cluster.NewRing(urls, cluster.DefaultVNodes)
+		ctx := context.Background()
+		mkDoc := func(name string) trace.Document {
+			return trace.FromProgram(core.Program{
+				Name:   name,
+				Phases: []core.Phase{{Name: "ring", Messages: ring}},
+			}, 64)
+		}
+		// mint scans names for a document whose content key satisfies want.
+		mint := func(prefix string, want func(owner string) bool) trace.Document {
+			for i := 0; ; i++ {
+				d := mkDoc(fmt.Sprintf("%s-%d", prefix, i))
+				key, err := service.KeyForDocument(d, torus.Name(), "combined")
+				check(err)
+				if want(hashRing.Owner(key)) {
+					return d
+				}
+			}
+		}
+		entry := &client.Client{BaseURL: urls[0], HTTPClient: servers[0].Client()}
+
+		coldN := 0
+		check(report.Run("cluster/compile-cold-forward/ring64", func() error {
+			for {
+				coldN++
+				d := mkDoc(fmt.Sprintf("cluster-cold-%d", coldN))
+				key, err := service.KeyForDocument(d, torus.Name(), "combined")
+				if err != nil {
+					return err
+				}
+				if hashRing.Owner(key) == urls[0] {
+					continue // needs the wire: skip keys the entry node owns
+				}
+				resp, _, err := entry.Compile(ctx, d, client.Options{})
+				if err != nil {
+					return err
+				}
+				if resp.Cache != service.CachePeer {
+					return fmt.Errorf("expected a peer forward, got %q", resp.Cache)
+				}
+				return nil
+			}
+		}))
+
+		// Two keys homed on member 2, pre-warmed there; the entry node's
+		// single cache slot guarantees every alternation misses locally and
+		// forwards to the warm owner.
+		warmA := mint("cluster-warm-a", func(o string) bool { return o == urls[2] })
+		warmB := mint("cluster-warm-b", func(o string) bool { return o == urls[2] })
+		owner2 := &client.Client{BaseURL: urls[2], HTTPClient: servers[2].Client()}
+		for _, d := range []trace.Document{warmA, warmB} {
+			_, _, err := owner2.Compile(ctx, d, client.Options{})
+			check(err)
+		}
+		flip := 0
+		check(report.Run("cluster/forward-hit/ring64", func() error {
+			flip++
+			d := warmA
+			if flip%2 == 0 {
+				d = warmB
+			}
+			resp, _, err := entry.Compile(ctx, d, client.Options{})
+			if err != nil {
+				return err
+			}
+			if resp.Cache != service.CachePeer {
+				return fmt.Errorf("expected a peer forward, got %q", resp.Cache)
+			}
+			return nil
+		}))
+
+		check(report.Run("cluster/local-hit/ring64", func() error {
+			resp, _, err := owner2.Compile(ctx, warmA, client.Options{})
+			if err != nil {
+				return err
+			}
+			if resp.Cache != service.CacheHit {
+				return fmt.Errorf("expected a local hit, got %q", resp.Cache)
+			}
+			return nil
+		}))
+
+		for i := range svcs {
+			nodes[i].Stop()
+			servers[i].Close()
+			svcs[i].Close()
+		}
 	}
 
 	// Overlap-aware iteration time: the reconfigure-or-not planner against

@@ -25,12 +25,21 @@
 // trailer, time-to-first-phase (the streaming head start), and how many
 // compiles the daemon ran pipelined behind the stream.
 //
+// Cluster stress mode (-servers URL,URL,...) drives a federated ccserved
+// cluster instead of a single daemon: requests rotate round-robin across
+// the roster, a node that fails retryably (transport error, 5xx, 429) is
+// skipped for that request in favor of the next replica, and the report
+// adds the per-node serve distribution plus peer-forward and store cache
+// states. Every per-request error line names the node and endpoint that
+// produced it.
+//
 // Usage:
 //
 //	ccload
 //	ccload -flits 4 -messages 30 -degree 5 -gaps 3200,1600,800,400,200 -json
 //	ccload -server http://localhost:8080 -requests 200 -rate 100 -distinct 8 -verify
 //	ccload -server http://localhost:8080 -phases -requests 50 -rate 20 -verify
+//	ccload -servers http://localhost:8080,http://localhost:8081,http://localhost:8082 -requests 300 -verify
 package main
 
 import (
@@ -41,6 +50,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -67,6 +78,7 @@ var (
 	jsonFlag     = flag.Bool("json", false, "emit results as JSON instead of a table")
 
 	serverFlag   = flag.String("server", "", "stress mode: base URL of a ccserved daemon")
+	serversFlag  = flag.String("servers", "", "cluster stress mode: comma-separated base URLs of ccserved cluster members; rotates with retry-on-next-replica")
 	phasesFlag   = flag.Bool("phases", false, "with -server: replay the multi-phase trace through /session")
 	requestsFlag = flag.Int("requests", 100, "stress mode: total requests to send")
 	rateFlag     = flag.Float64("rate", 50, "stress mode: offered request rate per second")
@@ -77,8 +89,11 @@ var (
 
 func main() {
 	flag.Parse()
-	if *serverFlag != "" {
+	if *serverFlag != "" || *serversFlag != "" {
 		if *phasesFlag {
+			if *serverFlag == "" {
+				check(errors.New("-phases needs -server (sessions are sticky to one node)"))
+			}
 			replayPhases()
 		} else {
 			stress()
@@ -189,9 +204,15 @@ type stressReport struct {
 	Misses    int `json:"misses"`
 	Hits      int `json:"hits"`
 	Coalesced int `json:"coalesced"`
+	StoreHits int `json:"store_hits,omitempty"`
+	PeerHits  int `json:"peer_hits,omitempty"`
 	Rejected  int `json:"rejected"` // 429s
 	Errors    int `json:"errors"`
 	Verified  int `json:"verified,omitempty"`
+
+	// Nodes is the per-node count of successfully served requests — in
+	// cluster mode it shows how the roster shared the load.
+	Nodes map[string]int `json:"nodes,omitempty"`
 
 	LatencyUsMean float64 `json:"latency_us_mean"`
 	LatencyUsP50  int     `json:"latency_us_p50"`
@@ -211,9 +232,27 @@ func stress() {
 		docs[i].Name = fmt.Sprintf("%s/stress-%d", base.Name, i)
 	}
 
-	c := &client.Client{BaseURL: *serverFlag}
+	// One dispatch signature for both modes: compile the document, report
+	// which node answered (or was last tried, on failure). Cluster mode
+	// pins request i to start at node i mod N — a deterministic round-robin
+	// that survives goroutine scheduling, so a run's node pairing (and with
+	// it the compile placement) is reproducible.
+	target := *serverFlag
+	do := func(ctx context.Context, i int, doc trace.Document) (*service.Response, *service.Result, string, error) {
+		resp, res, err := (&client.Client{BaseURL: *serverFlag}).Compile(ctx, doc, client.Options{})
+		return resp, res, *serverFlag, err
+	}
+	if *serversFlag != "" {
+		cc := &client.Cluster{Nodes: strings.Split(*serversFlag, ",")}
+		target = *serversFlag
+		do = func(ctx context.Context, i int, doc trace.Document) (*service.Response, *service.Result, string, error) {
+			return cc.CompileFrom(ctx, i, doc, client.Options{})
+		}
+	}
+
 	type outcome struct {
 		state     string // cache state, "" on failure
+		node      string // node that served (or last failed)
 		rejected  bool
 		err       error
 		latencyUs int
@@ -233,8 +272,9 @@ func stress() {
 			defer wg.Done()
 			doc := docs[i%len(docs)]
 			t0 := time.Now()
-			resp, res, err := c.Compile(context.Background(), doc, client.Options{})
+			resp, res, node, err := do(context.Background(), i, doc)
 			outcomes[i].latencyUs = int(time.Since(t0).Microseconds())
+			outcomes[i].node = node
 			if err != nil {
 				var he *client.HTTPError
 				if errors.As(err, &he) && he.IsOverloaded() {
@@ -255,8 +295,9 @@ func stress() {
 	elapsed := time.Since(start)
 
 	rep := stressReport{
-		Server: *serverFlag, Requests: *requestsFlag, Distinct: *distinctFlag,
+		Server: target, Requests: *requestsFlag, Distinct: *distinctFlag,
 		RatePerSec: *rateFlag, DurationSec: elapsed.Seconds(),
+		Nodes: map[string]int{},
 	}
 	var latencies []int
 	for _, o := range outcomes {
@@ -265,9 +306,10 @@ func stress() {
 			rep.Rejected++
 		case o.err != nil:
 			rep.Errors++
-			fmt.Fprintln(os.Stderr, "ccload:", o.err)
+			fmt.Fprintf(os.Stderr, "ccload: %s /compile: %v\n", o.node, o.err)
 		default:
 			rep.OK++
+			rep.Nodes[o.node]++
 			latencies = append(latencies, o.latencyUs)
 			switch o.state {
 			case service.CacheMiss:
@@ -276,6 +318,10 @@ func stress() {
 				rep.Hits++
 			case service.CacheCoalesced:
 				rep.Coalesced++
+			case service.CacheStore:
+				rep.StoreHits++
+			case service.CachePeer:
+				rep.PeerHits++
 			}
 			if *verifyFlag {
 				if o.verifyErr != nil {
@@ -305,8 +351,20 @@ func stress() {
 	}
 	fmt.Printf("%d requests to %s at %.0f/s over %.2fs (%d distinct programs)\n",
 		rep.Requests, rep.Server, rep.RatePerSec, rep.DurationSec, rep.Distinct)
-	fmt.Printf("  ok %d (miss %d, hit %d, coalesced %d)   429 %d   errors %d\n",
-		rep.OK, rep.Misses, rep.Hits, rep.Coalesced, rep.Rejected, rep.Errors)
+	fmt.Printf("  ok %d (miss %d, hit %d, coalesced %d, store %d, peer %d)   429 %d   errors %d\n",
+		rep.OK, rep.Misses, rep.Hits, rep.Coalesced, rep.StoreHits, rep.PeerHits, rep.Rejected, rep.Errors)
+	if *serversFlag != "" {
+		nodes := make([]string, 0, len(rep.Nodes))
+		for n := range rep.Nodes {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		fmt.Print("  served by:")
+		for _, n := range nodes {
+			fmt.Printf("  %s %d", n, rep.Nodes[n])
+		}
+		fmt.Println()
+	}
 	if *verifyFlag {
 		fmt.Printf("  verified %d schedules client-side\n", rep.Verified)
 	}
@@ -405,7 +463,7 @@ func replayPhases() {
 	for i, o := range outcomes {
 		if o.err != nil {
 			rep.Errors++
-			fmt.Fprintln(os.Stderr, "ccload:", o.err)
+			fmt.Fprintf(os.Stderr, "ccload: %s /session: %v\n", *serverFlag, o.err)
 			continue
 		}
 		rep.OK++

@@ -11,6 +11,17 @@
 //
 // On SIGINT/SIGTERM the daemon drains: the listener stops accepting, queued
 // and running compiles finish, then the process exits.
+//
+// Cluster mode federates several daemons into one logical cache
+// (internal/cluster): pass the full roster and this node's own advertised
+// URL and each key gets a deterministic owner on a consistent-hash ring,
+// misses are forwarded to the owner, and background gossip replicates
+// artifacts to their replica set so a node's keys stay warm after it dies:
+//
+//	ccserved -addr :8080 -self http://10.0.0.1:8080 \
+//	  -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080 \
+//	  -replication 2 -gossip-interval 1s
+//	curl -s http://10.0.0.1:8080/cluster | jq .
 package main
 
 import (
@@ -23,9 +34,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/schedule"
 	"repro/internal/service"
@@ -50,6 +63,12 @@ var (
 
 	reconfigPerSlotFlag = flag.Int("reconfig-perslot", core.DefaultReconfigCost.PerSlot, "register-load slots charged per TDM slot entry at a /session phase boundary")
 	reconfigBarrierFlag = flag.Int("reconfig-barrier", core.DefaultReconfigCost.Barrier, "barrier slots charged when any register write occurs at a /session phase boundary")
+
+	selfFlag        = flag.String("self", "", "this node's advertised base URL in cluster mode (e.g. http://10.0.0.1:8080)")
+	peersFlag       = flag.String("peers", "", "comma-separated base URLs of every cluster member including self; empty = standalone")
+	replicationFlag = flag.Int("replication", cluster.DefaultReplication, "cluster replica set size per key (owner + R-1 gossip replicas)")
+	gossipFlag      = flag.Duration("gossip-interval", cluster.DefaultGossipInterval, "cluster probe + anti-entropy period")
+	vnodesFlag      = flag.Int("vnodes", cluster.DefaultVNodes, "consistent-hash virtual nodes per member")
 )
 
 func main() {
@@ -81,9 +100,31 @@ func main() {
 		log.Printf("schedule store at %s", *storeDirFlag)
 	}
 
+	var handler http.Handler = svc
+	var node *cluster.Node
+	if *peersFlag != "" {
+		if *selfFlag == "" {
+			check(errors.New("-peers requires -self (this node's advertised URL)"))
+		}
+		node, err = cluster.NewNode(svc, cluster.Config{
+			Self:           *selfFlag,
+			Peers:          strings.Split(*peersFlag, ","),
+			Replication:    *replicationFlag,
+			VNodes:         *vnodesFlag,
+			GossipInterval: *gossipFlag,
+			Logf:           log.Printf,
+		})
+		check(err)
+		svc.SetPeers(node)
+		handler = node
+		node.Start()
+		log.Printf("cluster mode: self=%s peers=%d replication=%d gossip=%s",
+			node.Self(), len(strings.Split(*peersFlag, ",")), node.Replication(), *gossipFlag)
+	}
+
 	ln, err := net.Listen("tcp", *addrFlag)
 	check(err)
-	srv := &http.Server{Handler: svc, ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -98,6 +139,12 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("draining (up to %s)...", *drainFlag)
+	if node != nil {
+		// Advertise draining first so peers stop forwarding here, then stop
+		// gossip; in-flight requests still finish below.
+		node.SetDraining(true)
+		node.Stop()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

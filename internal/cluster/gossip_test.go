@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/trace"
+)
+
+// mintAvoiding scans document names for a key that is NOT replicated on
+// avoid — so forwarding/gossip for it must cross the network. Returns the
+// document plus its owner and first replica. Deterministic: names are
+// fixed strings and ring placement is a pure function.
+func mintAvoiding(t *testing.T, nodes []*testNode, avoid *testNode) (trace.Document, *testNode, *testNode) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		doc := testDoc(fmt.Sprintf("away-%d", i))
+		key, err := service.KeyForDocument(doc, "torus-8x8", "combined")
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := avoid.Node.Owners(key)
+		if contains(owners, avoid.URL) {
+			continue
+		}
+		return doc, byURL(nodes, owners[0]), byURL(nodes, owners[1])
+	}
+	t.Fatalf("no key found avoiding %s", avoid.URL)
+	panic("unreachable")
+}
+
+// TestGossipReplication: an artifact compiled at its owner is pulled by
+// the replica in one anti-entropy round, after which the replica serves
+// it as a local hit; a second round against an already-synced peer is
+// skipped on digest equality.
+func TestGossipReplication(t *testing.T) {
+	nodes := startCluster(t, 2, 2)
+	a, b := nodes[0], nodes[1]
+	doc := docOwnedBy(t, a.Node.ring(), a.URL)
+
+	ctx := context.Background()
+	resp, _, err := (&client.Client{BaseURL: a.URL}).Compile(ctx, doc, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != service.CacheMiss {
+		t.Fatalf("owner compile cache=%q, want miss", resp.Cache)
+	}
+
+	// One deterministic anti-entropy exchange: B pulls what A has.
+	b.Node.gossipWith(a.URL)
+	if m := b.Node.Metrics(); m.Gossip.Pulled < 1 {
+		t.Fatalf("gossip pulled %d artifacts, want >=1", m.Gossip.Pulled)
+	}
+
+	// The replica now serves the key warm, byte-identical, no compile.
+	resp2, _, err := (&client.Client{BaseURL: b.URL}).Compile(ctx, doc, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cache != service.CacheHit {
+		t.Fatalf("replica cache=%q, want hit", resp2.Cache)
+	}
+	if !bytes.Equal(resp.Result, resp2.Result) {
+		t.Fatal("replicated artifact differs from the original")
+	}
+	if m := compileMisses(t, b.URL); m != 0 {
+		t.Fatalf("replica compiled %d times, want 0", m)
+	}
+
+	// Digests now agree; the next exchange is a no-op.
+	before := b.Node.Metrics().Gossip.Skipped
+	b.Node.gossipWith(a.URL)
+	if after := b.Node.Metrics().Gossip.Skipped; after != before+1 {
+		t.Fatalf("synced exchange skipped=%d, want %d", after, before+1)
+	}
+}
+
+// TestGossipSkipsUnownedKeys: a node pulls only keys it is responsible
+// for — gossip replicates to the R-member replica set, not everywhere.
+func TestGossipSkipsUnownedKeys(t *testing.T) {
+	nodes := startCluster(t, 4, 2)
+	a := nodes[0]
+	doc, owner, _ := mintAvoiding(t, nodes, a)
+	if _, _, err := (&client.Client{BaseURL: owner.URL}).Compile(context.Background(), doc, client.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	a.Node.gossipWith(owner.URL)
+	if m := a.Node.Metrics(); m.Gossip.Pulled != 0 {
+		t.Fatalf("pulled %d artifacts for keys outside the replica set, want 0", m.Gossip.Pulled)
+	}
+	if got := len(a.Svc.ArtifactKeys()); got != 0 {
+		t.Fatalf("node A holds %d artifacts, want 0", got)
+	}
+}
+
+// TestOwnerDeathWarmReplica is the headline failure-mode scenario: an
+// artifact is compiled at its owner and gossip-replicated to its replica.
+// The owner dies; probes mark it dead, which shrinks the ring so the old
+// replica becomes the new owner. A request to a surviving non-replica is
+// then served from the replica's warm copy — byte-identical, zero
+// recompiles anywhere.
+func TestOwnerDeathWarmReplica(t *testing.T) {
+	nodes := startCluster(t, 4, 2)
+	a := nodes[0]
+
+	// Mint a key kept off node A both before AND after the owner's death —
+	// otherwise A inherits replica duty on the shrunken ring and rightly
+	// compiles locally instead of forwarding.
+	var doc trace.Document
+	var owner, replica *testNode
+	for i := 0; i < 10000 && owner == nil; i++ {
+		d := testDoc(fmt.Sprintf("death-%d", i))
+		key, err := service.KeyForDocument(d, "torus-8x8", "combined")
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := a.Node.Owners(key)
+		if contains(owners, a.URL) {
+			continue
+		}
+		survivors := make([]string, 0, len(nodes)-1)
+		for _, tn := range nodes {
+			if tn.URL != owners[0] {
+				survivors = append(survivors, tn.URL)
+			}
+		}
+		if contains(NewRing(survivors, DefaultVNodes).Owners(key, 2), a.URL) {
+			continue
+		}
+		doc = d
+		owner, replica = byURL(nodes, owners[0]), byURL(nodes, owners[1])
+	}
+	if owner == nil {
+		t.Fatal("could not mint a key avoiding A before and after the owner's death")
+	}
+
+	ctx := context.Background()
+	origin, _, err := (&client.Client{BaseURL: owner.URL}).Compile(ctx, doc, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica.Node.gossipWith(owner.URL)
+	if m := replica.Node.Metrics(); m.Gossip.Pulled < 1 {
+		t.Fatalf("replica pulled %d, want >=1", m.Gossip.Pulled)
+	}
+
+	owner.Kill()
+	// deadThreshold consecutive probe failures declare the owner dead on
+	// every survivor, shrinking their rings identically.
+	for i := 0; i < deadThreshold; i++ {
+		for _, tn := range nodes {
+			if tn != owner {
+				tn.Node.ProbeRound()
+			}
+		}
+	}
+	for _, tn := range nodes {
+		if tn == owner {
+			continue
+		}
+		if st := stateOf(tn.Node.members.snapshot(), owner.URL); st != StateDead {
+			t.Fatalf("node %s sees dead owner as %s", tn.URL, st)
+		}
+	}
+	key, err := service.KeyForDocument(doc, "torus-8x8", "combined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newOwner := a.Node.Owners(key)[0]; newOwner != replica.URL {
+		t.Fatalf("post-death owner = %s, want old replica %s", newOwner, replica.URL)
+	}
+
+	// A's request forwards to the new owner, which serves its warm copy.
+	resp, _, err := (&client.Client{BaseURL: a.URL}).Compile(ctx, doc, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != service.CachePeer {
+		t.Fatalf("survivor served cache=%q, want peer", resp.Cache)
+	}
+	if !bytes.Equal(origin.Result, resp.Result) {
+		t.Fatal("artifact after owner death differs from the original bytes")
+	}
+	if m := compileMisses(t, replica.URL); m != 0 {
+		t.Fatalf("replica compiled %d times, want 0 (warm copy)", m)
+	}
+}
+
+// TestProbeRejoin: a dead peer that comes back is re-admitted to the ring
+// after one successful probe, bumping the membership version.
+func TestProbeRejoin(t *testing.T) {
+	nodes := startCluster(t, 2, 2)
+	a, b := nodes[0], nodes[1]
+
+	// Take B down at the handler so the port survives the outage.
+	b.Swap.Set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	for i := 0; i < deadThreshold; i++ {
+		a.Node.ProbeRound()
+	}
+	if st := stateOf(a.Node.members.snapshot(), b.URL); st != StateDead {
+		t.Fatalf("B is %s after %d failed probes, want dead", st, deadThreshold)
+	}
+	if got := a.Node.ring().Len(); got != 1 {
+		t.Fatalf("ring has %d members with B dead, want 1", got)
+	}
+	if deaths := a.Node.Metrics().Membership.Deaths; deaths != 1 {
+		t.Fatalf("deaths = %d, want 1", deaths)
+	}
+
+	// B recovers.
+	b.Swap.Set(b.Node)
+	a.Node.ProbeRound()
+	if st := stateOf(a.Node.members.snapshot(), b.URL); st != StateAlive {
+		t.Fatalf("B is %s after recovery, want alive", st)
+	}
+	if got := a.Node.ring().Len(); got != 2 {
+		t.Fatalf("ring has %d members after rejoin, want 2", got)
+	}
+	if m := a.Node.Metrics().Membership; m.Rejoins != 1 {
+		t.Fatalf("rejoins = %d, want 1", m.Rejoins)
+	}
+}
+
+// TestMembershipStateMachine drives suspect/dead/rejoin transitions
+// directly.
+func TestMembershipStateMachine(t *testing.T) {
+	m := newMembership("self", []string{"self", "p1", "p2", ""})
+	if got, _ := m.ringMembers(); len(got) != 3 {
+		t.Fatalf("ring members = %v, want self+2 peers", got)
+	}
+	if m.observeFailure("p1") {
+		t.Fatal("first failure should not declare death")
+	}
+	if stateOf(m.snapshot(), "p1") != StateSuspect {
+		t.Fatal("one failure should mark suspect")
+	}
+	_, v1 := m.ringMembers()
+	if m.observeFailure("p1") {
+		t.Fatal("second failure should not declare death")
+	}
+	if !m.observeFailure("p1") {
+		t.Fatalf("failure %d should cross the dead threshold", deadThreshold)
+	}
+	members, v2 := m.ringMembers()
+	if v2 == v1 {
+		t.Fatal("death must bump the membership version")
+	}
+	if contains(members, "p1") {
+		t.Fatal("dead peer still in ring members")
+	}
+	// Repeat failures on a dead peer change nothing.
+	if m.observeFailure("p1") {
+		t.Fatal("re-declared death on an already-dead peer")
+	}
+	// Suspect recovery without death: no version bump.
+	m.observeFailure("p2")
+	_, v3 := m.ringMembers()
+	if m.observeAlive("p2") {
+		t.Fatal("suspect recovery reported as rejoin")
+	}
+	if _, v4 := m.ringMembers(); v4 != v3 {
+		t.Fatal("suspect recovery must not bump the version")
+	}
+	// Dead recovery: rejoin + version bump.
+	if !m.observeAlive("p1") {
+		t.Fatal("dead recovery not reported as rejoin")
+	}
+	if members, v5 := m.ringMembers(); !contains(members, "p1") || v5 == v2 {
+		t.Fatalf("rejoin: members=%v version %d (old %d)", members, v5, v2)
+	}
+	// Unknown peers are ignored, not adopted.
+	m.observeAlive("stranger")
+	if members, _ := m.ringMembers(); contains(members, "stranger") {
+		t.Fatal("membership adopted an unconfigured peer")
+	}
+}
+
+// TestSummaryDigestOrderIndependent pins the digest to content, not order.
+func TestSummaryDigestOrderIndependent(t *testing.T) {
+	a := summaryDigest([]string{"k1", "k2", "k3"})
+	b := summaryDigest([]string{"k3", "k1", "k2"})
+	if a != b {
+		t.Fatal("digest depends on key order")
+	}
+	if a == summaryDigest([]string{"k1", "k2"}) {
+		t.Fatal("digest ignores membership")
+	}
+	if summaryDigest(nil) != summaryDigest([]string{}) {
+		t.Fatal("empty digests differ")
+	}
+}
+
+func byURL(nodes []*testNode, url string) *testNode {
+	for _, tn := range nodes {
+		if tn.URL == url {
+			return tn
+		}
+	}
+	return nil
+}
+
+func stateOf(statuses []MemberStatus, node string) string {
+	for _, st := range statuses {
+		if st.Node == node {
+			return st.State
+		}
+	}
+	return "missing"
+}

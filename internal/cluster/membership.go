@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Member liveness states, SWIM-style: a member is alive until a probe
+// fails, suspect while recent probes fail (it still participates in the
+// ring — a suspect node is usually just slow), and dead after
+// deadThreshold consecutive failures, at which point the ring shrinks
+// around it. A successful probe or gossip exchange from a dead member
+// rejoins it immediately — its warm state was never discarded, so rejoin
+// costs nothing.
+const (
+	StateAlive   = "alive"
+	StateSuspect = "suspect"
+	StateDead    = "dead"
+)
+
+// deadThreshold is the number of consecutive probe failures that moves a
+// suspect member to dead. With one probe per gossip tick, a node is cut
+// from the ring roughly deadThreshold gossip intervals after it stops
+// answering.
+const deadThreshold = 3
+
+// MemberStatus is one member's liveness as reported by /cluster.
+type MemberStatus struct {
+	Node  string `json:"node"`
+	State string `json:"state"`
+	// Fails is the current consecutive probe-failure count.
+	Fails int `json:"fails"`
+	// LastSeenMs is milliseconds since the member last answered; -1 if it
+	// never has (members start alive on trust).
+	LastSeenMs int64 `json:"last_seen_ms"`
+}
+
+type memberInfo struct {
+	state    string
+	fails    int
+	lastSeen time.Time
+}
+
+// membership tracks the liveness of every configured member. The version
+// counter increments whenever any member crosses the dead boundary in
+// either direction — the only transitions that change the ring — so ring
+// construction can be cached against it.
+type membership struct {
+	mu      sync.Mutex
+	self    string
+	peers   map[string]*memberInfo
+	version uint64
+
+	deaths   uint64
+	rejoins  uint64
+	suspects uint64
+}
+
+// newMembership starts every peer alive: a booting node trusts its
+// configuration and lets probing discover reality.
+func newMembership(self string, peers []string) *membership {
+	m := &membership{self: self, peers: make(map[string]*memberInfo, len(peers))}
+	for _, p := range peers {
+		if p == "" || p == self {
+			continue
+		}
+		m.peers[p] = &memberInfo{state: StateAlive}
+	}
+	return m
+}
+
+// observeAlive records a successful exchange with peer and reports whether
+// this was a rejoin from the dead state.
+func (m *membership) observeAlive(peer string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.peers[peer]
+	if !ok {
+		return false
+	}
+	rejoined := info.state == StateDead
+	if rejoined {
+		m.version++
+		m.rejoins++
+	}
+	info.state = StateAlive
+	info.fails = 0
+	info.lastSeen = time.Now()
+	return rejoined
+}
+
+// observeFailure records a failed exchange with peer and reports whether
+// the failure crossed the dead threshold.
+func (m *membership) observeFailure(peer string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.peers[peer]
+	if !ok || info.state == StateDead {
+		return false
+	}
+	info.fails++
+	if info.fails >= deadThreshold {
+		info.state = StateDead
+		m.version++
+		m.deaths++
+		return true
+	}
+	if info.state == StateAlive {
+		info.state = StateSuspect
+		m.suspects++
+	}
+	return false
+}
+
+// ringMembers returns the sorted member set the ring should be built from
+// — self plus every peer not known dead (suspects stay in: cutting a
+// merely slow node would reshuffle ownership for nothing) — and the
+// membership version for cache invalidation.
+func (m *membership) ringMembers() ([]string, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers)+1)
+	out = append(out, m.self)
+	for p, info := range m.peers {
+		if info.state != StateDead {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out, m.version
+}
+
+// all returns every configured peer (any state), sorted. Probing targets
+// all of them — dead members must keep being probed or they could never
+// rejoin.
+func (m *membership) all() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for p := range m.peers {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// candidates returns the non-dead peers, sorted — the pool gossip picks a
+// random partner from.
+func (m *membership) candidates() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.peers))
+	for p, info := range m.peers {
+		if info.state != StateDead {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot reports every member's status (self included, always alive),
+// sorted by node name.
+func (m *membership) snapshot() []MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	out := make([]MemberStatus, 0, len(m.peers)+1)
+	out = append(out, MemberStatus{Node: m.self, State: StateAlive, LastSeenMs: 0})
+	for p, info := range m.peers {
+		ms := int64(-1)
+		if !info.lastSeen.IsZero() {
+			ms = now.Sub(info.lastSeen).Milliseconds()
+		}
+		out = append(out, MemberStatus{Node: p, State: info.state, Fails: info.fails, LastSeenMs: ms})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// transitions snapshots the death/rejoin/suspect counters.
+func (m *membership) transitions() (deaths, rejoins, suspects uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.deaths, m.rejoins, m.suspects
+}

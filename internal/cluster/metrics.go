@@ -1,0 +1,87 @@
+package cluster
+
+import "sync/atomic"
+
+// counters are the node's hot-path counters; all atomics, no lock on the
+// serving path.
+type counters struct {
+	// Forward path.
+	forwardHits      atomic.Uint64 // misses resolved by a peer forward
+	forwardErrors    atomic.Uint64 // individual forward attempts that failed
+	forwardFallbacks atomic.Uint64 // whole replica set unreachable → compiled locally
+	ownedLocal       atomic.Uint64 // misses this node was owner/replica for
+	peerCompiles     atomic.Uint64 // forwarded compiles served for other nodes
+	peerFetches      atomic.Uint64 // artifacts served through /peer/fetch
+
+	// Gossip loop.
+	gossipRounds  atomic.Uint64 // digest exchanges attempted
+	gossipSkipped atomic.Uint64 // exchanges short-circuited by equal digests
+	gossipPulled  atomic.Uint64 // artifacts pulled from peers
+	gossipErrors  atomic.Uint64 // failed exchanges or pulls
+	probeRounds   atomic.Uint64 // liveness probe sweeps
+}
+
+// ForwardMetrics is the /cluster forward-path counter block.
+type ForwardMetrics struct {
+	// Hits counts local misses resolved by forwarding to an owner; Errors
+	// individual peer attempts that failed; Fallbacks misses compiled
+	// locally because every owner was unreachable; OwnedLocal misses this
+	// node was in the replica set for (compiled here by design).
+	Hits       uint64 `json:"hits"`
+	Errors     uint64 `json:"errors"`
+	Fallbacks  uint64 `json:"fallbacks"`
+	OwnedLocal uint64 `json:"owned_local"`
+	// PeerCompiles counts forwarded compiles served for other nodes;
+	// PeerFetches artifacts served through /peer/fetch.
+	PeerCompiles uint64 `json:"peer_compiles"`
+	PeerFetches  uint64 `json:"peer_fetches"`
+}
+
+// GossipMetrics is the /cluster anti-entropy counter block.
+type GossipMetrics struct {
+	Rounds  uint64 `json:"rounds"`
+	Skipped uint64 `json:"skipped"`
+	Pulled  uint64 `json:"pulled"`
+	Errors  uint64 `json:"errors"`
+	Probes  uint64 `json:"probes"`
+}
+
+// MembershipMetrics counts liveness transitions.
+type MembershipMetrics struct {
+	Deaths   uint64 `json:"deaths"`
+	Rejoins  uint64 `json:"rejoins"`
+	Suspects uint64 `json:"suspects"`
+}
+
+// MetricsSnapshot is the metrics block of /cluster.
+type MetricsSnapshot struct {
+	Forward    ForwardMetrics    `json:"forward"`
+	Gossip     GossipMetrics     `json:"gossip"`
+	Membership MembershipMetrics `json:"membership"`
+}
+
+func (n *Node) snapshotMetrics() MetricsSnapshot {
+	deaths, rejoins, suspects := n.members.transitions()
+	return MetricsSnapshot{
+		Forward: ForwardMetrics{
+			Hits:         n.metrics.forwardHits.Load(),
+			Errors:       n.metrics.forwardErrors.Load(),
+			Fallbacks:    n.metrics.forwardFallbacks.Load(),
+			OwnedLocal:   n.metrics.ownedLocal.Load(),
+			PeerCompiles: n.metrics.peerCompiles.Load(),
+			PeerFetches:  n.metrics.peerFetches.Load(),
+		},
+		Gossip: GossipMetrics{
+			Rounds:  n.metrics.gossipRounds.Load(),
+			Skipped: n.metrics.gossipSkipped.Load(),
+			Pulled:  n.metrics.gossipPulled.Load(),
+			Errors:  n.metrics.gossipErrors.Load(),
+			Probes:  n.metrics.probeRounds.Load(),
+		},
+		Membership: MembershipMetrics{Deaths: deaths, Rejoins: rejoins, Suspects: suspects},
+	}
+}
+
+// Metrics returns the node's current counter snapshot (the same block
+// /cluster reports).
+func (n *Node) Metrics() MetricsSnapshot { return n.snapshotMetrics() }

@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/service/client"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// swapHandler lets a httptest server exist before the Node that will
+// answer on it: URLs must be known to build the membership roster. It
+// stays swappable after start so tests can take a node "down" and bring
+// it back without losing the port.
+type swapHandler struct{ h atomic.Value }
+
+type handlerBox struct{ h http.Handler }
+
+func (s *swapHandler) Set(h http.Handler) { s.h.Store(&handlerBox{h}) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if b, ok := s.h.Load().(*handlerBox); ok && b.h != nil {
+		b.h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+// testNode is one in-process cluster member.
+type testNode struct {
+	URL  string
+	Svc  *service.Server
+	Node *Node
+	TS   *httptest.Server
+	Swap *swapHandler
+}
+
+// Kill closes the member's listener — from the cluster's point of view the
+// process died.
+func (tn *testNode) Kill() { tn.TS.Close() }
+
+// startCluster boots n federated in-process daemons on loopback.
+func startCluster(t *testing.T, n, replication int) []*testNode {
+	t.Helper()
+	swaps := make([]*swapHandler, n)
+	nodes := make([]*testNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		urls[i] = ts.URL
+		nodes[i] = &testNode{URL: ts.URL, TS: ts, Swap: swaps[i]}
+	}
+	for i := range nodes {
+		svc, err := service.New(service.Config{Topology: topology.NewTorus(8, 8)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(svc, Config{
+			Self:        urls[i],
+			Peers:       urls,
+			Replication: replication,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.SetPeers(node)
+		swaps[i].Set(node)
+		nodes[i].Svc, nodes[i].Node = svc, node
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.Node.Stop()
+			tn.TS.Close()
+			tn.Svc.Close()
+		}
+	})
+	return nodes
+}
+
+// testDoc builds a small, fast-to-compile trace document with a unique
+// name (the name participates in the content key).
+func testDoc(name string) trace.Document {
+	msgs := make([]sim.Message, 0, 16)
+	for i := 0; i < 16; i++ {
+		msgs = append(msgs, sim.Message{Src: i, Dst: (i + 9) % 64, Flits: 2})
+	}
+	return trace.FromProgram(core.Program{
+		Name:   name,
+		Phases: []core.Phase{{Name: "p0", Messages: msgs}},
+	}, 64)
+}
+
+// docOwnedBy mints a document whose content key's replica set matches
+// want: want[0] must be the owner and the rest must all appear in the
+// first len(want) positions. Ring placement is deterministic, so scanning
+// names always terminates quickly.
+func docOwnedBy(t *testing.T, ring *Ring, want ...string) trace.Document {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		doc := testDoc(fmt.Sprintf("owned-%s-%d", want[0], i))
+		key, err := service.KeyForDocument(doc, "torus-8x8", "combined")
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := ring.Owners(key, len(want))
+		if owners[0] != want[0] {
+			continue
+		}
+		ok := true
+		for _, w := range want[1:] {
+			if !contains(owners, w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return doc
+		}
+	}
+	t.Fatalf("no document found with replica set %v", want)
+	panic("unreachable")
+}
+
+func compileMisses(t *testing.T, url string) uint64 {
+	t.Helper()
+	snap, err := (&client.Client{BaseURL: url}).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap.Endpoints["compile"].Misses
+}
+
+// TestForwardToOwner: a miss at a non-owner is forwarded to the key's
+// owner, compiled exactly there, and the artifact comes back byte-
+// identical to what the owner serves directly. The non-owner then serves
+// it as a local hit.
+func TestForwardToOwner(t *testing.T) {
+	nodes := startCluster(t, 3, 1)
+	a, c := nodes[0], nodes[2]
+	doc := docOwnedBy(t, a.Node.ring(), c.URL)
+
+	ctx := context.Background()
+	resp, _, err := (&client.Client{BaseURL: a.URL}).Compile(ctx, doc, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != service.CachePeer {
+		t.Fatalf("non-owner served cache=%q, want %q", resp.Cache, service.CachePeer)
+	}
+	// The owner compiled it once; the forwarder compiled nothing.
+	if m := compileMisses(t, c.URL); m != 1 {
+		t.Fatalf("owner compiled %d times, want 1", m)
+	}
+	if m := compileMisses(t, a.URL); m != 0 {
+		t.Fatalf("forwarder compiled %d times, want 0", m)
+	}
+	// Byte-identical to the owner's own artifact.
+	respC, _, err := (&client.Client{BaseURL: c.URL}).Compile(ctx, doc, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respC.Cache != service.CacheHit {
+		t.Fatalf("owner re-serve cache=%q, want hit", respC.Cache)
+	}
+	if !bytes.Equal(resp.Result, respC.Result) {
+		t.Fatal("forwarded artifact differs from the owner's artifact")
+	}
+	// The forwarder cached the artifact: second request is a local hit.
+	resp2, _, err := (&client.Client{BaseURL: a.URL}).Compile(ctx, doc, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cache != service.CacheHit {
+		t.Fatalf("repeat at forwarder cache=%q, want hit", resp2.Cache)
+	}
+	if !bytes.Equal(resp.Result, resp2.Result) {
+		t.Fatal("cached forwarded artifact drifted")
+	}
+	if m := a.Node.Metrics(); m.Forward.Hits != 1 {
+		t.Fatalf("forward hits = %d, want 1", m.Forward.Hits)
+	}
+}
+
+// TestExactlyOnceAcrossForwards: a herd of identical requests hitting two
+// different non-owners concurrently still results in exactly one compile
+// cluster-wide — each node's singleflight collapses its local herd, and
+// the owner's singleflight collapses the forwards.
+func TestExactlyOnceAcrossForwards(t *testing.T) {
+	nodes := startCluster(t, 3, 1)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	doc := docOwnedBy(t, a.Node.ring(), c.URL)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	arts := make([]json.RawMessage, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := a.URL
+			if i%2 == 1 {
+				url = b.URL
+			}
+			resp, _, err := (&client.Client{BaseURL: url}).Compile(ctx, doc, client.Options{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			arts[i] = resp.Result
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < 8; i++ {
+		if !bytes.Equal(arts[0], arts[i]) {
+			t.Fatalf("request %d returned different bytes", i)
+		}
+	}
+	total := compileMisses(t, a.URL) + compileMisses(t, b.URL) + compileMisses(t, c.URL)
+	if total != 1 {
+		t.Fatalf("cluster compiled the key %d times, want exactly 1", total)
+	}
+}
+
+// TestForwardFallbackWhenOwnerDead: with the whole replica set
+// unreachable, a non-owner compiles locally rather than failing — the
+// cluster degrades to independent daemons.
+func TestForwardFallbackWhenOwnerDead(t *testing.T) {
+	nodes := startCluster(t, 2, 1)
+	a, b := nodes[0], nodes[1]
+	doc := docOwnedBy(t, a.Node.ring(), b.URL)
+	b.Kill()
+
+	resp, res, err := (&client.Client{BaseURL: a.URL}).Compile(context.Background(), doc, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != service.CacheMiss {
+		t.Fatalf("fallback served cache=%q, want miss", resp.Cache)
+	}
+	if err := client.Verify(doc, res); err != nil {
+		t.Fatalf("fallback artifact invalid: %v", err)
+	}
+	if m := a.Node.Metrics(); m.Forward.Fallbacks != 1 || m.Forward.Errors == 0 {
+		t.Fatalf("forward metrics = %+v, want 1 fallback and >0 errors", m.Forward)
+	}
+}
+
+// TestClusterClientRetriesDrainingNode extends the service drain test one
+// layer up (satellite: graceful peer-drain): a draining daemon answers
+// cold compiles 503, and the cluster client retries the next replica so
+// the caller never sees the 5xx.
+func TestClusterClientRetriesDrainingNode(t *testing.T) {
+	nodes := startCluster(t, 2, 2)
+	a, b := nodes[0], nodes[1]
+	// SIGTERM equivalent: stop gossip, advertise draining, drain the pool.
+	a.Node.SetDraining(true)
+	a.Svc.Close()
+
+	doc := testDoc("drain-retry")
+	ctx := context.Background()
+
+	// Direct client: the drain is a real 503.
+	_, _, err := (&client.Client{BaseURL: a.URL}).Compile(ctx, doc, client.Options{})
+	he := &client.HTTPError{}
+	if err == nil || !asHTTPError(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("direct compile on draining node: err=%v, want HTTP 503", err)
+	}
+
+	// Cluster client: rotation starts at the draining node, retries to the
+	// healthy one, no error surfaces.
+	cc := &client.Cluster{Nodes: []string{a.URL, b.URL}}
+	resp, res, node, err := cc.Compile(ctx, doc, client.Options{})
+	if err != nil {
+		t.Fatalf("cluster compile during drain: %v", err)
+	}
+	if node != b.URL {
+		t.Fatalf("served by %s, want the healthy node %s", node, b.URL)
+	}
+	if err := client.Verify(doc, res); err != nil {
+		t.Fatalf("artifact invalid: %v", err)
+	}
+	if resp.Cache != service.CacheMiss {
+		t.Fatalf("cache=%q, want miss", resp.Cache)
+	}
+}
+
+func asHTTPError(err error, target **client.HTTPError) bool {
+	for ; err != nil; err = unwrap(err) {
+		if he, ok := err.(*client.HTTPError); ok {
+			*target = he
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// TestStatusEndpoint sanity-checks the /cluster document.
+func TestStatusEndpoint(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	a := nodes[0]
+	if _, _, err := (&client.Client{BaseURL: a.URL}).Compile(context.Background(), testDoc("status"), client.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(a.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != a.URL || st.Replication != 2 || len(st.Members) != 3 || len(st.RingNodes) != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+	for _, m := range st.Members {
+		if m.State != StateAlive {
+			t.Fatalf("member %s state %s, want alive", m.Node, m.State)
+		}
+	}
+}
+
+// TestStartStopLifecycle exercises the background loop briefly.
+func TestStartStopLifecycle(t *testing.T) {
+	nodes := startCluster(t, 2, 2)
+	nodes[0].Node.Start()
+	nodes[0].Node.Start() // idempotent
+	nodes[0].Node.Stop()
+	nodes[0].Node.Stop() // idempotent
+	nodes[1].Node.Stop() // never started
+}

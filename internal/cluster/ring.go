@@ -1,0 +1,126 @@
+// Package cluster federates N ccserved daemons into one compile cluster:
+// the content-addressed pattern-key space is sharded across nodes by a
+// consistent-hash ring, a local miss at a non-owner is forwarded to the
+// key's owner before anything is compiled (so each key is compiled exactly
+// once cluster-wide), and anti-entropy gossip replicates compiled artifacts
+// to the key's replica set so any node can serve any warm key — byte
+// identically — after its owner dies.
+//
+// The design leans on the paper's central property: compilation is
+// deterministic. Two daemons given the same trace produce the same bytes,
+// so replication carries no consistency protocol at all — an artifact
+// either exists (and equals what any node would compile) or is recomputed.
+// Gossip is therefore pure anti-entropy in the SWIM/gossip-mesh style:
+// periodic digest exchange with a random peer, pull what is missing, and
+// piggyback liveness so the ring shrinks around dead nodes and re-expands
+// on rejoin without losing warm state.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member: enough that removing
+// one node of a handful spreads its keys across the survivors instead of
+// dumping them on a single ring successor.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a membership set. Two
+// rings built from the same membership — in any order, in any process —
+// are identical: placement is pure SHA-256, ties break lexicographically,
+// and no map iteration participates.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted, deduplicated membership
+	points []ringPoint
+}
+
+// NewRing builds the ring for a membership set. vnodes <= 0 selects
+// DefaultVNodes.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	set := append([]string(nil), nodes...)
+	sort.Strings(set)
+	dedup := set[:0]
+	for i, n := range set {
+		if n == "" || (i > 0 && set[i-1] == n) {
+			continue
+		}
+		dedup = append(dedup, n)
+	}
+	r := &Ring{vnodes: vnodes, nodes: dedup, points: make([]ringPoint, 0, len(dedup)*vnodes)}
+	for _, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(n + "#" + strconv.Itoa(v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// hash64 is the ring's placement hash: the first 8 bytes of SHA-256, which
+// matches the content-addressed key space the ring shards (service program
+// keys are hex SHA-256 digests).
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the sorted membership.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the key's primary owner: the node whose virtual point is
+// first at or clockwise of the key's hash. Empty string on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns the key's owner followed by its successor replicas: the
+// first n distinct nodes walking clockwise from the key's hash. Fewer than
+// n nodes in the ring returns them all.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

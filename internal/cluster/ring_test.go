@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRingGolden pins ring placement to golden values: ownership is a pure
+// function of (membership, vnodes, key) built on SHA-256, so any process,
+// any architecture, any Go version must reproduce these exact assignments.
+// This is the cross-process half of the determinism requirement — two
+// daemons that agree on the roster agree on every key's owner without
+// exchanging a single message.
+func TestRingGolden(t *testing.T) {
+	nodes := []string{"http://n1:8080", "http://n2:8080", "http://n3:8080", "http://n4:8080"}
+	r := NewRing(nodes, 64)
+	golden := []struct{ key, owner, replica string }{
+		{"key-0", "http://n1:8080", "http://n3:8080"},
+		{"key-1", "http://n2:8080", "http://n3:8080"},
+		{"key-2", "http://n3:8080", "http://n1:8080"},
+		{"key-3", "http://n1:8080", "http://n2:8080"},
+		{"key-4", "http://n4:8080", "http://n1:8080"},
+		{"key-5", "http://n4:8080", "http://n2:8080"},
+		{"key-6", "http://n3:8080", "http://n4:8080"},
+		{"key-7", "http://n4:8080", "http://n3:8080"},
+	}
+	for _, g := range golden {
+		owners := r.Owners(g.key, 2)
+		if owners[0] != g.owner || owners[1] != g.replica {
+			t.Errorf("Owners(%q) = %v, want [%s %s]", g.key, owners, g.owner, g.replica)
+		}
+	}
+}
+
+// TestRingMembershipOrderInvariance builds rings from every rotation and a
+// few shuffles of the same membership and demands identical ownership for
+// a spread of keys — placement must not depend on roster order, duplicates
+// or empties.
+func TestRingMembershipOrderInvariance(t *testing.T) {
+	base := []string{"n1", "n2", "n3", "n4", "n5"}
+	ref := NewRing(base, 32)
+	rng := rand.New(rand.NewSource(7))
+	variants := [][]string{
+		{"n5", "n4", "n3", "n2", "n1"},
+		{"n3", "n1", "n5", "n2", "n4"},
+		{"n1", "n1", "n2", "n3", "", "n4", "n5", "n2"}, // dups + empty
+	}
+	for v := 0; v < 3; v++ {
+		shuffled := append([]string(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		variants = append(variants, shuffled)
+	}
+	for vi, v := range variants {
+		r := NewRing(v, 32)
+		if !reflect.DeepEqual(r.Nodes(), ref.Nodes()) {
+			t.Fatalf("variant %d: membership %v, want %v", vi, r.Nodes(), ref.Nodes())
+		}
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("key-%d", i)
+			if got, want := r.Owners(key, 3), ref.Owners(key, 3); !reflect.DeepEqual(got, want) {
+				t.Fatalf("variant %d: Owners(%q) = %v, want %v", vi, key, got, want)
+			}
+		}
+	}
+}
+
+// TestRingRebalanceMovesMinimalKeys is the consistent-hashing contract:
+// removing a node reassigns only the keys it owned (every other key keeps
+// its owner), adding a node only pulls keys toward the new node, and the
+// post-removal replica set is always a subset of the pre-removal
+// owner+replica+successor set — which is why gossip replication to R
+// successors keeps a dead node's keys warm at their new owners.
+func TestRingRebalanceMovesMinimalKeys(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4", "n5"}
+	full := NewRing(members, 64)
+
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pattern-%d", i*7919)
+	}
+
+	t.Run("remove", func(t *testing.T) {
+		const removed = "n3"
+		shrunk := NewRing([]string{"n1", "n2", "n4", "n5"}, 64)
+		moved := 0
+		for _, key := range keys {
+			oldOwner := full.Owner(key)
+			newOwner := shrunk.Owner(key)
+			if oldOwner != removed && newOwner != oldOwner {
+				t.Fatalf("key %q moved %s -> %s though %s was not removed", key, oldOwner, newOwner, removed)
+			}
+			if oldOwner == removed {
+				moved++
+			}
+			// Successor-list containment: the new replica set comes from the
+			// old extended set, so an R-replicated key stays warm.
+			oldExt := full.Owners(key, 3)
+			for _, o := range shrunk.Owners(key, 2) {
+				if !contains(oldExt, o) {
+					t.Fatalf("key %q: new replica %s not in old successor set %v", key, o, oldExt)
+				}
+			}
+		}
+		if moved == 0 {
+			t.Fatal("no key was owned by the removed node; test is vacuous")
+		}
+	})
+
+	t.Run("add", func(t *testing.T) {
+		const added = "n6"
+		grown := NewRing(append(append([]string(nil), members...), added), 64)
+		moved := 0
+		for _, key := range keys {
+			oldOwner := full.Owner(key)
+			newOwner := grown.Owner(key)
+			if newOwner != oldOwner {
+				if newOwner != added {
+					t.Fatalf("key %q moved %s -> %s on adding %s", key, oldOwner, newOwner, added)
+				}
+				moved++
+			}
+		}
+		// Virtual nodes spread the new member's share near 1/(n+1); allow a
+		// generous band so the test pins the mechanism, not the variance.
+		share := float64(moved) / float64(len(keys))
+		if share < 0.05 || share > 0.35 {
+			t.Fatalf("new node took %.1f%% of keys, want roughly 1/6", share*100)
+		}
+	})
+}
+
+// TestRingOwnersBounds covers the edges: empty ring, n clamped to the
+// member count, distinctness of the replica list.
+func TestRingOwnersBounds(t *testing.T) {
+	if owner := NewRing(nil, 8).Owner("k"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", owner)
+	}
+	r := NewRing([]string{"a", "b", "c"}, 8)
+	owners := r.Owners("k", 10)
+	if len(owners) != 3 {
+		t.Fatalf("Owners clamped to %d, want 3", len(owners))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %s in %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if r.Owners("k", 0) != nil {
+		t.Fatal("Owners(k, 0) should be nil")
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -76,13 +76,16 @@ type Response struct {
 // Cache states reported in Response.Cache. CacheUnchanged appears only in
 // /session phase chunks: the phase's message list is identical to the
 // previous phase's, so the running schedule was kept without resolving a
-// recompile candidate at all.
+// recompile candidate at all. CachePeer marks an artifact resolved by
+// forwarding the request to the key's cluster owner instead of compiling
+// locally (internal/cluster).
 const (
 	CacheMiss      = "miss"
 	CacheHit       = "hit"
 	CacheStore     = "store"
 	CacheCoalesced = "coalesced"
 	CacheUnchanged = "unchanged"
+	CachePeer      = "peer"
 )
 
 // SessionChunk is one line of the /session NDJSON stream. The server
@@ -155,6 +158,9 @@ type EndpointMetrics struct {
 	// operator can tell warm memory from warm disk.
 	Hits      uint64 `json:"hits"`
 	StoreHits uint64 `json:"store_hits"`
+	// PeerHits counts requests resolved by forwarding to the key's cluster
+	// owner rather than compiling locally; zero outside cluster mode.
+	PeerHits  uint64 `json:"peer_hits"`
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
 	Rejected  uint64 `json:"rejected"`

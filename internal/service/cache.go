@@ -77,6 +77,19 @@ func (c *lruCache) Add(key string, val json.RawMessage) {
 	}
 }
 
+// Keys lists every cached key, most recently used first. The cluster
+// gossip layer enumerates it (together with the store) to build the
+// anti-entropy digest of what this daemon can serve without compiling.
+func (c *lruCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
 // Metrics snapshots the cache counters.
 func (c *lruCache) Metrics() CacheMetrics {
 	c.mu.Lock()

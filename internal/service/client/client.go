@@ -9,12 +9,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -222,6 +224,111 @@ func (c *Client) Session(ctx context.Context, doc trace.Document, opt Options, o
 		return nil, fmt.Errorf("service: session returned %d phases, trace has %d", len(out.Phases), len(doc.Phases))
 	}
 	return out, nil
+}
+
+// Cluster talks to a federation of compile daemons (internal/cluster):
+// requests round-robin across the node list, and any reply that is the
+// node's fault rather than the request's — a transport error, a 5xx from a
+// draining or dying daemon, a 429 from a saturated one — retries against
+// the next node. Because compilation is deterministic and keys are
+// content-addressed, any node's answer is byte-identical, so failover
+// needs no affinity or stickiness.
+type Cluster struct {
+	// Nodes are the member daemons' base URLs.
+	Nodes []string
+	// HTTPClient is the shared transport; nil means the package default.
+	HTTPClient *http.Client
+
+	next atomic.Uint32
+}
+
+// node builds the single-node client for index i.
+func (c *Cluster) node(i int) *Client {
+	return &Client{BaseURL: c.Nodes[i], HTTPClient: c.HTTPClient}
+}
+
+// retryable reports whether an error indicts the node rather than the
+// request: transport failures, every 5xx (503 drain included), and 429
+// overload — another replica may have capacity. A 4xx like 400/404/422 is
+// the request's own problem and would fail identically everywhere.
+func retryable(err error) bool {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status >= 500 || he.Status == http.StatusTooManyRequests
+	}
+	return true // transport error: node unreachable
+}
+
+// Compile posts a trace document to the cluster, returning the reply and
+// the node that served it. Nodes are tried in rotation order until one
+// answers; only request-level errors (4xx) surface immediately.
+func (c *Cluster) Compile(ctx context.Context, doc trace.Document, opt Options) (*service.Response, *service.Result, string, error) {
+	var resp *service.Response
+	var res *service.Result
+	node, err := c.each(func(cl *Client) error {
+		var e error
+		resp, res, e = cl.Compile(ctx, doc, opt)
+		return e
+	})
+	return resp, res, node, err
+}
+
+// CompileFrom is Compile with the rotation pinned: the attempt order
+// starts at node i mod len(Nodes) instead of the shared round-robin
+// counter. Drivers that pre-shard a request stream use it to make the
+// request-to-node pairing deterministic (the shared counter is claimed in
+// goroutine-scheduling order, which shuffles the pairing under
+// concurrency); the retry-on-next-replica behavior is identical.
+func (c *Cluster) CompileFrom(ctx context.Context, i int, doc trace.Document, opt Options) (*service.Response, *service.Result, string, error) {
+	var resp *service.Response
+	var res *service.Result
+	node, err := c.eachFrom(i, func(cl *Client) error {
+		var e error
+		resp, res, e = cl.Compile(ctx, doc, opt)
+		return e
+	})
+	return resp, res, node, err
+}
+
+// Recompile posts a trace document with a fault mask to the cluster.
+func (c *Cluster) Recompile(ctx context.Context, doc trace.Document, mask service.FaultMask, opt Options) (*service.Response, *service.Result, string, error) {
+	var resp *service.Response
+	var res *service.Result
+	node, err := c.each(func(cl *Client) error {
+		var e error
+		resp, res, e = cl.Recompile(ctx, doc, mask, opt)
+		return e
+	})
+	return resp, res, node, err
+}
+
+// each runs fn against nodes in rotation order until it succeeds or every
+// node has failed retryably. The returned node is the one that answered
+// (on success) or the last one attempted (on failure, also named in the
+// error so load drivers can attribute it).
+func (c *Cluster) each(fn func(cl *Client) error) (string, error) {
+	return c.eachFrom(int(c.next.Add(1)-1), fn)
+}
+
+func (c *Cluster) eachFrom(from int, fn func(cl *Client) error) (string, error) {
+	if len(c.Nodes) == 0 {
+		return "", fmt.Errorf("client: cluster has no nodes")
+	}
+	start := ((from % len(c.Nodes)) + len(c.Nodes)) % len(c.Nodes)
+	var lastNode string
+	var lastErr error
+	for k := 0; k < len(c.Nodes); k++ {
+		i := (start + k) % len(c.Nodes)
+		err := fn(c.node(i))
+		if err == nil {
+			return c.Nodes[i], nil
+		}
+		lastNode, lastErr = c.Nodes[i], err
+		if !retryable(err) {
+			return lastNode, fmt.Errorf("%s: %w", lastNode, err)
+		}
+	}
+	return lastNode, fmt.Errorf("client: all %d cluster nodes failed, last %s: %w", len(c.Nodes), lastNode, lastErr)
 }
 
 // Metrics fetches /metrics.

@@ -33,7 +33,7 @@ type metricsState struct {
 }
 
 type endpointState struct {
-	requests, hits, storeHits, misses, coalesced, rejected, errors uint64
+	requests, hits, storeHits, peerHits, misses, coalesced, rejected, errors uint64
 
 	latency stats.Hist
 }
@@ -62,6 +62,8 @@ func (m *metricsState) observeSuccess(endpoint, cacheState string, elapsed time.
 		ep.hits++
 	case CacheStore:
 		ep.storeHits++
+	case CachePeer:
+		ep.peerHits++
 	case CacheMiss:
 		ep.misses++
 	case CacheCoalesced:
@@ -174,6 +176,7 @@ func (m *metricsState) snapshot(topo, sched string, cache CacheMetrics, st Store
 			Requests:  ep.requests,
 			Hits:      ep.hits,
 			StoreHits: ep.storeHits,
+			PeerHits:  ep.peerHits,
 			Misses:    ep.misses,
 			Coalesced: ep.coalesced,
 			Rejected:  ep.rejected,

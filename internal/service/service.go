@@ -32,15 +32,19 @@
 package service
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cliutil"
@@ -124,10 +128,61 @@ type Server struct {
 	// caches) across recompile requests with the same fault mask.
 	maskedViews maskedViewCache
 
+	// peersV holds the PeerResolver of the cluster layer (a *peerBox);
+	// nil means this daemon serves alone. Atomic because SetPeers races
+	// with early requests during daemon startup.
+	peersV atomic.Value
+
 	// compileHook, when set, runs inside a pool worker immediately before a
 	// pipeline invocation. Test instrumentation: counting calls counts
 	// compiles, blocking it holds a compile in flight.
 	compileHook func(key string)
+}
+
+// ForwardedHeader marks a request forwarded from a cluster peer: the
+// receiving daemon is the key's owner and must resolve it locally rather
+// than forward again. Set by internal/cluster on the peer hop.
+const ForwardedHeader = "X-Ccomm-Forwarded"
+
+// PeerContext describes one compile request to the cluster layer: the
+// content key the local caches missed, plus everything needed to replay the
+// request against the key's owner.
+type PeerContext struct {
+	// Key is the content-address the request resolves to.
+	Key string
+	// Query carries the original request's query parameters (topology, alg,
+	// fault mask) and Body its raw trace document.
+	Query url.Values
+	Body  []byte
+	// Recompile distinguishes /recompile from /compile.
+	Recompile bool
+}
+
+// PeerResolver intercedes between a local cache miss and a local compile.
+// The cluster layer implements it: a non-owner forwards the request to the
+// key's owner and returns the owner's artifact; ok=false (wrong role, every
+// owner unreachable) falls through to the local compile, so a degraded
+// cluster degrades to N independent daemons, never to an outage.
+type PeerResolver interface {
+	Resolve(pc PeerContext) (json.RawMessage, bool)
+}
+
+// peerBox wraps the resolver so atomic.Value stores one concrete type.
+type peerBox struct{ p PeerResolver }
+
+// SetPeers installs the cluster layer's resolver. Safe to call while
+// serving; nil resolvers are ignored.
+func (s *Server) SetPeers(p PeerResolver) {
+	if p != nil {
+		s.peersV.Store(&peerBox{p})
+	}
+}
+
+func (s *Server) peers() PeerResolver {
+	if b, ok := s.peersV.Load().(*peerBox); ok {
+		return b.p
+	}
+	return nil
 }
 
 // New builds a Server.
@@ -224,12 +279,27 @@ type parsedRequest struct {
 	faults    *fault.Set
 	mask      *FaultMask
 	key       string
+
+	// query and body preserve the request as received so the cluster layer
+	// can replay it verbatim against the key's owner; recompile selects the
+	// peer endpoint, forwarded stops a forwarded request from forwarding
+	// again.
+	query     url.Values
+	body      []byte
+	recompile bool
+	forwarded bool
 }
 
 // parse validates the HTTP request into a parsedRequest.
 func (s *Server) parse(r *http.Request, w http.ResponseWriter, recompile bool) (*parsedRequest, error) {
 	q := r.URL.Query()
-	p := &parsedRequest{topo: s.topo, scheduler: s.scheduler}
+	p := &parsedRequest{
+		topo:      s.topo,
+		scheduler: s.scheduler,
+		query:     q,
+		recompile: recompile,
+		forwarded: r.Header.Get(ForwardedHeader) != "",
+	}
 	pes := s.topoPEs
 	if name := q.Get("topology"); name != "" {
 		topo, err := topology.Parse(name)
@@ -249,7 +319,12 @@ func (s *Server) parse(r *http.Request, w http.ResponseWriter, recompile bool) (
 	}
 	p.schedName = p.scheduler.Name()
 
-	doc, err := trace.Read(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	p.body = body
+	doc, err := trace.Read(bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -358,6 +433,62 @@ func programKey(prog core.Program, pes int, topoName, schedName, faultsParam str
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// KeyForDocument computes the content-address a fault-free /compile of doc
+// resolves to on the named topology and scheduler, without compiling
+// anything. The cluster layer and its tests use it to reason about key
+// ownership (which daemon a request will be forwarded to) ahead of time.
+func KeyForDocument(doc trace.Document, topoName, schedName string) (string, error) {
+	prog, err := doc.Program()
+	if err != nil {
+		return "", err
+	}
+	return programKey(canonicalProgram(prog), doc.PEs, topoName, schedName, ""), nil
+}
+
+// ArtifactKeys lists every program key this daemon can serve without a
+// pipeline invocation: the in-memory cache union the persistent store. The
+// cluster gossip layer exchanges this set (hashed into a digest) for
+// anti-entropy replication.
+func (s *Server) ArtifactKeys() []string {
+	keys := s.cache.Keys()
+	if s.store == nil {
+		return keys
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for _, info := range s.store.Entries(store.KindArtifact) {
+		if !seen[info.Key] {
+			keys = append(keys, info.Key)
+		}
+	}
+	return keys
+}
+
+// ArtifactGet returns a warm artifact — cache or store — and never
+// compiles. It backs the cluster's /peer/fetch endpoint.
+func (s *Server) ArtifactGet(key string) (json.RawMessage, bool) {
+	if v, ok := s.cache.Get(key); ok {
+		return v, true
+	}
+	if v, ok := s.storeGetArtifact(key); ok {
+		s.cache.Add(key, v)
+		return v, true
+	}
+	return nil, false
+}
+
+// ArtifactPut installs an artifact fetched from a cluster peer into the
+// cache and (best-effort) the store, so it is served as a local hit from
+// now on. Compilation is deterministic and keys are content hashes, so a
+// replicated artifact is byte-identical to what this daemon would have
+// compiled itself.
+func (s *Server) ArtifactPut(key string, raw json.RawMessage) {
+	s.cache.Add(key, raw)
+	s.storePutArtifact(key, raw)
+}
+
 // handleCompile serves POST /compile.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.serveCompile(w, r, false)
@@ -384,7 +515,7 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, recompile 
 		s.writeError(w, endpoint, http.StatusBadRequest, err)
 		return
 	}
-	raw, state, err := s.serve(p.key, func() (json.RawMessage, error) {
+	raw, state, err := s.serve(p, func() (json.RawMessage, error) {
 		return s.buildArtifact(p)
 	})
 	if err != nil {
@@ -409,10 +540,12 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, recompile 
 	writeJSON(w, http.StatusOK, Response{Key: p.key, Cache: state, Result: raw})
 }
 
-// serve resolves a key to its artifact: the in-memory cache, then the
-// persistent store, then a coalesced compile through the
-// admission-controlled worker pool.
-func (s *Server) serve(key string, build func() (json.RawMessage, error)) (json.RawMessage, string, error) {
+// serve resolves a request to its artifact: the in-memory cache, then the
+// persistent store, then — inside the singleflight slot — the cluster peer
+// layer (a non-owner forwards to the key's owner), and finally a coalesced
+// local compile through the admission-controlled worker pool.
+func (s *Server) serve(p *parsedRequest, build func() (json.RawMessage, error)) (json.RawMessage, string, error) {
+	key := p.key
 	if v, ok := s.cache.Get(key); ok {
 		return v, CacheHit, nil
 	}
@@ -423,12 +556,25 @@ func (s *Server) serve(key string, build func() (json.RawMessage, error)) (json.
 		return v, CacheStore, nil
 	}
 	lateHit := false
+	peerHit := false
 	raw, err, leader := s.flight.Do(key, func() (json.RawMessage, error) {
 		// A compile of this key may have finished between the outer cache
 		// probe and winning the flight slot; don't compile again.
 		if v, ok := s.cache.Get(key); ok {
 			lateHit = true
 			return v, nil
+		}
+		// Inside the flight, so a herd of misses makes one forward, and a
+		// forwarded request (owner role) never forwards onward. The peer hop
+		// is network wait, not compute — it deliberately does not occupy a
+		// worker-pool slot.
+		if peers := s.peers(); peers != nil && !p.forwarded {
+			if v, ok := peers.Resolve(PeerContext{Key: key, Query: p.query, Body: p.body, Recompile: p.recompile}); ok {
+				peerHit = true
+				s.cache.Add(key, v)
+				s.storePutArtifact(key, v)
+				return v, nil
+			}
 		}
 		type result struct {
 			raw json.RawMessage
@@ -455,6 +601,8 @@ func (s *Server) serve(key string, build func() (json.RawMessage, error)) (json.
 	switch {
 	case lateHit:
 		state = CacheHit
+	case peerHit:
+		state = CachePeer
 	case !leader:
 		state = CacheCoalesced
 	}
