@@ -37,6 +37,7 @@ import (
 	"repro/internal/optics"
 	"repro/internal/patterns"
 	"repro/internal/perf"
+	"repro/internal/qos"
 	"repro/internal/request"
 	"repro/internal/schedule"
 	"repro/internal/service"
@@ -369,6 +370,57 @@ func main() {
 			servers[i].Close()
 			svcs[i].Close()
 		}
+	}
+
+	// Multi-tenant QoS: the weighted-fair queue's dispatch hot path (a
+	// two-class backlog enqueued and drained per iteration — the admission
+	// work every compile submission pays under -qos), and the guaranteed-
+	// bandwidth reservation compile (the reserved pattern pinned to its slot
+	// window, the background pattern packed into the complement). After the
+	// timed rows, VerifyInvariance is the subsystem's acceptance assertion:
+	// the reserved tenant's simulated delivery slots must be identical with
+	// and without background load, or the run fails.
+	{
+		reg, err := qos.NewRegistry([]qos.Class{
+			{Name: "gold", Weight: 8, QueueDepth: 512},
+			{Name: "bronze", Weight: 1, QueueDepth: 512},
+		}, qos.Defaults{})
+		check(err)
+		classes := [2]string{"gold", "bronze"}
+		check(report.Run("qos/wfq-dispatch/256", func() error {
+			q := qos.NewWFQ(reg)
+			for i := 0; i < 256; i++ {
+				if err := q.Enqueue(classes[i%2], i); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 256; i++ {
+				if _, _, _, ok := q.Dequeue(); !ok {
+					return fmt.Errorf("queue drained early at %d", i)
+				}
+			}
+			q.Close()
+			return nil
+		}))
+
+		reserved := request.Set{{Src: 0, Dst: 9}, {Src: 9, Dst: 18}, {Src: 18, Dst: 27}}
+		var background request.Set
+		for i := 0; i < 16; i++ {
+			background = append(background, request.Request{
+				Src: network.NodeID(32 + i), Dst: network.NodeID(32 + (i+5)%16),
+			})
+		}
+		rsv := qos.Reserve{Tenant: "gold", Frame: 8, Lo: 2, Hi: 4}
+		check(rsv.Admit(torus, reserved))
+		check(report.Run("qos/reserved-compile/torus64", func() error {
+			_, err := rsv.Schedule(torus, schedule.Combined{}, reserved, background)
+			return err
+		}))
+		var rmsgs []sim.Message
+		for _, rq := range reserved {
+			rmsgs = append(rmsgs, sim.Message{Src: int(rq.Src), Dst: int(rq.Dst), Flits: 3})
+		}
+		check(rsv.VerifyInvariance(torus, schedule.Combined{}, reserved, background, rmsgs))
 	}
 
 	// Overlap-aware iteration time: the reconfigure-or-not planner against

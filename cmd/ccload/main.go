@@ -33,6 +33,14 @@
 // states. Every per-request error line names the node and endpoint that
 // produced it.
 //
+// Multi-tenant stress mode (-tenants SPEC) runs several independent open
+// loops at once, each billed to one QoS class via the X-Ccomm-Tenant
+// header and minting keys in its own namespace, and breaks the report down
+// per tenant (p50/p99, cache mix, 429s). This is the driver for isolation
+// experiments: a flooder class at several times the victim's rate, then
+// compare the victim's percentiles against its solo baseline. A single
+// -tenant NAME tags every request of an ordinary stress run instead.
+//
 // Usage:
 //
 //	ccload
@@ -40,6 +48,7 @@
 //	ccload -server http://localhost:8080 -requests 200 -rate 100 -distinct 8 -verify
 //	ccload -server http://localhost:8080 -phases -requests 50 -rate 20 -verify
 //	ccload -servers http://localhost:8080,http://localhost:8081,http://localhost:8082 -requests 300 -verify
+//	ccload -server http://localhost:8080 -tenants "gold:rate=100,requests=200,distinct=8;bronze:rate=25,requests=50,distinct=4"
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"text/tabwriter"
@@ -85,6 +95,8 @@ var (
 	distinctFlag = flag.Int("distinct", 4, "stress mode: distinct programs (cache keys) to cycle through")
 	traceFlag    = flag.String("trace", "", "stress mode: trace file to post (default: built-in p3m-32 on 64 PEs)")
 	verifyFlag   = flag.Bool("verify", false, "stress mode: validate every returned schedule client-side")
+	tenantFlag   = flag.String("tenant", "", "stress mode: QoS class to bill every request to (X-Ccomm-Tenant header)")
+	tenantsFlag  = flag.String("tenants", "", "multi-tenant stress mode: per-tenant streams, e.g. \"gold:rate=100,requests=200,distinct=8;bronze:rate=25,requests=50\" (unset options inherit -rate/-requests/-distinct)")
 )
 
 func main() {
@@ -214,6 +226,11 @@ type stressReport struct {
 	// cluster mode it shows how the roster shared the load.
 	Nodes map[string]int `json:"nodes,omitempty"`
 
+	// Tenant tags a single-tenant run (-tenant); Tenants is the per-class
+	// breakdown of a multi-tenant run (-tenants), in spec order.
+	Tenant  string        `json:"tenant,omitempty"`
+	Tenants []tenantStats `json:"tenants,omitempty"`
+
 	LatencyUsMean float64 `json:"latency_us_mean"`
 	LatencyUsP50  int     `json:"latency_us_p50"`
 	LatencyUsP95  int     `json:"latency_us_p95"`
@@ -221,16 +238,105 @@ type stressReport struct {
 	LatencyUsMax  int     `json:"latency_us_max"`
 }
 
-func stress() {
-	base := stressDoc()
-	// D distinct programs: the name participates in the content hash, so
-	// renaming the document is the cheapest way to mint distinct cache keys
-	// with identical compile cost.
-	docs := make([]trace.Document, *distinctFlag)
-	for i := range docs {
-		docs[i] = base
-		docs[i].Name = fmt.Sprintf("%s/stress-%d", base.Name, i)
+// tenantStats is one tenant's slice of a multi-tenant stress run.
+type tenantStats struct {
+	Tenant     string  `json:"tenant"`
+	Requests   int     `json:"requests"`
+	RatePerSec float64 `json:"rate_per_sec"`
+
+	OK        int `json:"ok"`
+	Misses    int `json:"misses"`
+	Hits      int `json:"hits"`
+	Coalesced int `json:"coalesced"`
+	StoreHits int `json:"store_hits,omitempty"`
+	PeerHits  int `json:"peer_hits,omitempty"`
+	Rejected  int `json:"rejected"`
+	Errors    int `json:"errors"`
+
+	LatencyUsMean float64 `json:"latency_us_mean"`
+	LatencyUsP50  int     `json:"latency_us_p50"`
+	LatencyUsP99  int     `json:"latency_us_p99"`
+	LatencyUsMax  int     `json:"latency_us_max"`
+}
+
+// tenantSpec is one -tenants stream: an independent open loop billed to one
+// QoS class, with its own rate, request count and key namespace.
+type tenantSpec struct {
+	Name     string
+	Rate     float64
+	Requests int
+	Distinct int
+}
+
+// parseTenantSpecs parses "gold:rate=100,requests=200,distinct=8;bronze"
+// — per-tenant options default to the global -rate/-requests/-distinct.
+func parseTenantSpecs(spec string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ts := tenantSpec{Rate: *rateFlag, Requests: *requestsFlag, Distinct: *distinctFlag}
+		head, rest, _ := strings.Cut(part, ":")
+		ts.Name = strings.TrimSpace(head)
+		if ts.Name == "" {
+			return nil, fmt.Errorf("tenant spec %q: empty tenant name", part)
+		}
+		if seen[ts.Name] {
+			return nil, fmt.Errorf("tenant %q listed twice", ts.Name)
+		}
+		seen[ts.Name] = true
+		if rest != "" {
+			for _, kv := range strings.Split(rest, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("tenant %q: option %q is not key=value", ts.Name, kv)
+				}
+				k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+				switch k {
+				case "rate":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil || f <= 0 {
+						return nil, fmt.Errorf("tenant %q: bad rate %q", ts.Name, v)
+					}
+					ts.Rate = f
+				case "requests":
+					n, err := strconv.Atoi(v)
+					if err != nil || n <= 0 {
+						return nil, fmt.Errorf("tenant %q: bad requests %q", ts.Name, v)
+					}
+					ts.Requests = n
+				case "distinct":
+					n, err := strconv.Atoi(v)
+					if err != nil || n <= 0 {
+						return nil, fmt.Errorf("tenant %q: bad distinct %q", ts.Name, v)
+					}
+					ts.Distinct = n
+				default:
+					return nil, fmt.Errorf("tenant %q: unknown option %q", ts.Name, k)
+				}
+			}
+		}
+		out = append(out, ts)
 	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-tenants %q names no tenants", spec)
+	}
+	return out, nil
+}
+
+func stress() {
+	// One stream per tenant; an ordinary run is the degenerate single
+	// stream (optionally tagged by -tenant).
+	specs := []tenantSpec{{Name: *tenantFlag, Rate: *rateFlag, Requests: *requestsFlag, Distinct: *distinctFlag}}
+	if *tenantsFlag != "" {
+		var err error
+		specs, err = parseTenantSpecs(*tenantsFlag)
+		check(err)
+	}
+	base := stressDoc()
 
 	// One dispatch signature for both modes: compile the document, report
 	// which node answered (or was last tried, on failure). Cluster mode
@@ -238,15 +344,15 @@ func stress() {
 	// that survives goroutine scheduling, so a run's node pairing (and with
 	// it the compile placement) is reproducible.
 	target := *serverFlag
-	do := func(ctx context.Context, i int, doc trace.Document) (*service.Response, *service.Result, string, error) {
-		resp, res, err := (&client.Client{BaseURL: *serverFlag}).Compile(ctx, doc, client.Options{})
+	do := func(ctx context.Context, i int, doc trace.Document, tenant string) (*service.Response, *service.Result, string, error) {
+		resp, res, err := (&client.Client{BaseURL: *serverFlag}).Compile(ctx, doc, client.Options{Tenant: tenant})
 		return resp, res, *serverFlag, err
 	}
 	if *serversFlag != "" {
 		cc := &client.Cluster{Nodes: strings.Split(*serversFlag, ",")}
 		target = *serversFlag
-		do = func(ctx context.Context, i int, doc trace.Document) (*service.Response, *service.Result, string, error) {
-			return cc.CompileFrom(ctx, i, doc, client.Options{})
+		do = func(ctx context.Context, i int, doc trace.Document, tenant string) (*service.Response, *service.Result, string, error) {
+			return cc.CompileFrom(ctx, i, doc, client.Options{Tenant: tenant})
 		}
 	}
 
@@ -258,77 +364,130 @@ func stress() {
 		latencyUs int
 		verifyErr error
 	}
-	outcomes := make([]outcome, *requestsFlag)
-	interval := time.Duration(float64(time.Second) / *rateFlag)
+	streams := make([][]outcome, len(specs))
 	var wg sync.WaitGroup
 	start := time.Now()
-	ticker := time.NewTicker(interval)
-	for i := 0; i < *requestsFlag; i++ {
-		if i > 0 {
-			<-ticker.C // open loop: fire on schedule, never wait for replies
+	for si, ts := range specs {
+		// D distinct programs per tenant: the name participates in the
+		// content hash, so renaming the document is the cheapest way to mint
+		// distinct cache keys with identical compile cost — and prefixing the
+		// tenant keeps each stream in its own key namespace, so tenants never
+		// share artifacts and isolation claims are about scheduling and
+		// partitions, not cache luck.
+		docs := make([]trace.Document, ts.Distinct)
+		for i := range docs {
+			docs[i] = base
+			if ts.Name == "" {
+				docs[i].Name = fmt.Sprintf("%s/stress-%d", base.Name, i)
+			} else {
+				docs[i].Name = fmt.Sprintf("%s/%s-%d", base.Name, ts.Name, i)
+			}
 		}
+		streams[si] = make([]outcome, ts.Requests)
 		wg.Add(1)
-		go func(i int) {
+		go func(ts tenantSpec, docs []trace.Document, outcomes []outcome) {
 			defer wg.Done()
-			doc := docs[i%len(docs)]
-			t0 := time.Now()
-			resp, res, node, err := do(context.Background(), i, doc)
-			outcomes[i].latencyUs = int(time.Since(t0).Microseconds())
-			outcomes[i].node = node
-			if err != nil {
-				var he *client.HTTPError
-				if errors.As(err, &he) && he.IsOverloaded() {
-					outcomes[i].rejected = true
-				} else {
-					outcomes[i].err = err
+			ticker := time.NewTicker(time.Duration(float64(time.Second) / ts.Rate))
+			defer ticker.Stop()
+			var inner sync.WaitGroup
+			for i := 0; i < ts.Requests; i++ {
+				if i > 0 {
+					<-ticker.C // open loop: fire on schedule, never wait for replies
 				}
-				return
+				inner.Add(1)
+				go func(i int) {
+					defer inner.Done()
+					doc := docs[i%len(docs)]
+					t0 := time.Now()
+					resp, res, node, err := do(context.Background(), i, doc, ts.Name)
+					outcomes[i].latencyUs = int(time.Since(t0).Microseconds())
+					outcomes[i].node = node
+					if err != nil {
+						var he *client.HTTPError
+						if errors.As(err, &he) && he.IsOverloaded() {
+							outcomes[i].rejected = true
+						} else {
+							outcomes[i].err = err
+						}
+						return
+					}
+					outcomes[i].state = resp.Cache
+					if *verifyFlag {
+						outcomes[i].verifyErr = client.Verify(doc, res)
+					}
+				}(i)
 			}
-			outcomes[i].state = resp.Cache
-			if *verifyFlag {
-				outcomes[i].verifyErr = client.Verify(doc, res)
-			}
-		}(i)
+			inner.Wait()
+		}(ts, docs, streams[si])
 	}
 	wg.Wait()
-	ticker.Stop()
 	elapsed := time.Since(start)
 
 	rep := stressReport{
-		Server: target, Requests: *requestsFlag, Distinct: *distinctFlag,
-		RatePerSec: *rateFlag, DurationSec: elapsed.Seconds(),
-		Nodes: map[string]int{},
+		Server: target, Distinct: *distinctFlag,
+		DurationSec: elapsed.Seconds(),
+		Nodes:       map[string]int{},
+		Tenant:      *tenantFlag,
 	}
 	var latencies []int
-	for _, o := range outcomes {
-		switch {
-		case o.rejected:
-			rep.Rejected++
-		case o.err != nil:
-			rep.Errors++
-			fmt.Fprintf(os.Stderr, "ccload: %s /compile: %v\n", o.node, o.err)
-		default:
-			rep.OK++
-			rep.Nodes[o.node]++
-			latencies = append(latencies, o.latencyUs)
-			switch o.state {
-			case service.CacheMiss:
-				rep.Misses++
-			case service.CacheHit:
-				rep.Hits++
-			case service.CacheCoalesced:
-				rep.Coalesced++
-			case service.CacheStore:
-				rep.StoreHits++
-			case service.CachePeer:
-				rep.PeerHits++
-			}
-			if *verifyFlag {
-				if o.verifyErr != nil {
-					check(fmt.Errorf("schedule failed client-side validation: %w", o.verifyErr))
+	for si, ts := range specs {
+		tr := tenantStats{Tenant: ts.Name, Requests: ts.Requests, RatePerSec: ts.Rate}
+		rep.Requests += ts.Requests
+		rep.RatePerSec += ts.Rate
+		var tenantLat []int
+		for _, o := range streams[si] {
+			switch {
+			case o.rejected:
+				tr.Rejected++
+			case o.err != nil:
+				tr.Errors++
+				if ts.Name != "" {
+					fmt.Fprintf(os.Stderr, "ccload: tenant=%s %s /compile: %v\n", ts.Name, o.node, o.err)
+				} else {
+					fmt.Fprintf(os.Stderr, "ccload: %s /compile: %v\n", o.node, o.err)
 				}
-				rep.Verified++
+			default:
+				tr.OK++
+				rep.Nodes[o.node]++
+				tenantLat = append(tenantLat, o.latencyUs)
+				switch o.state {
+				case service.CacheMiss:
+					tr.Misses++
+				case service.CacheHit:
+					tr.Hits++
+				case service.CacheCoalesced:
+					tr.Coalesced++
+				case service.CacheStore:
+					tr.StoreHits++
+				case service.CachePeer:
+					tr.PeerHits++
+				}
+				if *verifyFlag {
+					if o.verifyErr != nil {
+						check(fmt.Errorf("schedule failed client-side validation: %w", o.verifyErr))
+					}
+					rep.Verified++
+				}
 			}
+		}
+		if len(tenantLat) > 0 {
+			s := stats.Summarize(tenantLat)
+			tr.LatencyUsMean = s.Mean
+			tr.LatencyUsMax = s.Max
+			tr.LatencyUsP50 = stats.Percentile(tenantLat, 50)
+			tr.LatencyUsP99 = stats.Percentile(tenantLat, 99)
+		}
+		rep.OK += tr.OK
+		rep.Misses += tr.Misses
+		rep.Hits += tr.Hits
+		rep.Coalesced += tr.Coalesced
+		rep.StoreHits += tr.StoreHits
+		rep.PeerHits += tr.PeerHits
+		rep.Rejected += tr.Rejected
+		rep.Errors += tr.Errors
+		latencies = append(latencies, tenantLat...)
+		if *tenantsFlag != "" {
+			rep.Tenants = append(rep.Tenants, tr)
 		}
 	}
 	if len(latencies) > 0 {
@@ -353,6 +512,11 @@ func stress() {
 		rep.Requests, rep.Server, rep.RatePerSec, rep.DurationSec, rep.Distinct)
 	fmt.Printf("  ok %d (miss %d, hit %d, coalesced %d, store %d, peer %d)   429 %d   errors %d\n",
 		rep.OK, rep.Misses, rep.Hits, rep.Coalesced, rep.StoreHits, rep.PeerHits, rep.Rejected, rep.Errors)
+	for _, tr := range rep.Tenants {
+		fmt.Printf("  tenant %s: %d req at %.0f/s  ok %d (miss %d, hit %d)  429 %d  errors %d  latency µs: mean %.0f  p50 %d  p99 %d\n",
+			tr.Tenant, tr.Requests, tr.RatePerSec, tr.OK, tr.Misses, tr.Hits,
+			tr.Rejected, tr.Errors, tr.LatencyUsMean, tr.LatencyUsP50, tr.LatencyUsP99)
+	}
 	if *serversFlag != "" {
 		nodes := make([]string, 0, len(rep.Nodes))
 		for n := range rep.Nodes {
@@ -436,7 +600,7 @@ func replayPhases() {
 			defer wg.Done()
 			t0 := time.Now()
 			first := false
-			res, err := c.Session(context.Background(), docs[i%len(docs)], client.Options{},
+			res, err := c.Session(context.Background(), docs[i%len(docs)], client.Options{Tenant: *tenantFlag},
 				func(service.SessionChunk) {
 					if !first {
 						outcomes[i].firstPhaseUs = int(time.Since(t0).Microseconds())
@@ -463,7 +627,11 @@ func replayPhases() {
 	for i, o := range outcomes {
 		if o.err != nil {
 			rep.Errors++
-			fmt.Fprintf(os.Stderr, "ccload: %s /session: %v\n", *serverFlag, o.err)
+			if *tenantFlag != "" {
+				fmt.Fprintf(os.Stderr, "ccload: tenant=%s %s /session: %v\n", *tenantFlag, *serverFlag, o.err)
+			} else {
+				fmt.Fprintf(os.Stderr, "ccload: %s /session: %v\n", *serverFlag, o.err)
+			}
 			continue
 		}
 		rep.OK++

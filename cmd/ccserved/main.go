@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/qos"
 	"repro/internal/schedule"
 	"repro/internal/service"
 	"repro/internal/topology"
@@ -53,6 +54,7 @@ var (
 	queueFlag    = flag.Int("queue", 64, "admission queue depth; requests beyond workers+queue get 429")
 	cacheFlag    = flag.Int("cache", 256, "schedule cache entries (LRU)")
 	retryFlag    = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 replies")
+	qosFlag      = flag.String("qos", "", "QoS classes, e.g. \"gold:weight=8,queue=64,cache=256;bronze:weight=1,queue=16\"; empty = single default class")
 	pprofFlag    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	drainFlag    = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 
@@ -80,6 +82,8 @@ func main() {
 	check(err)
 	sched, err := schedule.ParseScheduler(*algFlag)
 	check(err)
+	classes, err := qos.ParseClasses(*qosFlag)
+	check(err)
 
 	svc, err := service.New(service.Config{
 		Topology:        topo,
@@ -88,6 +92,7 @@ func main() {
 		QueueDepth:      *queueFlag,
 		CacheEntries:    *cacheFlag,
 		RetryAfter:      *retryFlag,
+		QoS:             classes,
 		EnablePprof:     *pprofFlag,
 		StoreDir:        *storeDirFlag,
 		StoreMaxEntries: *storeMaxFlag,
@@ -98,6 +103,9 @@ func main() {
 	check(err)
 	if *storeDirFlag != "" {
 		log.Printf("schedule store at %s", *storeDirFlag)
+	}
+	for _, c := range classes {
+		log.Printf("qos class %s", c)
 	}
 
 	var handler http.Handler = svc

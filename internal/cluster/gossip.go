@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/qos"
 	"repro/internal/service"
 )
 
@@ -210,7 +211,10 @@ func (n *Node) pull(peer, key string) error {
 	if !json.Valid(body) {
 		return fmt.Errorf("cluster: fetched artifact is not JSON")
 	}
-	n.svc.ArtifactPut(key, json.RawMessage(body))
+	// The fetch reply names the owning tenant; the local copy is billed to
+	// the same class so replication cannot launder one tenant's footprint
+	// into another's partition.
+	n.svc.ArtifactPutOwned(key, resp.Header.Get(qos.TenantHeader), json.RawMessage(body))
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/qos"
 	"repro/internal/service"
 )
 
@@ -244,6 +245,11 @@ func (n *Node) forward(peer string, pc service.PeerContext) (json.RawMessage, er
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(service.ForwardedHeader, n.self)
+	if pc.Tenant != "" {
+		// Bill the owner-side compile to the originating tenant's class,
+		// not the default tenant of a headerless internal request.
+		req.Header.Set(qos.TenantHeader, pc.Tenant)
+	}
 	resp, body, err := n.roundTrip(req, n.fwdTimeout)
 	if err != nil {
 		return nil, err
@@ -311,13 +317,16 @@ func (n *Node) handlePeerFetch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `{"error":"cluster: fetch requires ?key="}`, http.StatusBadRequest)
 		return
 	}
-	raw, ok := n.svc.ArtifactGet(key)
+	raw, tenant, ok := n.svc.ArtifactGetOwned(key)
 	if !ok {
 		http.Error(w, `{"error":"cluster: artifact not warm here"}`, http.StatusNotFound)
 		return
 	}
 	n.metrics.peerFetches.Add(1)
 	w.Header().Set("Content-Type", "application/json")
+	// Ownership replicates with content: the puller bills its copy to the
+	// same tenant, so replication respects per-tenant quotas cluster-wide.
+	w.Header().Set(qos.TenantHeader, tenant)
 	_, _ = w.Write(raw)
 }
 

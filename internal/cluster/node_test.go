@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/qos"
 	"repro/internal/service"
 	"repro/internal/service/client"
 	"repro/internal/sim"
@@ -52,6 +53,12 @@ func (tn *testNode) Kill() { tn.TS.Close() }
 
 // startCluster boots n federated in-process daemons on loopback.
 func startCluster(t *testing.T, n, replication int) []*testNode {
+	return startClusterClasses(t, n, replication, nil)
+}
+
+// startClusterClasses is startCluster with explicit QoS classes on every
+// member daemon.
+func startClusterClasses(t *testing.T, n, replication int, classes []qos.Class) []*testNode {
 	t.Helper()
 	swaps := make([]*swapHandler, n)
 	nodes := make([]*testNode, n)
@@ -63,7 +70,7 @@ func startCluster(t *testing.T, n, replication int) []*testNode {
 		nodes[i] = &testNode{URL: ts.URL, TS: ts, Swap: swaps[i]}
 	}
 	for i := range nodes {
-		svc, err := service.New(service.Config{Topology: topology.NewTorus(8, 8)})
+		svc, err := service.New(service.Config{Topology: topology.NewTorus(8, 8), QoS: classes})
 		if err != nil {
 			t.Fatal(err)
 		}

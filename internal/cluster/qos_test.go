@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/qos"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+func qosClasses() []qos.Class {
+	return []qos.Class{
+		{Name: "gold", Weight: 8},
+		{Name: "bronze", Weight: 1},
+	}
+}
+
+func classMetrics(t *testing.T, url, class string) service.ClassMetrics {
+	t.Helper()
+	snap, err := (&client.Client{BaseURL: url}).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, ok := snap.QoS[class]
+	if !ok {
+		t.Fatalf("%s has no QoS class %q in /metrics", url, class)
+	}
+	return cm
+}
+
+// TestForwardCarriesTenant: a tenant-tagged request that misses at a
+// non-owner is forwarded to the key's owner, and the owner bills the
+// compile to the request's class — not to its own default tenant.
+func TestForwardCarriesTenant(t *testing.T) {
+	nodes := startClusterClasses(t, 3, 1, qosClasses())
+	a, c := nodes[0], nodes[2]
+	doc := docOwnedBy(t, a.Node.ring(), c.URL)
+
+	resp, _, err := (&client.Client{BaseURL: a.URL}).Compile(
+		context.Background(), doc, client.Options{Tenant: "gold"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != service.CachePeer {
+		t.Fatalf("non-owner served cache=%q, want %q", resp.Cache, service.CachePeer)
+	}
+	// The owner's compile is billed to gold; its default class saw nothing.
+	if cm := classMetrics(t, c.URL, "gold"); cm.Requests != 1 || cm.Misses != 1 {
+		t.Fatalf("owner gold class: %d requests %d misses, want 1 and 1", cm.Requests, cm.Misses)
+	}
+	if cm := classMetrics(t, c.URL, qos.DefaultClass); cm.Requests != 0 {
+		t.Fatalf("owner default class saw %d requests, want 0", cm.Requests)
+	}
+	// The forwarder's local copy sits in gold's cache partition too.
+	if cm := classMetrics(t, a.URL, "gold"); cm.CacheEntries != 1 {
+		t.Fatalf("forwarder gold cache holds %d entries, want 1", cm.CacheEntries)
+	}
+}
+
+// TestGossipPullKeepsOwner: an artifact replicated by anti-entropy is
+// billed to the owning tenant's class on the pulling node — replication
+// cannot launder one tenant's footprint into another's partition.
+func TestGossipPullKeepsOwner(t *testing.T) {
+	nodes := startClusterClasses(t, 2, 2, qosClasses())
+	a, b := nodes[0], nodes[1]
+	doc := docOwnedBy(t, a.Node.ring(), a.URL)
+
+	if _, _, err := (&client.Client{BaseURL: a.URL}).Compile(
+		context.Background(), doc, client.Options{Tenant: "gold"}); err != nil {
+		t.Fatal(err)
+	}
+	// One anti-entropy round at b: with a single peer the partner choice is
+	// forced, and replication 2 makes b responsible for every key.
+	b.Node.GossipRound()
+	if m := b.Node.Metrics(); m.Gossip.Pulled != 1 {
+		t.Fatalf("gossip pulled %d artifacts, want 1", m.Gossip.Pulled)
+	}
+	if cm := classMetrics(t, b.URL, "gold"); cm.CacheEntries != 1 {
+		t.Fatalf("replica gold cache holds %d entries, want 1", cm.CacheEntries)
+	}
+	if cm := classMetrics(t, b.URL, "bronze"); cm.CacheEntries != 0 {
+		t.Fatalf("replica bronze cache holds %d entries, want 0", cm.CacheEntries)
+	}
+	// The replica serves the pulled artifact as a local hit, still gold.
+	resp, _, err := (&client.Client{BaseURL: b.URL}).Compile(
+		context.Background(), doc, client.Options{Tenant: "gold"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cache != service.CacheHit {
+		t.Fatalf("replica served cache=%q, want hit", resp.Cache)
+	}
+}

@@ -1,0 +1,273 @@
+// Package qos is the multi-tenant isolation layer of the compile service:
+// admission classes, weighted fair queueing over the compile worker pool,
+// per-tenant cache/store quotas, and guaranteed-bandwidth TDM slot
+// reservations.
+//
+// Serving millions of users means not all requests are equal. A single
+// tenant flooding distinct pattern keys can monopolize a shared worker
+// pool and evict everyone else's warm artifacts; the classic answer — in
+// the spirit of the NoC rate-guarantee algorithms this repository's paper
+// set points at — is to partition admission, capacity and bandwidth per
+// class:
+//
+//   - Class declares one admission class: scheduling weight, queue-depth
+//     cap, Retry-After hint, and cache/store quotas. Classes parse from a
+//     compact CLI spec ("gold:weight=8,queue=64;bronze:weight=1").
+//   - Registry maps tenant IDs (the X-Ccomm-Tenant request header) to
+//     classes. A tenant named like a configured class belongs to it;
+//     everything else, including anonymous traffic, lands in the default
+//     class — so the class set, and with it every per-class structure,
+//     stays bounded no matter how many tenant IDs traffic invents.
+//   - WFQ is a deterministic virtual-time weighted fair queue: the
+//     service's worker pool drains it so each backlogged class receives
+//     worker time proportional to its weight, with per-class queue caps
+//     rejecting excess load (HTTP 429) instead of queueing without bound.
+//   - Reserve pins a tenant's pattern to a guaranteed window of TDM slots
+//     in a fixed frame (schedule.ScheduleReserved); background load
+//     compiles into the complementary slots, so the reserved tenant's
+//     delivery times are byte-identical with and without competition.
+package qos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TenantHeader is the HTTP request header carrying the tenant ID. The
+// cluster layer forwards it on peer compiles so cross-node requests are
+// billed to the originating tenant, and peer fetch/gossip replies carry it
+// back so replicated artifacts land in the owner's quota partition.
+const TenantHeader = "X-Ccomm-Tenant"
+
+// DefaultClass is the class of anonymous traffic and of tenants that match
+// no configured class.
+const DefaultClass = "default"
+
+// Class is one admission class: the scheduling weight and resource bounds
+// shared by every tenant mapped to it. Zero fields inherit the service's
+// global defaults at registry construction.
+type Class struct {
+	// Name identifies the class; tenant IDs equal to it map here.
+	Name string
+	// Weight is the WFQ scheduling weight: a backlogged class receives
+	// worker time proportional to its weight relative to the other
+	// backlogged classes. Minimum (and default) 1.
+	Weight int
+	// QueueDepth caps this class's admission queue; submissions beyond it
+	// are rejected (HTTP 429).
+	QueueDepth int
+	// RetryAfter is the Retry-After hint attached to this class's 429s.
+	RetryAfter time.Duration
+	// CacheEntries bounds the class's partition of the in-memory artifact
+	// cache; eviction stays inside the partition.
+	CacheEntries int
+	// StoreEntries and StoreBytes bound the class's partition of the
+	// persistent store (0 = unbounded); quota GC evicts oldest-first and
+	// only within the offending class's partition.
+	StoreEntries int
+	StoreBytes   int64
+}
+
+// Defaults supplies the global values zero Class fields inherit.
+type Defaults struct {
+	QueueDepth   int
+	RetryAfter   time.Duration
+	CacheEntries int
+	StoreEntries int
+	StoreBytes   int64
+}
+
+// Registry is the immutable tenant→class mapping the serving stack shares.
+type Registry struct {
+	classes map[string]Class
+	names   []string // sorted; deterministic iteration everywhere
+}
+
+// NewRegistry builds a registry from configured classes, filling zero
+// fields from defaults and synthesizing the default class if absent. A nil
+// or empty class list yields a registry with just the default class, which
+// reproduces the pre-QoS single-queue behavior exactly (one class, weight
+// 1, global bounds).
+func NewRegistry(classes []Class, def Defaults) (*Registry, error) {
+	r := &Registry{classes: make(map[string]Class, len(classes)+1)}
+	add := func(c Class) error {
+		if c.Name == "" {
+			return fmt.Errorf("qos: class with empty name")
+		}
+		if _, dup := r.classes[c.Name]; dup {
+			return fmt.Errorf("qos: duplicate class %q", c.Name)
+		}
+		if c.Weight <= 0 {
+			c.Weight = 1
+		}
+		if c.QueueDepth <= 0 {
+			c.QueueDepth = def.QueueDepth
+		}
+		if c.RetryAfter <= 0 {
+			c.RetryAfter = def.RetryAfter
+		}
+		if c.CacheEntries <= 0 {
+			c.CacheEntries = def.CacheEntries
+		}
+		if c.StoreEntries <= 0 {
+			c.StoreEntries = def.StoreEntries
+		}
+		if c.StoreBytes <= 0 {
+			c.StoreBytes = def.StoreBytes
+		}
+		r.classes[c.Name] = c
+		return nil
+	}
+	for _, c := range classes {
+		if err := add(c); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := r.classes[DefaultClass]; !ok {
+		if err := add(Class{Name: DefaultClass}); err != nil {
+			return nil, err
+		}
+	}
+	for name := range r.classes {
+		r.names = append(r.names, name)
+	}
+	sort.Strings(r.names)
+	return r, nil
+}
+
+// ClassOf maps a tenant ID to its class: the class named like the tenant,
+// or the default class. An empty tenant is the default tenant.
+func (r *Registry) ClassOf(tenant string) Class {
+	if c, ok := r.classes[tenant]; ok {
+		return c
+	}
+	return r.classes[DefaultClass]
+}
+
+// Tenant canonicalizes a tenant ID to its accounting identity: the class
+// name it maps to. Unknown tenants collapse into the default partition, so
+// partition cardinality equals class cardinality.
+func (r *Registry) Tenant(tenant string) string { return r.ClassOf(tenant).Name }
+
+// Classes returns every class, sorted by name.
+func (r *Registry) Classes() []Class {
+	out := make([]Class, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, r.classes[n])
+	}
+	return out
+}
+
+// Names returns the sorted class names.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// ParseClasses parses the CLI class spec: semicolon-separated classes,
+// each "name" or "name:key=value,key=value" with keys weight, queue,
+// retry-after, cache, store-entries, store-bytes. Example:
+//
+//	gold:weight=8,queue=64,cache=256,store-entries=512;bronze:weight=1,queue=16
+func ParseClasses(spec string) ([]Class, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Class
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, opts, _ := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("qos: class spec %q has no name", part)
+		}
+		c := Class{Name: name}
+		if opts != "" {
+			for _, kv := range strings.Split(opts, ",") {
+				kv = strings.TrimSpace(kv)
+				if kv == "" {
+					continue
+				}
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("qos: class %q option %q is not key=value", name, kv)
+				}
+				if err := c.setOption(strings.TrimSpace(k), strings.TrimSpace(v)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func (c *Class) setOption(k, v string) error {
+	atoi := func() (int, error) {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("qos: class %q: %s=%q is not a positive integer", c.Name, k, v)
+		}
+		return n, nil
+	}
+	switch k {
+	case "weight":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		c.Weight = n
+	case "queue":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		c.QueueDepth = n
+	case "cache":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		c.CacheEntries = n
+	case "store-entries":
+		n, err := atoi()
+		if err != nil {
+			return err
+		}
+		c.StoreEntries = n
+	case "store-bytes":
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("qos: class %q: store-bytes=%q is not a positive integer", c.Name, v)
+		}
+		c.StoreBytes = n
+	case "retry-after":
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("qos: class %q: retry-after=%q is not a positive duration", c.Name, v)
+		}
+		c.RetryAfter = d
+	default:
+		return fmt.Errorf("qos: class %q: unknown option %q", c.Name, k)
+	}
+	return nil
+}
+
+// String renders the class back into spec form (diagnostics, logs).
+func (c Class) String() string {
+	s := fmt.Sprintf("%s:weight=%d,queue=%d", c.Name, c.Weight, c.QueueDepth)
+	if c.CacheEntries > 0 {
+		s += fmt.Sprintf(",cache=%d", c.CacheEntries)
+	}
+	if c.StoreEntries > 0 {
+		s += fmt.Sprintf(",store-entries=%d", c.StoreEntries)
+	}
+	if c.StoreBytes > 0 {
+		s += fmt.Sprintf(",store-bytes=%d", c.StoreBytes)
+	}
+	return s
+}

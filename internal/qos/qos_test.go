@@ -1,0 +1,103 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseClasses(t *testing.T) {
+	classes, err := ParseClasses("gold:weight=8,queue=64,cache=256,store-entries=512,store-bytes=1048576,retry-after=250ms; bronze:weight=1,queue=16 ;plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 3 {
+		t.Fatalf("parsed %d classes, want 3", len(classes))
+	}
+	gold := classes[0]
+	if gold.Name != "gold" || gold.Weight != 8 || gold.QueueDepth != 64 ||
+		gold.CacheEntries != 256 || gold.StoreEntries != 512 ||
+		gold.StoreBytes != 1048576 || gold.RetryAfter != 250*time.Millisecond {
+		t.Errorf("gold parsed as %+v", gold)
+	}
+	if classes[1].Name != "bronze" || classes[1].Weight != 1 || classes[1].QueueDepth != 16 {
+		t.Errorf("bronze parsed as %+v", classes[1])
+	}
+	if classes[2].Name != "plain" || classes[2].Weight != 0 {
+		t.Errorf("plain parsed as %+v", classes[2])
+	}
+
+	if out, err := ParseClasses("  "); err != nil || out != nil {
+		t.Errorf("empty spec: %v, %v", out, err)
+	}
+	for _, bad := range []string{
+		":weight=1",
+		"gold:weight",
+		"gold:weight=0",
+		"gold:weight=-2",
+		"gold:queue=x",
+		"gold:retry-after=soon",
+		"gold:volume=11",
+		"gold:store-bytes=0",
+	} {
+		if _, err := ParseClasses(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestRegistryDefaultsAndMapping(t *testing.T) {
+	def := Defaults{QueueDepth: 32, RetryAfter: 2 * time.Second, CacheEntries: 128, StoreEntries: 64, StoreBytes: 1 << 20}
+	reg, err := NewRegistry([]Class{{Name: "gold", Weight: 8, QueueDepth: 64}}, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gold := reg.ClassOf("gold")
+	if gold.Weight != 8 || gold.QueueDepth != 64 {
+		t.Errorf("explicit fields overwritten: %+v", gold)
+	}
+	if gold.RetryAfter != def.RetryAfter || gold.CacheEntries != def.CacheEntries ||
+		gold.StoreEntries != def.StoreEntries || gold.StoreBytes != def.StoreBytes {
+		t.Errorf("zero fields not defaulted: %+v", gold)
+	}
+
+	// The default class is synthesized with weight 1 and global bounds.
+	d := reg.ClassOf("")
+	if d.Name != DefaultClass || d.Weight != 1 || d.QueueDepth != def.QueueDepth {
+		t.Errorf("default class = %+v", d)
+	}
+	// Unknown tenants collapse into the default partition.
+	if got := reg.Tenant("attacker-7f3a"); got != DefaultClass {
+		t.Errorf("Tenant(unknown) = %q, want %q", got, DefaultClass)
+	}
+	if got := reg.Tenant("gold"); got != "gold" {
+		t.Errorf("Tenant(gold) = %q", got)
+	}
+
+	names := reg.Names()
+	if strings.Join(names, ",") != "default,gold" {
+		t.Errorf("Names() = %v", names)
+	}
+	if cs := reg.Classes(); len(cs) != 2 || cs[0].Name != "default" || cs[1].Name != "gold" {
+		t.Errorf("Classes() = %v", cs)
+	}
+}
+
+func TestRegistryRejectsBadClasses(t *testing.T) {
+	def := Defaults{QueueDepth: 8, RetryAfter: time.Second}
+	if _, err := NewRegistry([]Class{{Name: ""}}, def); err == nil {
+		t.Error("empty class name accepted")
+	}
+	if _, err := NewRegistry([]Class{{Name: "a"}, {Name: "a"}}, def); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	// Overriding the default class explicitly is legal.
+	reg, err := NewRegistry([]Class{{Name: DefaultClass, Weight: 3}}, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.ClassOf("").Weight != 3 {
+		t.Errorf("explicit default class lost: %+v", reg.ClassOf(""))
+	}
+}

@@ -1,0 +1,110 @@
+package qos
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// Reserve is a guaranteed-bandwidth schedule constraint: a tenant's
+// pattern is pinned to the slot window [Lo, Hi) of a fixed TDM frame of
+// Frame slots. Whatever the rest of the system schedules into the frame's
+// remaining slots, the reserved circuits keep their absolute slot
+// positions and frame period — so the tenant's compiled communication
+// time is a contract, not a best case.
+type Reserve struct {
+	// Tenant names the class holding the reservation (accounting only; the
+	// schedule math is tenant-agnostic).
+	Tenant string
+	// Frame and [Lo, Hi) are the fixed TDM frame and the reserved window.
+	Frame, Lo, Hi int
+}
+
+// Window converts the reservation to the scheduler's slot window.
+func (r Reserve) Window() schedule.SlotWindow {
+	return schedule.SlotWindow{Frame: r.Frame, Lo: r.Lo, Hi: r.Hi}
+}
+
+// Validate checks the reservation's shape.
+func (r Reserve) Validate() error { return r.Window().Validate() }
+
+// Admit is the reservation admission test: does the tenant's pattern fit
+// the reserved window at all? It compares the scheduler-independent lower
+// bound of the pattern's multiplexing degree against the window width, so
+// a reservation rejected here is unsatisfiable by any scheduler, not just
+// the configured one.
+func (r Reserve) Admit(t network.Topology, reserved request.Set) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	lb, err := schedule.LowerBound(t, reserved)
+	if err != nil {
+		return err
+	}
+	if lb > r.Window().Width() {
+		return fmt.Errorf("qos: tenant %s pattern needs at least %d slots, reserved window [%d,%d) has %d",
+			r.Tenant, lb, r.Lo, r.Hi, r.Window().Width())
+	}
+	return nil
+}
+
+// Schedule compiles the reserved pattern into its window and the
+// background pattern into the frame's remaining slots (background may be
+// empty — the solo baseline).
+func (r Reserve) Schedule(t network.Topology, s schedule.Scheduler, reserved, background request.Set) (*schedule.Result, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return schedule.ScheduleReserved(t, s, reserved, background, r.Window())
+}
+
+// Delivery simulates the reserved tenant's messages on a composed
+// reservation schedule and returns each message's delivery slot. Because
+// the frame length and the reserved slots are fixed by the reservation,
+// Delivery returns identical values for the same msgs whatever background
+// set the schedule was composed with — the property VerifyInvariance
+// asserts end to end.
+func (r Reserve) Delivery(res *schedule.Result, msgs []sim.Message) ([]int, error) {
+	out, err := sim.RunCompiled(res, msgs)
+	if err != nil {
+		return nil, err
+	}
+	return out.Finish, nil
+}
+
+// VerifyInvariance proves the reservation's guarantee on a concrete
+// workload: it schedules the reserved pattern solo and again under the
+// background pattern, simulates the reserved tenant's messages on both,
+// and fails if any delivery time moved. This is the simulator-backed
+// acceptance check of the QoS subsystem (and the qos-smoke CI gate).
+func (r Reserve) VerifyInvariance(t network.Topology, s schedule.Scheduler, reserved, background request.Set, msgs []sim.Message) error {
+	solo, err := r.Schedule(t, s, reserved, nil)
+	if err != nil {
+		return fmt.Errorf("qos: solo reservation: %w", err)
+	}
+	loaded, err := r.Schedule(t, s, reserved, background)
+	if err != nil {
+		return fmt.Errorf("qos: loaded reservation: %w", err)
+	}
+	if err := schedule.ValidateReserved(loaded, reserved, background, r.Window()); err != nil {
+		return err
+	}
+	fSolo, err := r.Delivery(solo, msgs)
+	if err != nil {
+		return fmt.Errorf("qos: solo delivery: %w", err)
+	}
+	fLoaded, err := r.Delivery(loaded, msgs)
+	if err != nil {
+		return fmt.Errorf("qos: loaded delivery: %w", err)
+	}
+	for i := range fSolo {
+		if fSolo[i] != fLoaded[i] {
+			return fmt.Errorf("qos: tenant %s message %d delivery moved under load: solo slot %d, loaded slot %d",
+				r.Tenant, i, fSolo[i], fLoaded[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package qos
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClassFull is returned by Enqueue when the item's class has reached
+// its queue-depth cap; the serving layer maps it to HTTP 429 with the
+// class's Retry-After hint.
+var ErrClassFull = errors.New("qos: class queue full")
+
+// ErrClosed is returned by Enqueue after Close; the serving layer maps it
+// to HTTP 503 (draining).
+var ErrClosed = errors.New("qos: queue closed")
+
+// wfqScale is the fixed-point scale of virtual time: a job of a class with
+// weight w advances the class's virtual finish time by wfqScale/w. Integer
+// arithmetic keeps the schedule exactly reproducible across platforms.
+const wfqScale = 1 << 20
+
+// WFQ is a virtual-time weighted fair queue over opaque items, the
+// admission structure behind the compile worker pool. Each class holds a
+// FIFO of pending items tagged with virtual finish times; Dequeue always
+// releases the item with the smallest tag (ties broken by class name),
+// which is the classic WFQ approximation of bit-by-bit round robin: when
+// several classes are backlogged, each receives dispatch slots
+// proportional to its weight, and an idle class neither accumulates
+// credit nor is penalized when it returns.
+//
+// The dispatch order is a pure function of the enqueue order, so tests can
+// assert exact schedules; all methods are safe for concurrent use.
+type WFQ struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ready  map[string]*wfqClass
+	names  []string // sorted class names, the deterministic tie-break
+	vtime  uint64   // virtual time: tag of the last dispatched item
+	queued int
+	closed bool
+}
+
+type wfqClass struct {
+	class  Class
+	incr   uint64 // wfqScale / weight
+	finish uint64 // virtual finish time of the last enqueued item
+	items  []wfqItem
+	head   int
+}
+
+type wfqItem struct {
+	v   any
+	tag uint64
+	enq time.Time
+}
+
+// NewWFQ builds the queue over a registry's classes.
+func NewWFQ(reg *Registry) *WFQ {
+	q := &WFQ{ready: make(map[string]*wfqClass)}
+	q.cond = sync.NewCond(&q.mu)
+	for _, c := range reg.Classes() {
+		q.ready[c.Name] = &wfqClass{class: c, incr: wfqScale / uint64(c.Weight)}
+		q.names = append(q.names, c.Name)
+	}
+	return q
+}
+
+// Enqueue admits one item under a class (unknown classes collapse into
+// the default class, mirroring Registry.ClassOf). It fails fast with
+// ErrClassFull when the class queue is at its cap and ErrClosed after
+// Close — admission never blocks.
+func (q *WFQ) Enqueue(class string, v any) error {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	cq, ok := q.ready[class]
+	if !ok {
+		cq = q.ready[DefaultClass]
+	}
+	if len(cq.items)-cq.head >= cq.class.QueueDepth {
+		return ErrClassFull
+	}
+	// Virtual finish: the class's previous finish chained forward, but
+	// never behind current virtual time — a class returning from idle
+	// starts fresh instead of burning banked credit.
+	start := q.vtime
+	if cq.finish > start {
+		start = cq.finish
+	}
+	tag := start + cq.incr
+	cq.finish = tag
+	cq.items = append(cq.items, wfqItem{v: v, tag: tag, enq: now})
+	q.queued++
+	q.cond.Signal()
+	return nil
+}
+
+// Dequeue blocks until an item is available and returns it together with
+// its class and the time it spent queued. ok=false means the queue was
+// closed and fully drained — the consumer's termination signal.
+func (q *WFQ) Dequeue() (v any, class string, wait time.Duration, ok bool) {
+	q.mu.Lock()
+	for q.queued == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.queued == 0 { // closed and drained
+		q.mu.Unlock()
+		return nil, "", 0, false
+	}
+	var best *wfqClass
+	for _, name := range q.names {
+		cq := q.ready[name]
+		if cq.head == len(cq.items) {
+			continue
+		}
+		if best == nil || cq.items[cq.head].tag < best.items[best.head].tag {
+			best = cq
+		}
+	}
+	it := best.items[best.head]
+	best.items[best.head] = wfqItem{} // release the reference
+	best.head++
+	if best.head == len(best.items) {
+		best.items = best.items[:0]
+		best.head = 0
+	}
+	q.queued--
+	if it.tag > q.vtime {
+		q.vtime = it.tag
+	}
+	q.mu.Unlock()
+	return it.v, best.class.Name, time.Since(it.enq), true
+}
+
+// Close stops admission. Items already queued are still handed out;
+// Dequeue returns ok=false once the queue drains.
+func (q *WFQ) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Depth returns the total number of queued items.
+func (q *WFQ) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// ClassDepth returns one class's queued item count and cap.
+func (q *WFQ) ClassDepth(class string) (depth, capacity int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	cq, ok := q.ready[class]
+	if !ok {
+		return 0, 0
+	}
+	return len(cq.items) - cq.head, cq.class.QueueDepth
+}
+
+// Capacity returns the sum of the per-class queue caps.
+func (q *WFQ) Capacity() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, cq := range q.ready {
+		n += cq.class.QueueDepth
+	}
+	return n
+}

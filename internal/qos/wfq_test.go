@@ -1,0 +1,233 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testRegistry(t *testing.T, classes ...Class) *Registry {
+	t.Helper()
+	reg, err := NewRegistry(classes, Defaults{QueueDepth: 1024, RetryAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// drain dequeues every queued item and returns the class dispatch order.
+func drain(q *WFQ) []string {
+	var order []string
+	for q.Depth() > 0 {
+		_, class, _, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		order = append(order, class)
+	}
+	return order
+}
+
+// TestWFQDeterministicSchedule pins the exact dispatch order for a known
+// enqueue sequence: WFQ tags are integer virtual times, ties break by
+// class name, so the schedule is a pure function of the enqueue order.
+func TestWFQDeterministicSchedule(t *testing.T) {
+	cases := []struct {
+		name    string
+		classes []Class
+		enq     []string // class per enqueued item, in order
+		want    []string // exact dispatch order
+	}{
+		{
+			name:    "weight 2:1 interleave",
+			classes: []Class{{Name: "gold", Weight: 2}, {Name: "bronze", Weight: 1}},
+			enq:     []string{"gold", "gold", "gold", "gold", "bronze", "bronze"},
+			// gold tags: .5 1 1.5 2 (in wfqScale units), bronze tags: 1 2.
+			// Ties at 1 and 2 go to bronze < gold alphabetically.
+			want: []string{"gold", "bronze", "gold", "gold", "bronze", "gold"},
+		},
+		{
+			name:    "equal weights alternate",
+			classes: []Class{{Name: "a", Weight: 1}, {Name: "b", Weight: 1}},
+			enq:     []string{"a", "a", "b", "b"},
+			want:    []string{"a", "b", "a", "b"},
+		},
+		{
+			name:    "unknown class folds into default",
+			classes: []Class{{Name: "gold", Weight: 4}},
+			enq:     []string{"mystery", "gold"},
+			want:    []string{"gold", "default"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q := NewWFQ(testRegistry(t, c.classes...))
+			for i, class := range c.enq {
+				if err := q.Enqueue(class, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := drain(q)
+			if fmt.Sprint(got) != fmt.Sprint(c.want) {
+				t.Errorf("dispatch order = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestWFQIdleClassNoCredit: a class returning from idle starts at the
+// current virtual time instead of burning banked credit, so it cannot
+// leapfrog backlog that accumulated while it was away.
+func TestWFQIdleClassNoCredit(t *testing.T) {
+	q := NewWFQ(testRegistry(t, Class{Name: "a", Weight: 1}, Class{Name: "b", Weight: 1}))
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue("a", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a runs alone for two dispatches; virtual time advances to 2·incr.
+	for i := 0; i < 2; i++ {
+		if _, class, _, _ := q.Dequeue(); class != "a" {
+			t.Fatalf("warmup dispatch %d went to %s", i, class)
+		}
+	}
+	// b arrives now. With credit banking its tag would be 1·incr and it
+	// would jump ahead of a's remaining item (tag 3·incr); without banking
+	// it tags 3·incr and the name tie-break favors a's earlier backlog...
+	if err := q.Enqueue("b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(q); fmt.Sprint(got) != fmt.Sprint([]string{"a", "b"}) {
+		t.Errorf("post-idle dispatch order = %v, want [a b]", got)
+	}
+}
+
+// TestWFQWeightedShareConverges floods two classes and checks that over a
+// long backlog each receives dispatch slots proportional to its weight.
+func TestWFQWeightedShareConverges(t *testing.T) {
+	for _, ratio := range []struct{ gold, bronze int }{{8, 1}, {3, 2}, {5, 1}} {
+		t.Run(fmt.Sprintf("%d:%d", ratio.gold, ratio.bronze), func(t *testing.T) {
+			q := NewWFQ(testRegistry(t,
+				Class{Name: "gold", Weight: ratio.gold},
+				Class{Name: "bronze", Weight: ratio.bronze}))
+			const n = 900
+			for i := 0; i < n; i++ {
+				if err := q.Enqueue("gold", i); err != nil {
+					t.Fatal(err)
+				}
+				if err := q.Enqueue("bronze", i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// While both classes stay backlogged, count the first window of
+			// dispatches; past the window the smaller class drains out and
+			// the ratio no longer applies.
+			window := n * (ratio.gold + ratio.bronze) / max(ratio.gold, ratio.bronze)
+			counts := map[string]int{}
+			for i := 0; i < window; i++ {
+				_, class, _, ok := q.Dequeue()
+				if !ok {
+					t.Fatal("queue drained early")
+				}
+				counts[class]++
+			}
+			wantGold := float64(window) * float64(ratio.gold) / float64(ratio.gold+ratio.bronze)
+			got := float64(counts["gold"])
+			if diff := got - wantGold; diff < -2 || diff > 2 {
+				t.Errorf("gold dispatches = %v, want %.0f ±2 (counts %v)", got, wantGold, counts)
+			}
+		})
+	}
+}
+
+func TestWFQClassCapAndClose(t *testing.T) {
+	reg, err := NewRegistry(
+		[]Class{{Name: "small", QueueDepth: 2}},
+		Defaults{QueueDepth: 8, RetryAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewWFQ(reg)
+	if err := q.Enqueue("small", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue("small", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue("small", 3); !errors.Is(err, ErrClassFull) {
+		t.Errorf("over-cap enqueue: err = %v, want ErrClassFull", err)
+	}
+	// The default class has its own cap, unaffected by small's backlog.
+	if err := q.Enqueue("default", 1); err != nil {
+		t.Errorf("default enqueue: %v", err)
+	}
+	if d, capacity := q.ClassDepth("small"); d != 2 || capacity != 2 {
+		t.Errorf("ClassDepth(small) = %d/%d, want 2/2", d, capacity)
+	}
+
+	q.Close()
+	if err := q.Enqueue("small", 4); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close enqueue: err = %v, want ErrClosed", err)
+	}
+	// Queued items still drain after Close, then Dequeue reports done.
+	for i := 0; i < 3; i++ {
+		if _, _, _, ok := q.Dequeue(); !ok {
+			t.Fatalf("drain item %d: queue reported closed early", i)
+		}
+	}
+	if _, _, _, ok := q.Dequeue(); ok {
+		t.Error("Dequeue after drain returned ok=true")
+	}
+}
+
+// TestWFQConcurrentDrain exercises the queue under -race: concurrent
+// producers and consumers, every item delivered exactly once.
+func TestWFQConcurrentDrain(t *testing.T) {
+	q := NewWFQ(testRegistry(t,
+		Class{Name: "gold", Weight: 4},
+		Class{Name: "bronze", Weight: 1}))
+	const perClass = 500
+	var wg sync.WaitGroup
+	for _, class := range []string{"gold", "bronze", "default"} {
+		wg.Add(1)
+		go func(class string) {
+			defer wg.Done()
+			for i := 0; i < perClass; i++ {
+				for q.Enqueue(class, i) != nil {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}(class)
+	}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	var consumers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		consumers.Add(1)
+		go func() {
+			defer consumers.Done()
+			for {
+				_, class, wait, ok := q.Dequeue()
+				if !ok {
+					return
+				}
+				if wait < 0 {
+					t.Error("negative queue wait")
+				}
+				mu.Lock()
+				seen[class]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	consumers.Wait()
+	for _, class := range []string{"gold", "bronze", "default"} {
+		if seen[class] != perClass {
+			t.Errorf("class %s delivered %d items, want %d", class, seen[class], perClass)
+		}
+	}
+}

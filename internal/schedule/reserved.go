@@ -1,0 +1,194 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/request"
+)
+
+// This file adds guaranteed-bandwidth slot reservation to the scheduler
+// core: a request set can be pinned to a fixed window of TDM slots inside
+// a fixed-length frame, with background traffic scheduled into the
+// complementary slots only. Because the frame length and the reserved
+// window are constants of the reservation — not outputs of the compile —
+// the reserved circuits occupy the same absolute slots of the same-length
+// frame no matter what else is scheduled, which is what makes the reserved
+// tenant's delivery times invariant under background load (the rate
+// guarantee of the NoC-QoS literature, transplanted to compiled TDM).
+
+// SlotWindow fixes a TDM frame length and a half-open reserved slot range
+// [Lo, Hi) inside it.
+type SlotWindow struct {
+	// Frame is the total TDM frame length K the composed schedule runs at.
+	Frame int
+	// Lo and Hi bound the reserved slots: the reserved request set compiles
+	// into slots Lo..Hi-1 and nothing else is ever placed there.
+	Lo, Hi int
+}
+
+// Validate checks the window's internal consistency.
+func (w SlotWindow) Validate() error {
+	if w.Frame <= 0 {
+		return fmt.Errorf("schedule: reservation frame %d is not positive", w.Frame)
+	}
+	if w.Lo < 0 || w.Hi > w.Frame || w.Lo >= w.Hi {
+		return fmt.Errorf("schedule: reserved window [%d,%d) does not fit frame %d", w.Lo, w.Hi, w.Frame)
+	}
+	return nil
+}
+
+// Width returns the number of reserved slots.
+func (w SlotWindow) Width() int { return w.Hi - w.Lo }
+
+// ErrReservedOverflow is wrapped by ScheduleReserved when the reserved
+// request set needs more slots than the window offers: the reservation is
+// an admission contract, so an unsatisfiable one is rejected rather than
+// silently widened.
+var ErrReservedOverflow = fmt.Errorf("schedule: reserved pattern exceeds its slot window")
+
+// ErrBackgroundOverflow is wrapped by ScheduleReserved when the background
+// request set needs more slots than the frame has left outside the window.
+// Callers pick a longer frame or shed background load; growing the frame
+// implicitly would change the reserved tenant's delivery times, which is
+// exactly what the reservation forbids.
+var ErrBackgroundOverflow = fmt.Errorf("schedule: background load exceeds the free slots of the frame")
+
+// ScheduleReserved composes a fixed-frame schedule honoring a slot
+// reservation: reserved compiles (with s) into the window's slots,
+// background into the slots outside the window, and the result always has
+// exactly w.Frame configurations — empty slots stay empty rather than
+// being compacted away. Configuration k of the result is established in
+// TDM slot k of every frame, so the reserved circuits' absolute slot
+// positions, and with them every reserved message's delivery time under
+// sim.RunCompiled, are independent of the background set (including an
+// empty one, the solo baseline).
+//
+// Both request sets are scheduled independently, so a (src,dst) pair may
+// appear in both; the two circuits simply occupy different slots.
+func ScheduleReserved(t network.Topology, s Scheduler, reserved, background request.Set, w SlotWindow) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if len(reserved) == 0 {
+		return nil, fmt.Errorf("schedule: empty reserved request set")
+	}
+	resR, err := s.Schedule(t, reserved)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: reserved set: %w", err)
+	}
+	if resR.Degree() > w.Width() {
+		return nil, fmt.Errorf("%w: needs %d slots, window [%d,%d) has %d",
+			ErrReservedOverflow, resR.Degree(), w.Lo, w.Hi, w.Width())
+	}
+	var resB *Result
+	if len(background) > 0 {
+		resB, err = s.Schedule(t, background)
+		if err != nil {
+			return nil, fmt.Errorf("schedule: background set: %w", err)
+		}
+		if resB.Degree() > w.Frame-w.Width() {
+			return nil, fmt.Errorf("%w: needs %d slots, frame %d has %d free",
+				ErrBackgroundOverflow, resB.Degree(), w.Frame, w.Frame-w.Width())
+		}
+	}
+
+	configs := make([]request.Set, w.Frame)
+	slot := make(map[request.Request]int, len(reserved)+len(background))
+	if resB != nil {
+		// Free slots in ascending order: 0..Lo-1 then Hi..Frame-1. The
+		// background schedule's own config order is preserved, so its
+		// placement is as deterministic as the underlying scheduler.
+		k := 0
+		for _, c := range resB.Configs {
+			for k == w.Lo {
+				k = w.Hi
+			}
+			configs[k] = c
+			for _, q := range c {
+				slot[q] = k
+			}
+			k++
+		}
+	}
+	// Reserved entries written last: a pair scheduled in both sets resolves
+	// to its reserved slot in the merged index, so the simulator drives the
+	// reserved circuit — the one whose timing is guaranteed.
+	for i, c := range resR.Configs {
+		k := w.Lo + i
+		configs[k] = c
+		for _, q := range c {
+			slot[q] = k
+		}
+	}
+	return &Result{
+		Algorithm: s.Name() + "+reserved",
+		Topology:  t,
+		Configs:   configs,
+		Slot:      slot,
+	}, nil
+}
+
+// ValidateReserved proves a composed reservation schedule correct: the
+// frame has exactly w.Frame slots, every reserved request holds a slot
+// inside the window, every background request one outside it, no slot
+// holds conflicting circuits, and nothing else is scheduled. It is the
+// reservation counterpart of Result.Validate (which rejects the empty
+// configurations a fixed frame legitimately contains).
+func ValidateReserved(r *Result, reserved, background request.Set, w SlotWindow) error {
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if len(r.Configs) != w.Frame {
+		return fmt.Errorf("schedule: reserved result has %d slots, frame is %d", len(r.Configs), w.Frame)
+	}
+	inWindow := make(map[request.Request]int)
+	outside := make(map[request.Request]int)
+	total := 0
+	for k, c := range r.Configs {
+		occ := network.NewOccupancy()
+		for _, q := range c {
+			p, err := network.CachedRoute(r.Topology, q.Src, q.Dst)
+			if err != nil {
+				return fmt.Errorf("schedule: reserved config %d request %v: %w", k, q, err)
+			}
+			if !occ.CanAdd(p) {
+				return fmt.Errorf("schedule: reserved config %d has conflicting request %v", k, q)
+			}
+			occ.Add(p)
+			if k >= w.Lo && k < w.Hi {
+				inWindow[q]++
+			} else {
+				outside[q]++
+			}
+			total++
+		}
+	}
+	check := func(want request.Set, got map[request.Request]int, where string) error {
+		need := make(map[request.Request]int, len(want))
+		for _, q := range want {
+			need[q]++
+		}
+		for q, n := range need {
+			if got[q] != n {
+				return fmt.Errorf("schedule: request %v scheduled %d times %s, want %d", q, got[q], where, n)
+			}
+		}
+		for q, n := range got {
+			if need[q] != n {
+				return fmt.Errorf("schedule: extraneous request %v scheduled %d times %s", q, n, where)
+			}
+		}
+		return nil
+	}
+	if err := check(reserved, inWindow, "inside the reserved window"); err != nil {
+		return err
+	}
+	if err := check(background, outside, "outside the reserved window"); err != nil {
+		return err
+	}
+	if total != len(reserved)+len(background) {
+		return fmt.Errorf("schedule: reserved result carries %d requests, want %d", total, len(reserved)+len(background))
+	}
+	return nil
+}

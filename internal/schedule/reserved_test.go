@@ -1,0 +1,168 @@
+package schedule_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/request"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestSlotWindowValidate(t *testing.T) {
+	cases := []struct {
+		w  schedule.SlotWindow
+		ok bool
+	}{
+		{schedule.SlotWindow{Frame: 8, Lo: 0, Hi: 2}, true},
+		{schedule.SlotWindow{Frame: 8, Lo: 6, Hi: 8}, true},
+		{schedule.SlotWindow{Frame: 1, Lo: 0, Hi: 1}, true},
+		{schedule.SlotWindow{Frame: 0, Lo: 0, Hi: 0}, false},
+		{schedule.SlotWindow{Frame: 8, Lo: -1, Hi: 2}, false},
+		{schedule.SlotWindow{Frame: 8, Lo: 2, Hi: 2}, false},
+		{schedule.SlotWindow{Frame: 8, Lo: 4, Hi: 9}, false},
+	}
+	for _, c := range cases {
+		err := c.w.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("window %+v: err=%v, want ok=%v", c.w, err, c.ok)
+		}
+	}
+}
+
+func TestScheduleReservedComposition(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	reserved := request.Set{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	background := request.Set{{Src: 4, Dst: 5}, {Src: 5, Dst: 6}, {Src: 8, Dst: 9}}
+	w := schedule.SlotWindow{Frame: 6, Lo: 2, Hi: 4}
+
+	res, err := schedule.ScheduleReserved(torus, schedule.Combined{}, reserved, background, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Configs); got != w.Frame {
+		t.Fatalf("frame length = %d, want %d", got, w.Frame)
+	}
+	if err := schedule.ValidateReserved(res, reserved, background, w); err != nil {
+		t.Fatal(err)
+	}
+	// Every reserved pair's slot index must land inside the window.
+	for _, q := range reserved {
+		k, ok := res.Slot[q]
+		if !ok {
+			t.Fatalf("reserved request %v missing from slot index", q)
+		}
+		if k < w.Lo || k >= w.Hi {
+			t.Errorf("reserved request %v in slot %d, outside window [%d,%d)", q, k, w.Lo, w.Hi)
+		}
+	}
+}
+
+func TestScheduleReservedEmptyBackground(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	reserved := request.Set{{Src: 0, Dst: 1}}
+	w := schedule.SlotWindow{Frame: 4, Lo: 1, Hi: 2}
+	res, err := schedule.ScheduleReserved(torus, schedule.Combined{}, reserved, nil, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.ValidateReserved(res, reserved, nil, w); err != nil {
+		t.Fatal(err)
+	}
+	if res.Slot[reserved[0]] != w.Lo {
+		t.Errorf("reserved slot = %d, want %d", res.Slot[reserved[0]], w.Lo)
+	}
+}
+
+func TestScheduleReservedOverflowErrors(t *testing.T) {
+	// On a 1×4 linear array every pair sharing a link conflicts, so a fan
+	// of requests out of node 0 needs as many slots as requests.
+	lin := topology.NewLinear(4)
+	fan := request.Set{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}}
+
+	_, err := schedule.ScheduleReserved(lin, schedule.Combined{}, fan, nil,
+		schedule.SlotWindow{Frame: 4, Lo: 0, Hi: 2})
+	if !errors.Is(err, schedule.ErrReservedOverflow) {
+		t.Errorf("reserved overflow: err = %v, want ErrReservedOverflow", err)
+	}
+
+	_, err = schedule.ScheduleReserved(lin, schedule.Combined{},
+		request.Set{{Src: 3, Dst: 2}}, fan,
+		schedule.SlotWindow{Frame: 3, Lo: 0, Hi: 1})
+	if !errors.Is(err, schedule.ErrBackgroundOverflow) {
+		t.Errorf("background overflow: err = %v, want ErrBackgroundOverflow", err)
+	}
+}
+
+func TestValidateReservedCatchesViolations(t *testing.T) {
+	torus := topology.NewTorus(4, 4)
+	reserved := request.Set{{Src: 0, Dst: 1}}
+	background := request.Set{{Src: 4, Dst: 5}}
+	w := schedule.SlotWindow{Frame: 4, Lo: 0, Hi: 2}
+	res, err := schedule.ScheduleReserved(torus, schedule.Combined{}, reserved, background, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong frame length.
+	short := *res
+	short.Configs = res.Configs[:3]
+	if schedule.ValidateReserved(&short, reserved, background, w) == nil {
+		t.Error("truncated frame passed validation")
+	}
+	// Background request claimed as reserved.
+	if schedule.ValidateReserved(res, background, reserved, w) == nil {
+		t.Error("swapped request sets passed validation")
+	}
+	// A request missing entirely.
+	if schedule.ValidateReserved(res, reserved, request.Set{{Src: 4, Dst: 5}, {Src: 8, Dst: 9}}, w) == nil {
+		t.Error("missing background request passed validation")
+	}
+}
+
+// TestReservedDeliveryInvariance is the schedule-level half of the QoS
+// guarantee: the reserved set's simulated delivery times are identical
+// with and without background load, because the frame length and the
+// reserved slots are fixed by the window, not by the traffic mix.
+func TestReservedDeliveryInvariance(t *testing.T) {
+	torus := topology.NewTorus(8, 8)
+	reserved := request.Set{{Src: 0, Dst: 1}, {Src: 9, Dst: 10}, {Src: 18, Dst: 19}}
+	background := request.Set{
+		{Src: 32, Dst: 40}, {Src: 33, Dst: 41}, {Src: 34, Dst: 42},
+		{Src: 35, Dst: 43}, {Src: 36, Dst: 44}, {Src: 37, Dst: 45},
+	}
+	w := schedule.SlotWindow{Frame: 10, Lo: 3, Hi: 5}
+	msgs := []sim.Message{
+		{Src: 0, Dst: 1, Flits: 17},
+		{Src: 9, Dst: 10, Flits: 5},
+		{Src: 18, Dst: 19, Flits: 29},
+	}
+
+	solo, err := schedule.ScheduleReserved(torus, schedule.Combined{}, reserved, nil, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := schedule.ScheduleReserved(torus, schedule.Combined{}, reserved, background, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.ValidateReserved(loaded, reserved, background, w); err != nil {
+		t.Fatal(err)
+	}
+
+	outSolo, err := sim.RunCompiled(solo, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outLoaded, err := sim.RunCompiled(loaded, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if outSolo.Finish[i] != outLoaded.Finish[i] {
+			t.Errorf("message %d delivery moved under load: solo %d, loaded %d",
+				i, outSolo.Finish[i], outLoaded.Finish[i])
+		}
+	}
+}

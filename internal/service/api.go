@@ -233,17 +233,51 @@ type QueueMetrics struct {
 	Capacity int   `json:"capacity"`
 	Depth    int   `json:"depth"`
 	InFlight int64 `json:"in_flight"`
+	// WaitUs is the admission→worker-pickup delay distribution in
+	// microseconds across all classes — the queue delay the weighted fair
+	// scheduler shapes (per-class copies live in ClassMetrics).
+	WaitUs stats.HistSnapshot `json:"wait_us"`
+}
+
+// ClassMetrics is one QoS class's block in /metrics: its scheduling
+// weight, serving counters, queue state and wait distribution, and its
+// cache/store partition usage. Hits count responses served warm (memory,
+// store, or peer); Misses count pipeline compiles (including coalesced
+// followers).
+type ClassMetrics struct {
+	Weight   int    `json:"weight"`
+	Requests uint64 `json:"requests"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Rejected uint64 `json:"rejected"`
+	Errors   uint64 `json:"errors"`
+
+	QueueDepth    int                `json:"queue_depth"`
+	QueueCapacity int                `json:"queue_capacity"`
+	QueueWaitUs   stats.HistSnapshot `json:"queue_wait_us"`
+	LatencyUs     stats.HistSnapshot `json:"latency_us"`
+
+	CacheEntries   int    `json:"cache_entries"`
+	CacheCapacity  int    `json:"cache_capacity"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// Store usage of the class's partition; StoreEvictions counts entries
+	// removed by the class's own quota GC (never another class's).
+	StoreEntries   int    `json:"store_entries"`
+	StoreBytes     int64  `json:"store_bytes"`
+	StoreEvictions uint64 `json:"store_evictions"`
 }
 
 // MetricsSnapshot is the /metrics document.
 type MetricsSnapshot struct {
-	UptimeSeconds float64                    `json:"uptime_seconds"`
-	Topology      string                     `json:"topology"`
-	Scheduler     string                     `json:"scheduler"`
-	Cache         CacheMetrics               `json:"cache"`
-	Store         StoreMetrics               `json:"store"`
-	Delta         DeltaMetrics               `json:"delta"`
-	Session       SessionMetrics             `json:"session"`
-	Queue         QueueMetrics               `json:"queue"`
-	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Topology      string         `json:"topology"`
+	Scheduler     string         `json:"scheduler"`
+	Cache         CacheMetrics   `json:"cache"`
+	Store         StoreMetrics   `json:"store"`
+	Delta         DeltaMetrics   `json:"delta"`
+	Session       SessionMetrics `json:"session"`
+	Queue         QueueMetrics   `json:"queue"`
+	// QoS maps each admission class to its serving, queue and quota state.
+	QoS       map[string]ClassMetrics    `json:"qos"`
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 }

@@ -8,63 +8,115 @@ import (
 
 // lruCache is the content-addressed schedule cache: a bounded
 // least-recently-used map from pattern key to the marshaled compile
-// artifact. Values are immutable json.RawMessage blobs, so a hit hands out
-// the exact bytes the cold compile produced and no copying is needed.
+// artifact, partitioned by tenant (QoS class). Lookups go through one
+// global key index — content addressing makes artifacts tenant-agnostic,
+// so any tenant may hit any cached entry — but capacity and eviction are
+// per partition: an entry is billed to the tenant that inserted it, and a
+// tenant filling its partition evicts only its own entries, never another
+// tenant's warm state. Values are immutable json.RawMessage blobs, so a
+// hit hands out the exact bytes the cold compile produced and no copying
+// is needed.
 type lruCache struct {
-	mu        sync.Mutex
-	cap       int
-	ll        *list.List // front = most recently used
-	items     map[string]*list.Element
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	mu         sync.Mutex
+	defaultCap int
+	parts      map[string]*cachePartition
+	items      map[string]*list.Element // global: key -> element in its partition's list
+	hits       uint64
+	misses     uint64
+	evictions  uint64
 
 	// onEvict, when set, receives every entry the cache evicts — the
 	// serving layer uses it to write evicted artifacts through to the
-	// persistent store so they stay one disk-read away. Called after the
-	// cache lock is released (it does disk I/O and must not stall Get).
-	onEvict func(key string, val json.RawMessage)
+	// persistent store (billed to the owning tenant) so they stay one
+	// disk-read away. Called after the cache lock is released (it does disk
+	// I/O and must not stall Get).
+	onEvict func(key, tenant string, val json.RawMessage)
+}
+
+// cachePartition is one tenant's share of the cache.
+type cachePartition struct {
+	cap       int
+	ll        *list.List // front = most recently used within the partition
+	evictions uint64
 }
 
 type cacheEntry struct {
-	key string
-	val json.RawMessage
+	key    string
+	tenant string
+	val    json.RawMessage
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+// newLRUCache builds the cache. defaultCap bounds any partition created on
+// demand (a tenant first seen at runtime — e.g. the owner of a replicated
+// artifact); known classes get their configured caps via configure.
+func newLRUCache(defaultCap int) *lruCache {
+	return &lruCache{
+		defaultCap: defaultCap,
+		parts:      make(map[string]*cachePartition),
+		items:      make(map[string]*list.Element),
+	}
 }
 
-// Get returns the cached artifact and bumps its recency.
+// configure pre-creates a tenant's partition with an explicit capacity.
+func (c *lruCache) configure(tenant string, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.partition(tenant).cap = capacity
+}
+
+func (c *lruCache) partition(tenant string) *cachePartition {
+	p, ok := c.parts[tenant]
+	if !ok {
+		p = &cachePartition{cap: c.defaultCap, ll: list.New()}
+		c.parts[tenant] = p
+	}
+	return p
+}
+
+// Get returns the cached artifact and bumps its recency within the owning
+// tenant's partition.
 func (c *lruCache) Get(key string) (json.RawMessage, bool) {
+	val, _, ok := c.GetOwned(key)
+	return val, ok
+}
+
+// GetOwned is Get plus the tenant the hit entry is billed to (the cluster
+// fetch path reports it so replicas land in the owner's partition).
+func (c *lruCache) GetOwned(key string) (json.RawMessage, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, "", false
 	}
 	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	e := el.Value.(*cacheEntry)
+	c.parts[e.tenant].ll.MoveToFront(el)
+	return e.val, e.tenant, true
 }
 
-// Add inserts (or refreshes) an artifact, evicting the least recently used
-// entries when over capacity.
-func (c *lruCache) Add(key string, val json.RawMessage) {
+// Add inserts (or refreshes) an artifact billed to a tenant, evicting the
+// least recently used entries of that tenant's partition when it runs over
+// capacity. A key that is already cached keeps its original owner — the
+// first tenant paid for the compile — and only has its recency bumped.
+func (c *lruCache) Add(key, tenant string, val json.RawMessage) {
 	c.mu.Lock()
 	var evicted []*cacheEntry
 	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		c.parts[e.tenant].ll.MoveToFront(el)
+		e.val = val
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-		for c.ll.Len() > c.cap {
-			oldest := c.ll.Back()
-			c.ll.Remove(oldest)
+		p := c.partition(tenant)
+		c.items[key] = p.ll.PushFront(&cacheEntry{key: key, tenant: tenant, val: val})
+		for p.ll.Len() > p.cap {
+			oldest := p.ll.Back()
+			p.ll.Remove(oldest)
 			e := oldest.Value.(*cacheEntry)
 			delete(c.items, e.key)
 			c.evictions++
+			p.evictions++
 			evicted = append(evicted, e)
 		}
 	}
@@ -72,33 +124,51 @@ func (c *lruCache) Add(key string, val json.RawMessage) {
 	c.mu.Unlock()
 	if onEvict != nil {
 		for _, e := range evicted {
-			onEvict(e.key, e.val)
+			onEvict(e.key, e.tenant, e.val)
 		}
 	}
 }
 
-// Keys lists every cached key, most recently used first. The cluster
-// gossip layer enumerates it (together with the store) to build the
-// anti-entropy digest of what this daemon can serve without compiling.
+// Keys lists every cached key, most recently used first within each
+// partition (partitions in map order). The cluster gossip layer enumerates
+// it (together with the store) to build the anti-entropy digest of what
+// this daemon can serve without compiling.
 func (c *lruCache) Keys() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]string, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*cacheEntry).key)
+	out := make([]string, 0, len(c.items))
+	for _, p := range c.parts {
+		for el := p.ll.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*cacheEntry).key)
+		}
 	}
 	return out
 }
 
-// Metrics snapshots the cache counters.
+// Metrics snapshots the cache counters. Capacity is the sum of the live
+// partitions' caps.
 func (c *lruCache) Metrics() CacheMetrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheMetrics{
-		Entries:   c.ll.Len(),
-		Capacity:  c.cap,
+	m := CacheMetrics{
+		Entries:   len(c.items),
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+	for _, p := range c.parts {
+		m.Capacity += p.cap
+	}
+	return m
+}
+
+// PartitionMetrics snapshots one tenant's partition.
+func (c *lruCache) PartitionMetrics(tenant string) (entries, capacity int, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.parts[tenant]
+	if !ok {
+		return 0, 0, 0
+	}
+	return p.ll.Len(), p.cap, p.evictions
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/network"
+	"repro/internal/qos"
 	"repro/internal/request"
 	"repro/internal/schedule"
 	"repro/internal/service"
@@ -43,6 +44,9 @@ type Options struct {
 	Topology string
 	// Scheduler overrides the scheduling algorithm, e.g. "coloring".
 	Scheduler string
+	// Tenant names the QoS class the request is billed to; empty means the
+	// daemon's default class. Sent as the X-Ccomm-Tenant header.
+	Tenant string
 }
 
 // HTTPError is a non-2xx reply, carrying the decoded error body and the
@@ -113,6 +117,9 @@ func (c *Client) post(ctx context.Context, path string, doc trace.Document, opt 
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if opt.Tenant != "" {
+		req.Header.Set(qos.TenantHeader, opt.Tenant)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, nil, err
@@ -180,6 +187,9 @@ func (c *Client) Session(ctx context.Context, doc trace.Document, opt Options, o
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if opt.Tenant != "" {
+		req.Header.Set(qos.TenantHeader, opt.Tenant)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err

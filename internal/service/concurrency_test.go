@@ -263,7 +263,7 @@ func TestOverloadReturns429(t *testing.T) {
 			t.Fatalf("queued request finished %d: %s", rec.Code, rec.Body.String())
 		}
 	}
-	snap := s.metrics.snapshot(s.topo.Name(), s.scheduler.Name(), s.cache.Metrics(), StoreMetrics{}, s.deltaBound, s.pool.Metrics())
+	snap := s.metrics.snapshot(s.topo.Name(), s.scheduler.Name(), s.cache.Metrics(), StoreMetrics{}, s.deltaBound, s.pool.Metrics(), nil)
 	ep := snap.Endpoints["compile"]
 	if ep.Rejected != 1 {
 		t.Fatalf("rejected counter = %d, want 1", ep.Rejected)

@@ -14,6 +14,13 @@ type metricsState struct {
 	mu        sync.Mutex
 	start     time.Time
 	endpoints map[string]*endpointState
+	classes   map[string]*classState
+
+	// queueWait is the service-wide admission→worker-pickup histogram; the
+	// per-class copies live in classState. This is the latency WFQ exists
+	// to shape, so it is observed independently of endpoint latency (which
+	// includes the compile itself).
+	queueWait stats.Hist
 
 	// Persistent-store and delta-recompiler counters, service-wide.
 	warmLoaded     int
@@ -38,8 +45,22 @@ type endpointState struct {
 	latency stats.Hist
 }
 
+// classState accumulates one QoS class's serving counters: warm responses
+// (in-memory, store, or peer), compiles (miss/coalesced), rejections, and
+// the latency and queue-wait distributions.
+type classState struct {
+	requests, hits, misses, rejected, errors uint64
+
+	latency   stats.Hist
+	queueWait stats.Hist
+}
+
 func newMetricsState() *metricsState {
-	return &metricsState{start: time.Now(), endpoints: make(map[string]*endpointState)}
+	return &metricsState{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointState),
+		classes:   make(map[string]*classState),
+	}
 }
 
 func (m *metricsState) endpoint(name string) *endpointState {
@@ -51,8 +72,18 @@ func (m *metricsState) endpoint(name string) *endpointState {
 	return ep
 }
 
-// observeSuccess records a served request and its cache state.
-func (m *metricsState) observeSuccess(endpoint, cacheState string, elapsed time.Duration) {
+func (m *metricsState) class(name string) *classState {
+	cs, ok := m.classes[name]
+	if !ok {
+		cs = &classState{}
+		m.classes[name] = cs
+	}
+	return cs
+}
+
+// observeSuccess records a served request, its tenant class and cache
+// state.
+func (m *metricsState) observeSuccess(endpoint, class, cacheState string, elapsed time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ep := m.endpoint(endpoint)
@@ -70,6 +101,25 @@ func (m *metricsState) observeSuccess(endpoint, cacheState string, elapsed time.
 		ep.coalesced++
 	}
 	ep.latency.Observe(int(elapsed.Microseconds()))
+	cs := m.class(class)
+	cs.requests++
+	switch cacheState {
+	case CacheHit, CacheStore, CachePeer:
+		cs.hits++
+	default:
+		cs.misses++
+	}
+	cs.latency.Observe(int(elapsed.Microseconds()))
+}
+
+// observeQueueWait records one job's admission→worker-pickup delay; it is
+// the worker pool's dequeue hook.
+func (m *metricsState) observeQueueWait(class string, wait time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	us := int(wait.Microseconds())
+	m.queueWait.Observe(us)
+	m.class(class).queueWait.Observe(us)
 }
 
 // observeWarmBoot records how many artifacts warm boot preloaded.
@@ -128,25 +178,46 @@ func (m *metricsState) observeSession(decisions map[string]int, pipelined, hidde
 	m.sessionHiddenSlot += uint64(hidden)
 }
 
-// observeFailure records a rejected (overload) or failed request.
-func (m *metricsState) observeFailure(endpoint string, rejected bool) {
+// observeFailure records a rejected (overload) or failed request against
+// its tenant class.
+func (m *metricsState) observeFailure(endpoint, class string, rejected bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ep := m.endpoint(endpoint)
 	ep.requests++
+	cs := m.class(class)
+	cs.requests++
 	if rejected {
 		ep.rejected++
+		cs.rejected++
 	} else {
 		ep.errors++
+		cs.errors++
 	}
 }
 
-// snapshot assembles the /metrics document.
-func (m *metricsState) snapshot(topo, sched string, cache CacheMetrics, st StoreMetrics, deltaBound float64, queue QueueMetrics) MetricsSnapshot {
+// snapshot assembles the /metrics document. classes carries the per-class
+// structural state (queue depth, cache partition, store usage) the serving
+// layer gathered; snapshot merges in the per-class counters and histograms
+// it accumulated itself.
+func (m *metricsState) snapshot(topo, sched string, cache CacheMetrics, st StoreMetrics, deltaBound float64, queue QueueMetrics, classes map[string]ClassMetrics) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st.WarmLoaded = m.warmLoaded
 	st.EvictionWrites = m.evictionWrites
+	queue.WaitUs = m.queueWait.Snapshot()
+	for name, cm := range classes {
+		if cs, ok := m.classes[name]; ok {
+			cm.Requests = cs.requests
+			cm.Hits = cs.hits
+			cm.Misses = cs.misses
+			cm.Rejected = cs.rejected
+			cm.Errors = cs.errors
+			cm.LatencyUs = cs.latency.Snapshot()
+			cm.QueueWaitUs = cs.queueWait.Snapshot()
+		}
+		classes[name] = cm
+	}
 	out := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Topology:      topo,
@@ -169,6 +240,7 @@ func (m *metricsState) snapshot(topo, sched string, cache CacheMetrics, st Store
 			HiddenSlots:       m.sessionHiddenSlot,
 		},
 		Queue:     queue,
+		QoS:       classes,
 		Endpoints: make(map[string]EndpointMetrics, len(m.endpoints)),
 	}
 	for name, ep := range m.endpoints {

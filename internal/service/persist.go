@@ -175,37 +175,60 @@ func (b *baseIndex) nearest(topoName string, target request.Set, exclude string)
 
 // storeGetArtifact reads a whole-program artifact back from the store.
 func (s *Server) storeGetArtifact(key string) (json.RawMessage, bool) {
-	if s.store == nil {
-		return nil, false
-	}
-	payload, ok := s.store.Get(store.KindArtifact, key)
-	if !ok {
-		return nil, false
-	}
-	return json.RawMessage(payload), true
+	raw, _, ok := s.storeGetArtifactOwned(key)
+	return raw, ok
 }
 
-// storePutArtifact writes a freshly compiled artifact through to the store.
+// storeGetArtifactOwned is storeGetArtifact plus the entry's owner tag
+// ("" is the default tenant).
+func (s *Server) storeGetArtifactOwned(key string) (json.RawMessage, string, bool) {
+	if s.store == nil {
+		return nil, "", false
+	}
+	payload, owner, ok := s.store.GetOwned(store.KindArtifact, key)
+	if !ok {
+		return nil, "", false
+	}
+	return json.RawMessage(payload), owner, true
+}
+
+// storePutArtifact writes a freshly compiled artifact through to the
+// store, billed to the tenant, then enforces the tenant's store quota —
+// evicting only the tenant's own oldest entries when it runs over.
 // Persistence is best-effort: a full disk degrades the daemon to
 // memory-only caching, it never fails a compile that already succeeded.
-func (s *Server) storePutArtifact(key string, raw json.RawMessage) {
+func (s *Server) storePutArtifact(key, tenant string, raw json.RawMessage) {
 	if s.store == nil {
 		return
 	}
-	_ = s.store.Put(store.KindArtifact, key, raw)
+	owner := ownerOfTenant(tenant)
+	if s.store.PutOwned(store.KindArtifact, key, raw, owner) == nil {
+		s.enforceStoreQuota(tenant, owner)
+	}
+}
+
+// enforceStoreQuota applies one tenant's configured store bounds.
+func (s *Server) enforceStoreQuota(tenant, owner string) {
+	c := s.qos.ClassOf(tenant)
+	if c.StoreEntries > 0 || c.StoreBytes > 0 {
+		_, _ = s.store.QuotaGC(owner, c.StoreEntries, c.StoreBytes)
+	}
 }
 
 // writeEvicted is the LRU's eviction callback: an artifact falling out of
-// memory is written through to the store if it is not already there, so it
-// stays one disk read away. This is the safety net behind the compile-time
-// write-through — it only pays a disk write when that write failed or the
-// entry was GCed since.
-func (s *Server) writeEvicted(key string, val json.RawMessage) {
+// memory is written through to the store if it is not already there —
+// billed to the evicting partition's tenant — so it stays one disk read
+// away. This is the safety net behind the compile-time write-through — it
+// only pays a disk write when that write failed or the entry was GCed
+// since.
+func (s *Server) writeEvicted(key, tenant string, val json.RawMessage) {
 	if s.store == nil || s.store.Has(store.KindArtifact, key) {
 		return
 	}
-	if s.store.Put(store.KindArtifact, key, val) == nil {
+	owner := ownerOfTenant(tenant)
+	if s.store.PutOwned(store.KindArtifact, key, val, owner) == nil {
 		s.metrics.observeEvictionWrite()
+		s.enforceStoreQuota(tenant, owner)
 	}
 }
 
@@ -224,8 +247,8 @@ func (s *Server) warmBoot(cacheEntries int) {
 	}
 	loaded := 0
 	for _, info := range arts {
-		if payload, ok := s.store.Get(store.KindArtifact, info.Key); ok {
-			s.cache.Add(info.Key, json.RawMessage(payload))
+		if payload, owner, ok := s.store.GetOwned(store.KindArtifact, info.Key); ok {
+			s.cache.Add(info.Key, s.tenantOfOwner(owner), json.RawMessage(payload))
 			loaded++
 		}
 	}

@@ -4,44 +4,57 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/qos"
 )
 
 // defaultWorkers sizes the pool to the machine when Config.Workers is zero.
 func defaultWorkers() int { return cliutil.Workers(0) }
 
-// ErrOverloaded is returned by the pool when the compile queue is full; the
-// HTTP layer maps it to 429 + Retry-After. Rejecting at admission keeps the
-// daemon's memory and latency bounded under overload instead of queueing
-// without limit.
+// ErrOverloaded is returned by the pool when the submitting class's compile
+// queue is full; the HTTP layer maps it to 429 + Retry-After. Rejecting at
+// admission keeps the daemon's memory and latency bounded under overload
+// instead of queueing without limit — and per-class caps mean one tenant's
+// overload never consumes another tenant's queue space.
 var ErrOverloaded = errors.New("service: compile queue full")
 
 // ErrDraining is returned once the pool has begun shutting down; the HTTP
 // layer maps it to 503.
 var ErrDraining = errors.New("service: draining")
 
-// workerPool runs compile jobs on a fixed set of goroutines behind a
-// bounded queue. Admission is non-blocking: TrySubmit either enqueues or
-// fails fast with ErrOverloaded.
+// workerPool runs compile jobs on a fixed set of goroutines fed by a
+// weighted fair queue: each backlogged QoS class receives worker time
+// proportional to its weight. Admission is non-blocking: TrySubmit either
+// enqueues under the submitter's class or fails fast with ErrOverloaded.
 type workerPool struct {
-	mu       sync.RWMutex
-	jobs     chan func()
-	closed   bool
+	q        *qos.WFQ
 	wg       sync.WaitGroup
 	workers  int
 	inFlight atomic.Int64
+
+	// onDequeue observes every job's class and queue wait at worker pickup
+	// — the queue-delay signal WFQ exists to control.
+	onDequeue func(class string, wait time.Duration)
 }
 
-func newWorkerPool(workers, queueDepth int) *workerPool {
-	p := &workerPool{jobs: make(chan func(), queueDepth), workers: workers}
+func newWorkerPool(workers int, reg *qos.Registry, onDequeue func(string, time.Duration)) *workerPool {
+	p := &workerPool{q: qos.NewWFQ(reg), workers: workers, onDequeue: onDequeue}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
-			for job := range p.jobs {
+			for {
+				v, class, wait, ok := p.q.Dequeue()
+				if !ok {
+					return
+				}
+				if p.onDequeue != nil {
+					p.onDequeue(class, wait)
+				}
 				p.inFlight.Add(1)
-				job()
+				v.(func())()
 				p.inFlight.Add(-1)
 			}
 		}()
@@ -49,41 +62,35 @@ func newWorkerPool(workers, queueDepth int) *workerPool {
 	return p
 }
 
-// TrySubmit enqueues a job or fails immediately.
-func (p *workerPool) TrySubmit(job func()) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	if p.closed {
-		return ErrDraining
-	}
-	select {
-	case p.jobs <- job:
+// TrySubmit enqueues a job under a QoS class or fails immediately.
+func (p *workerPool) TrySubmit(class string, job func()) error {
+	switch err := p.q.Enqueue(class, job); {
+	case err == nil:
 		return nil
-	default:
+	case errors.Is(err, qos.ErrClosed):
+		return ErrDraining
+	default: // qos.ErrClassFull
 		return ErrOverloaded
 	}
 }
 
 // Close stops admission and waits for queued and running jobs to finish.
 func (p *workerPool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		p.wg.Wait()
-		return
-	}
-	p.closed = true
-	close(p.jobs)
-	p.mu.Unlock()
+	p.q.Close()
 	p.wg.Wait()
+}
+
+// ClassDepth reports one class's queued jobs and cap.
+func (p *workerPool) ClassDepth(class string) (depth, capacity int) {
+	return p.q.ClassDepth(class)
 }
 
 // Metrics snapshots the pool's state.
 func (p *workerPool) Metrics() QueueMetrics {
 	return QueueMetrics{
 		Workers:  p.workers,
-		Capacity: cap(p.jobs),
-		Depth:    len(p.jobs),
+		Capacity: p.q.Capacity(),
+		Depth:    p.q.Depth(),
 		InFlight: p.inFlight.Load(),
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"repro/internal/delta"
 	"repro/internal/fault"
 	"repro/internal/network"
+	"repro/internal/qos"
 	"repro/internal/request"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -80,6 +81,13 @@ type Config struct {
 	CacheEntries int
 	// RetryAfter is the Retry-After hint on 429 replies; 0 means 1s.
 	RetryAfter time.Duration
+	// QoS declares the multi-tenant admission classes (weights, per-class
+	// queue caps and Retry-After, cache/store quotas). Tenants are named by
+	// the X-Ccomm-Tenant header; a tenant named like a class belongs to it,
+	// everything else — including anonymous traffic — lands in the default
+	// class. Empty means a single default class with the global bounds
+	// above, which reproduces single-tenant behavior exactly.
+	QoS []qos.Class
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 
@@ -109,6 +117,10 @@ type Server struct {
 	topoPEs   int
 	scheduler schedule.Scheduler
 	retry     time.Duration
+
+	// qos maps tenant IDs to admission classes; always non-nil (a
+	// registry holding just the default class when Config.QoS is empty).
+	qos *qos.Registry
 
 	mux     *http.ServeMux
 	cache   *lruCache
@@ -150,6 +162,10 @@ const ForwardedHeader = "X-Ccomm-Forwarded"
 type PeerContext struct {
 	// Key is the content-address the request resolves to.
 	Key string
+	// Tenant is the canonical tenant (QoS class) of the originating
+	// request; the cluster layer forwards it so the owner daemon bills the
+	// compile to the right class instead of the default tenant.
+	Tenant string
 	// Query carries the original request's query parameters (topology, alg,
 	// fault mask) and Body its raw trace document.
 	Query url.Values
@@ -211,20 +227,32 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Reconfig == (core.ReconfigCost{}) {
 		cfg.Reconfig = core.DefaultReconfigCost
 	}
+	reg, err := qos.NewRegistry(cfg.QoS, qos.Defaults{
+		QueueDepth:   cfg.QueueDepth,
+		RetryAfter:   cfg.RetryAfter,
+		CacheEntries: cfg.CacheEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		topo:       cfg.Topology,
 		topoPEs:    network.TerminalCount(cfg.Topology),
 		scheduler:  cfg.Scheduler,
 		retry:      cfg.RetryAfter,
+		qos:        reg,
 		mux:        http.NewServeMux(),
 		cache:      newLRUCache(cfg.CacheEntries),
 		flight:     newFlightGroup(),
-		pool:       newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		metrics:    newMetricsState(),
 		bases:      newBaseIndex(),
 		deltaBound: cfg.DeltaBound,
 		reconfig:   cfg.Reconfig,
 	}
+	for _, c := range reg.Classes() {
+		s.cache.configure(c.Name, c.CacheEntries)
+	}
+	s.pool = newWorkerPool(cfg.Workers, reg, s.metrics.observeQueueWait)
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, store.Options{MaxEntries: cfg.StoreMaxEntries, MaxAge: cfg.StoreMaxAge})
 		if err != nil {
@@ -280,6 +308,11 @@ type parsedRequest struct {
 	mask      *FaultMask
 	key       string
 
+	// tenant is the canonical tenant identity (the QoS class name the
+	// X-Ccomm-Tenant header mapped to); class is that class's config.
+	tenant string
+	class  qos.Class
+
 	// query and body preserve the request as received so the cluster layer
 	// can replay it verbatim against the key's owner; recompile selects the
 	// peer endpoint, forwarded stops a forwarded request from forwarding
@@ -299,7 +332,9 @@ func (s *Server) parse(r *http.Request, w http.ResponseWriter, recompile bool) (
 		query:     q,
 		recompile: recompile,
 		forwarded: r.Header.Get(ForwardedHeader) != "",
+		tenant:    s.qos.Tenant(r.Header.Get(qos.TenantHeader)),
 	}
+	p.class = s.qos.ClassOf(p.tenant)
 	pes := s.topoPEs
 	if name := q.Get("topology"); name != "" {
 		topo, err := topology.Parse(name)
@@ -469,24 +504,61 @@ func (s *Server) ArtifactKeys() []string {
 // ArtifactGet returns a warm artifact — cache or store — and never
 // compiles. It backs the cluster's /peer/fetch endpoint.
 func (s *Server) ArtifactGet(key string) (json.RawMessage, bool) {
-	if v, ok := s.cache.Get(key); ok {
-		return v, true
+	raw, _, ok := s.ArtifactGetOwned(key)
+	return raw, ok
+}
+
+// ArtifactGetOwned is ArtifactGet plus the tenant the artifact is billed
+// to, so the cluster fetch path can replicate ownership alongside content
+// and the receiving daemon bills the copy to the same class.
+func (s *Server) ArtifactGetOwned(key string) (json.RawMessage, string, bool) {
+	if v, tenant, ok := s.cache.GetOwned(key); ok {
+		return v, tenant, true
 	}
-	if v, ok := s.storeGetArtifact(key); ok {
-		s.cache.Add(key, v)
-		return v, true
+	if v, owner, ok := s.storeGetArtifactOwned(key); ok {
+		tenant := s.tenantOfOwner(owner)
+		s.cache.Add(key, tenant, v)
+		return v, tenant, true
 	}
-	return nil, false
+	return nil, "", false
 }
 
 // ArtifactPut installs an artifact fetched from a cluster peer into the
-// cache and (best-effort) the store, so it is served as a local hit from
-// now on. Compilation is deterministic and keys are content hashes, so a
-// replicated artifact is byte-identical to what this daemon would have
-// compiled itself.
+// cache and (best-effort) the store, billed to the default tenant. See
+// ArtifactPutOwned.
 func (s *Server) ArtifactPut(key string, raw json.RawMessage) {
-	s.cache.Add(key, raw)
-	s.storePutArtifact(key, raw)
+	s.ArtifactPutOwned(key, "", raw)
+}
+
+// ArtifactPutOwned installs a replicated artifact billed to a tenant, so it
+// is served as a local hit from now on and counts against the owner's
+// quotas, not the default tenant's. Compilation is deterministic and keys
+// are content hashes, so a replicated artifact is byte-identical to what
+// this daemon would have compiled itself.
+func (s *Server) ArtifactPutOwned(key, tenant string, raw json.RawMessage) {
+	tenant = s.qos.Tenant(tenant)
+	s.cache.Add(key, tenant, raw)
+	s.storePutArtifact(key, tenant, raw)
+}
+
+// tenantOfOwner maps a store owner tag back to a canonical tenant: the
+// store encodes the default tenant as "" (backward compatible with
+// pre-tenancy entries), every other owner is canonicalized through the
+// registry.
+func (s *Server) tenantOfOwner(owner string) string {
+	if owner == "" {
+		return qos.DefaultClass
+	}
+	return s.qos.Tenant(owner)
+}
+
+// ownerOfTenant is the inverse mapping for writes: the default class is
+// stored as owner "" so default-tenant entries keep the historical frame.
+func ownerOfTenant(tenant string) string {
+	if tenant == qos.DefaultClass {
+		return ""
+	}
+	return tenant
 }
 
 // handleCompile serves POST /compile.
@@ -521,22 +593,24 @@ func (s *Server) serveCompile(w http.ResponseWriter, r *http.Request, recompile 
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.retry+time.Second-1)/time.Second)))
-			s.metrics.observeFailure(endpoint, true)
+			// The overloaded queue is the tenant's own class queue; the
+			// Retry-After hint is the class's too.
+			w.Header().Set("Retry-After", strconv.Itoa(int((p.class.RetryAfter+time.Second-1)/time.Second)))
+			s.metrics.observeFailure(endpoint, p.tenant, true)
 			writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error()})
 		case errors.Is(err, ErrDraining):
-			s.writeError(w, endpoint, http.StatusServiceUnavailable, err)
+			s.writeErrorClass(w, endpoint, p.tenant, http.StatusServiceUnavailable, err)
 		default:
 			var ce compileError
 			if errors.As(err, &ce) {
-				s.writeError(w, endpoint, http.StatusUnprocessableEntity, err)
+				s.writeErrorClass(w, endpoint, p.tenant, http.StatusUnprocessableEntity, err)
 			} else {
-				s.writeError(w, endpoint, http.StatusInternalServerError, err)
+				s.writeErrorClass(w, endpoint, p.tenant, http.StatusInternalServerError, err)
 			}
 		}
 		return
 	}
-	s.metrics.observeSuccess(endpoint, state, time.Since(start))
+	s.metrics.observeSuccess(endpoint, p.tenant, state, time.Since(start))
 	writeJSON(w, http.StatusOK, Response{Key: p.key, Cache: state, Result: raw})
 }
 
@@ -552,7 +626,7 @@ func (s *Server) serve(p *parsedRequest, build func() (json.RawMessage, error)) 
 	// An artifact evicted from memory — or compiled by a previous process —
 	// is a disk read, not a pipeline invocation.
 	if v, ok := s.storeGetArtifact(key); ok {
-		s.cache.Add(key, v)
+		s.cache.Add(key, p.tenant, v)
 		return v, CacheStore, nil
 	}
 	lateHit := false
@@ -569,10 +643,10 @@ func (s *Server) serve(p *parsedRequest, build func() (json.RawMessage, error)) 
 		// is network wait, not compute — it deliberately does not occupy a
 		// worker-pool slot.
 		if peers := s.peers(); peers != nil && !p.forwarded {
-			if v, ok := peers.Resolve(PeerContext{Key: key, Query: p.query, Body: p.body, Recompile: p.recompile}); ok {
+			if v, ok := peers.Resolve(PeerContext{Key: key, Tenant: p.tenant, Query: p.query, Body: p.body, Recompile: p.recompile}); ok {
 				peerHit = true
-				s.cache.Add(key, v)
-				s.storePutArtifact(key, v)
+				s.cache.Add(key, p.tenant, v)
+				s.storePutArtifact(key, p.tenant, v)
 				return v, nil
 			}
 		}
@@ -581,7 +655,7 @@ func (s *Server) serve(p *parsedRequest, build func() (json.RawMessage, error)) 
 			err error
 		}
 		done := make(chan result, 1)
-		if err := s.pool.TrySubmit(func() {
+		if err := s.pool.TrySubmit(p.tenant, func() {
 			if s.compileHook != nil {
 				s.compileHook(key)
 			}
@@ -592,8 +666,8 @@ func (s *Server) serve(p *parsedRequest, build func() (json.RawMessage, error)) 
 		}
 		out := <-done
 		if out.err == nil {
-			s.cache.Add(key, out.raw)
-			s.storePutArtifact(key, out.raw)
+			s.cache.Add(key, p.tenant, out.raw)
+			s.storePutArtifact(key, p.tenant, out.raw)
 		}
 		return out.raw, out.err
 	})
@@ -699,7 +773,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Quarantined: m.Quarantined,
 		}
 	}
-	snap := s.metrics.snapshot(s.topo.Name(), s.scheduler.Name(), s.cache.Metrics(), st, s.deltaBound, s.pool.Metrics())
+	// Structural per-class state (queue depth, cache partition, store
+	// usage) is gathered here; the metricsState merges in its per-class
+	// counters and histograms.
+	classes := make(map[string]ClassMetrics, len(s.qos.Names()))
+	for _, c := range s.qos.Classes() {
+		cm := ClassMetrics{Weight: c.Weight}
+		cm.QueueDepth, cm.QueueCapacity = s.pool.ClassDepth(c.Name)
+		cm.CacheEntries, cm.CacheCapacity, cm.CacheEvictions = s.cache.PartitionMetrics(c.Name)
+		if s.store != nil {
+			u := s.store.Usage(ownerOfTenant(c.Name))
+			cm.StoreEntries, cm.StoreBytes, cm.StoreEvictions = u.Entries, u.Bytes, u.Evictions
+		}
+		classes[c.Name] = cm
+	}
+	snap := s.metrics.snapshot(s.topo.Name(), s.scheduler.Name(), s.cache.Metrics(), st, s.deltaBound, s.pool.Metrics(), classes)
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -711,7 +799,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, endpoint string, status int, err error) {
-	s.metrics.observeFailure(endpoint, false)
+	s.writeErrorClass(w, endpoint, qos.DefaultClass, status, err)
+}
+
+// writeErrorClass is writeError billed to a specific tenant class.
+func (s *Server) writeErrorClass(w http.ResponseWriter, endpoint, tenant string, status int, err error) {
+	s.metrics.observeFailure(endpoint, tenant, false)
 	writeJSON(w, status, ErrorBody{Error: err.Error()})
 }
 

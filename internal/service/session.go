@@ -59,17 +59,17 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	var flushed atomic.Int64
 	flushed.Store(-1)
 
-	if err := s.pool.TrySubmit(func() {
+	if err := s.pool.TrySubmit(p.tenant, func() {
 		defer close(ch)
 		s.runSession(p, ch, &flushed)
 	}); err != nil {
 		switch {
 		case errors.Is(err, ErrOverloaded):
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.retry+time.Second-1)/time.Second)))
-			s.metrics.observeFailure(endpoint, true)
+			w.Header().Set("Retry-After", strconv.Itoa(int((p.class.RetryAfter+time.Second-1)/time.Second)))
+			s.metrics.observeFailure(endpoint, p.tenant, true)
 			writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error()})
 		default:
-			s.writeError(w, endpoint, http.StatusServiceUnavailable, err)
+			s.writeErrorClass(w, endpoint, p.tenant, http.StatusServiceUnavailable, err)
 		}
 		return
 	}
@@ -112,7 +112,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		// Drain so the producer never blocks on a dead channel.
 		for range ch {
 		}
-		s.metrics.observeFailure(endpoint, false)
+		s.metrics.observeFailure(endpoint, p.tenant, false)
 		return
 	}
 	if trailer != nil {

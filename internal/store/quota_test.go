@@ -1,0 +1,154 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func quotaKey(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func openQuotaStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOwnedRoundTrip(t *testing.T) {
+	s := openQuotaStore(t)
+	if err := s.PutOwned(KindArtifact, quotaKey(0), []byte("gold data"), "gold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindArtifact, quotaKey(1), []byte("anon data")); err != nil {
+		t.Fatal(err)
+	}
+	payload, owner, ok := s.GetOwned(KindArtifact, quotaKey(0))
+	if !ok || string(payload) != "gold data" || owner != "gold" {
+		t.Errorf("GetOwned = %q, %q, %v", payload, owner, ok)
+	}
+	payload, owner, ok = s.GetOwned(KindArtifact, quotaKey(1))
+	if !ok || string(payload) != "anon data" || owner != "" {
+		t.Errorf("unowned GetOwned = %q, %q, %v", payload, owner, ok)
+	}
+	// Plain Get still works on owned entries.
+	if payload, ok := s.Get(KindArtifact, quotaKey(0)); !ok || string(payload) != "gold data" {
+		t.Errorf("Get on owned entry = %q, %v", payload, ok)
+	}
+}
+
+// TestOwnerSurvivesReopen: ownership lives in the entry frame, so a
+// reopened store relearns it (lazily, at Get).
+func TestOwnerSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutOwned(KindArtifact, quotaKey(0), []byte("x"), "gold"); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, owner, ok := s2.GetOwned(KindArtifact, quotaKey(0)); !ok || owner != "gold" {
+		t.Errorf("reopened owner = %q, ok=%v, want gold", owner, ok)
+	}
+	// The Get backfilled the index, so usage now bills gold.
+	if u := s2.Usage("gold"); u.Entries != 1 {
+		t.Errorf("gold usage after reopen = %+v", u)
+	}
+}
+
+// TestQuotaGCIsolation is the storage half of the tenant-isolation
+// guarantee: flooding tenant A's partition evicts only A's entries, never
+// tenant B's.
+func TestQuotaGCIsolation(t *testing.T) {
+	s := openQuotaStore(t)
+	// B writes a handful of entries first (oldest in the store — the ones
+	// a global LRU would shed first).
+	for i := 0; i < 4; i++ {
+		if err := s.PutOwned(KindArtifact, quotaKey(i), []byte("victim"), "bronze"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(5 * time.Millisecond) // strictly newer mod times for the flood
+	// A floods far past its quota.
+	for i := 4; i < 40; i++ {
+		if err := s.PutOwned(KindArtifact, quotaKey(i), []byte("flooder entry payload"), "gold"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats, err := s.QuotaGC("gold", 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Removed != 26 || stats.Kept != 10 {
+		t.Errorf("QuotaGC removed %d kept %d, want 26/10", stats.Removed, stats.Kept)
+	}
+	if u := s.Usage("gold"); u.Entries != 10 || u.Evictions != 26 {
+		t.Errorf("gold usage = %+v, want 10 entries, 26 evictions", u)
+	}
+	// Every victim entry is still live and readable.
+	if u := s.Usage("bronze"); u.Entries != 4 || u.Evictions != 0 {
+		t.Errorf("bronze usage = %+v, want 4 entries, 0 evictions", u)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Get(KindArtifact, quotaKey(i)); !ok {
+			t.Errorf("victim entry %d evicted by flooder's quota GC", i)
+		}
+	}
+	// Survivors are the newest of the flooder's entries.
+	for i := 30; i < 40; i++ {
+		if _, ok := s.Get(KindArtifact, quotaKey(i)); !ok {
+			t.Errorf("flooder entry %d should have survived (newest 10)", i)
+		}
+	}
+}
+
+func TestQuotaGCByteBound(t *testing.T) {
+	s := openQuotaStore(t)
+	payload := make([]byte, 1000)
+	var perEntry int64
+	for i := 0; i < 6; i++ {
+		if err := s.PutOwned(KindArtifact, quotaKey(i), payload, "gold"); err != nil {
+			t.Fatal(err)
+		}
+		perEntry = s.Usage("gold").Bytes / int64(i+1)
+	}
+	// Allow three entries' worth of bytes.
+	stats, err := s.QuotaGC("gold", 0, 3*perEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Kept != 3 || stats.Removed != 3 {
+		t.Errorf("byte-bounded QuotaGC kept %d removed %d, want 3/3", stats.Kept, stats.Removed)
+	}
+	if u := s.Usage("gold"); u.Bytes > 3*perEntry {
+		t.Errorf("gold still over byte quota: %+v", u)
+	}
+	// Zero bounds are a no-op.
+	if stats, err := s.QuotaGC("gold", 0, 0); err != nil || stats.Removed != 0 {
+		t.Errorf("unbounded QuotaGC = %+v, %v", stats, err)
+	}
+}
+
+func TestOwnersEnumeration(t *testing.T) {
+	s := openQuotaStore(t)
+	if err := s.PutOwned(KindArtifact, quotaKey(0), []byte("a"), "gold"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindArtifact, quotaKey(1), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	owners := s.Owners()
+	if len(owners) != 2 || owners[0] != "" || owners[1] != "gold" {
+		t.Errorf("Owners() = %q", owners)
+	}
+}

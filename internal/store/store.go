@@ -70,10 +70,21 @@ type Options struct {
 
 // EntryInfo describes one live entry.
 type EntryInfo struct {
-	Kind    string
-	Key     string
+	Kind string
+	Key  string
+	// Owner is the tenant (QoS class) the entry is billed to; "" is the
+	// default tenant. Ownership is recorded in the entry frame; for entries
+	// indexed at Open the owner is learned lazily, at the first Get or Put.
+	Owner   string
 	Size    int64
 	ModTime time.Time
+}
+
+// OwnerUsage snapshots one tenant's footprint in the store.
+type OwnerUsage struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Evictions uint64 `json:"evictions"` // entries removed by QuotaGC
 }
 
 // Metrics snapshots the store's counters.
@@ -100,6 +111,7 @@ type Store struct {
 
 	mu          sync.Mutex
 	index       map[string]EntryInfo // "kind/key" -> info
+	evictions   map[string]uint64    // owner -> QuotaGC removals
 	puts        uint64
 	hits        uint64
 	misses      uint64
@@ -116,7 +128,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opt: opt, index: make(map[string]EntryInfo)}
+	s := &Store{dir: dir, opt: opt, index: make(map[string]EntryInfo), evictions: make(map[string]uint64)}
 	err := filepath.Walk(dir, func(path string, fi os.FileInfo, err error) error {
 		if err != nil || fi.IsDir() {
 			return err
@@ -203,13 +215,19 @@ func validKind(kind string) error {
 
 // encodeEntry frames a payload: magic, kind, key, payload (all length- or
 // count-prefixed, so the framing is injective), then a SHA-256 digest over
-// everything preceding it.
-func encodeEntry(kind, key string, payload []byte) []byte {
-	b := make([]byte, 0, len(entryMagic)+len(kind)+len(key)+len(payload)+64)
+// everything preceding it. A non-empty owner (the tenant the entry is
+// billed to) is framed as an optional fourth field; owner "" keeps the
+// historical three-field frame, so pre-tenancy stores and default-tenant
+// entries are byte-identical with what older code wrote.
+func encodeEntry(kind, key string, payload []byte, owner string) []byte {
+	b := make([]byte, 0, len(entryMagic)+len(kind)+len(key)+len(payload)+len(owner)+64)
 	b = append(b, entryMagic...)
 	b = appendBytes(b, []byte(kind))
 	b = appendBytes(b, []byte(key))
 	b = appendBytes(b, payload)
+	if owner != "" {
+		b = appendBytes(b, []byte(owner))
+	}
 	sum := sha256.Sum256(b)
 	return append(b, sum[:]...)
 }
@@ -219,32 +237,41 @@ func appendBytes(b, v []byte) []byte {
 	return append(b, v...)
 }
 
-// decodeEntry verifies the frame end to end and returns its parts.
-func decodeEntry(data []byte) (kind, key string, payload []byte, err error) {
+// decodeEntry verifies the frame end to end and returns its parts. The
+// owner field is optional: a three-field frame (everything written before
+// tenancy, and all default-tenant entries since) decodes with owner "".
+func decodeEntry(data []byte) (kind, key string, payload []byte, owner string, err error) {
 	if len(data) < len(entryMagic)+sha256.Size || !bytes.Equal(data[:len(entryMagic)], entryMagic) {
-		return "", "", nil, fmt.Errorf("store: bad entry magic")
+		return "", "", nil, "", fmt.Errorf("store: bad entry magic")
 	}
 	body, digest := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
 	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], digest) {
-		return "", "", nil, fmt.Errorf("store: entry digest mismatch")
+		return "", "", nil, "", fmt.Errorf("store: entry digest mismatch")
 	}
 	rest := body[len(entryMagic):]
 	kindB, rest, err := readBytes(rest)
 	if err != nil {
-		return "", "", nil, err
+		return "", "", nil, "", err
 	}
 	keyB, rest, err := readBytes(rest)
 	if err != nil {
-		return "", "", nil, err
+		return "", "", nil, "", err
 	}
 	payload, rest, err = readBytes(rest)
 	if err != nil {
-		return "", "", nil, err
+		return "", "", nil, "", err
+	}
+	var ownerB []byte
+	if len(rest) != 0 {
+		ownerB, rest, err = readBytes(rest)
+		if err != nil {
+			return "", "", nil, "", err
+		}
 	}
 	if len(rest) != 0 {
-		return "", "", nil, fmt.Errorf("store: %d trailing bytes after payload", len(rest))
+		return "", "", nil, "", fmt.Errorf("store: %d trailing bytes after owner", len(rest))
 	}
-	return string(kindB), string(keyB), payload, nil
+	return string(kindB), string(keyB), payload, string(ownerB), nil
 }
 
 func readBytes(b []byte) (v, rest []byte, err error) {
@@ -255,11 +282,18 @@ func readBytes(b []byte) (v, rest []byte, err error) {
 	return b[w : w+int(n)], b[w+int(n):], nil
 }
 
-// Put atomically writes an entry: temp file in the destination directory,
-// fsync, rename. An existing entry under the same key is replaced (same
-// content, by construction of content addressing — or a deliberate
-// overwrite after a codec change).
+// Put atomically writes an entry billed to the default tenant. See
+// PutOwned.
 func (s *Store) Put(kind, key string, payload []byte) error {
+	return s.PutOwned(kind, key, payload, "")
+}
+
+// PutOwned atomically writes an entry billed to a tenant: temp file in the
+// destination directory, fsync, rename. An existing entry under the same
+// key is replaced (same content, by construction of content addressing —
+// or a deliberate overwrite after a codec change; ownership follows the
+// latest writer).
+func (s *Store) PutOwned(kind, key string, payload []byte, owner string) error {
 	if err := validKind(kind); err != nil {
 		return err
 	}
@@ -275,7 +309,7 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmp := f.Name()
-	data := encodeEntry(kind, key, payload)
+	data := encodeEntry(kind, key, payload, owner)
 	if _, err := f.Write(data); err == nil {
 		err = f.Sync()
 	}
@@ -290,18 +324,27 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 		return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
 	}
 	s.mu.Lock()
-	s.index[kind+"/"+key] = EntryInfo{Kind: kind, Key: key, Size: int64(len(data)), ModTime: time.Now()}
+	s.index[kind+"/"+key] = EntryInfo{Kind: kind, Key: key, Owner: owner, Size: int64(len(data)), ModTime: time.Now()}
 	s.puts++
 	s.mu.Unlock()
 	return nil
 }
 
-// Get reads and verifies an entry. A missing entry is a plain miss; a
-// corrupt one (bad digest, truncation, kind/key mismatch with its location)
-// is quarantined and reported as a miss — never an error, never a panic.
+// Get reads and verifies an entry. See GetOwned.
 func (s *Store) Get(kind, key string) ([]byte, bool) {
+	payload, _, ok := s.GetOwned(kind, key)
+	return payload, ok
+}
+
+// GetOwned reads and verifies an entry, returning the tenant it is billed
+// to. A missing entry is a plain miss; a corrupt one (bad digest,
+// truncation, kind/key mismatch with its location) is quarantined and
+// reported as a miss — never an error, never a panic. The decoded owner is
+// backfilled into the index, so entries discovered at Open gain their
+// owner on first read.
+func (s *Store) GetOwned(kind, key string) (payload []byte, owner string, ok bool) {
 	if validKind(kind) != nil || validKey(key) != nil {
-		return nil, false
+		return nil, "", false
 	}
 	path := s.entryPath(kind, key)
 	data, err := os.ReadFile(path)
@@ -310,20 +353,24 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 		s.misses++
 		delete(s.index, kind+"/"+key)
 		s.mu.Unlock()
-		return nil, false
+		return nil, "", false
 	}
-	gotKind, gotKey, payload, err := decodeEntry(data)
+	gotKind, gotKey, payload, owner, err := decodeEntry(data)
 	if err == nil && (gotKind != kind || gotKey != key) {
 		err = fmt.Errorf("store: entry claims %s/%s but lives at %s/%s", gotKind, gotKey, kind, key)
 	}
 	if err != nil {
 		s.quarantine(kind, key, path)
-		return nil, false
+		return nil, "", false
 	}
 	s.mu.Lock()
 	s.hits++
+	if info, live := s.index[kind+"/"+key]; live && info.Owner != owner {
+		info.Owner = owner
+		s.index[kind+"/"+key] = info
+	}
 	s.mu.Unlock()
-	return payload, true
+	return payload, owner, true
 }
 
 // Has reports whether a live entry exists for the key (by index; contents
@@ -437,6 +484,77 @@ func (s *Store) GCWith(maxEntries int, maxAge time.Duration) (GCStats, error) {
 		live = live[len(live)-maxEntries:]
 	}
 	stats.Kept = len(live)
+	return stats, nil
+}
+
+// Usage snapshots one tenant's store footprint: live entries and bytes
+// billed to the owner, plus the running count of quota evictions charged
+// to it. Owner "" is the default tenant (which also absorbs pre-tenancy
+// entries whose frames carry no owner).
+func (s *Store) Usage(owner string) OwnerUsage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := OwnerUsage{Evictions: s.evictions[owner]}
+	for _, info := range s.index {
+		if info.Owner == owner {
+			u.Entries++
+			u.Bytes += info.Size
+		}
+	}
+	return u
+}
+
+// Owners returns the distinct owners of live entries, sorted, always
+// including "" (the default tenant) if any unowned entry is live.
+func (s *Store) Owners() []string {
+	s.mu.Lock()
+	set := make(map[string]bool)
+	for _, info := range s.index {
+		set[info.Owner] = true
+	}
+	s.mu.Unlock()
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QuotaGC enforces one tenant's quota: while the owner holds more than
+// maxEntries entries or maxBytes bytes (zero bounds are unbounded), its
+// oldest entries are deleted — and only its entries, so one tenant's flood
+// can never evict another tenant's warm state. Removals are charged to the
+// owner's eviction counter.
+func (s *Store) QuotaGC(owner string, maxEntries int, maxBytes int64) (GCStats, error) {
+	if maxEntries <= 0 && maxBytes <= 0 {
+		return GCStats{}, nil
+	}
+	var stats GCStats
+	var owned []EntryInfo
+	var bytes int64
+	for _, info := range s.Entries("") { // oldest first
+		if info.Owner == owner {
+			owned = append(owned, info)
+			bytes += info.Size
+		}
+	}
+	for _, info := range owned {
+		over := (maxEntries > 0 && len(owned)-stats.Removed > maxEntries) ||
+			(maxBytes > 0 && bytes > maxBytes)
+		if !over {
+			break
+		}
+		if err := s.Delete(info.Kind, info.Key); err != nil {
+			return stats, err
+		}
+		stats.Removed++
+		bytes -= info.Size
+		s.mu.Lock()
+		s.evictions[owner]++
+		s.mu.Unlock()
+	}
+	stats.Kept = len(owned) - stats.Removed
 	return stats, nil
 }
 
