@@ -137,6 +137,26 @@ func main() {
 	var out sim.CompiledResult
 	check(report.Run("compiled/ring64", func() error { return cs.RunInto(sched, ring32, sim.TDM, &out) }))
 
+	// Modern-fabric workload path: the seeded MoE exchange generated on 512
+	// ranks (the trace-construction cost a workload driver pays per step),
+	// and its dispatch round scheduled on the 512-PE dragonfly — the
+	// fabric/collective pairing of the crossover atlas, with every ordered
+	// group pair funneled through a single global link.
+	{
+		df := topology.NewDragonfly(8, 16, 4)
+		moe, err := collective.MoEAllToAll(512, 4, 4, 1996)
+		check(err)
+		dispatch := moe.Rounds[0]
+		check(report.Run("collective/moe-alltoall", func() error {
+			_, err := collective.MoEAllToAll(512, 4, 4, 1996)
+			return err
+		}))
+		check(report.Run("fabric/dragonfly-compile", func() error {
+			_, err := schedule.Combined{}.Schedule(df, dispatch)
+			return err
+		}))
+	}
+
 	// Recompile-after-failure: the host-side reaction to a link failure —
 	// mask the dead links, reschedule the surviving traffic, lower it to
 	// switch programs and verify the light trace. Each iteration builds a

@@ -1,6 +1,8 @@
 // Command ccfault prints the fault-degradation table: how compiled
-// communication and dynamic control degrade on the 8x8 time-multiplexed
-// torus as link failures accumulate mid-phase. The compiled side pays an
+// communication and dynamic control degrade on a time-multiplexed fabric
+// (the paper's 8x8 torus by default; any -topology spec, including the
+// dragonfly and fat-tree families, works) as link failures accumulate
+// mid-phase. The compiled side pays an
 // explicit recompile-and-reload stall per failure burst (optionally
 // overlapped with the predetermined AAPC fallback); the dynamic side pays
 // reservation aborts, reroutes over the surviving links, and outright
@@ -13,6 +15,7 @@
 //	ccfault -faults 4,16,64 -trials 20
 //	ccfault -fallback -detect 64 -compile 256
 //	ccfault -alg combined -stride 5 -flits 64
+//	ccfault -topology dragonfly:8,16,4 -faults 1,4,16
 package main
 
 import (
@@ -43,6 +46,7 @@ var (
 	barrierFlag  = flag.Int("reload-barrier", core.DefaultReconfigCost.Barrier, "register reload synchronization barrier (slots)")
 	fallbackFlag = flag.Bool("fallback", false, "overlap recompilation stalls with the predetermined AAPC fallback")
 	workersFlag  = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the table is identical for any value")
+	topoFlag     = flag.String("topology", "torus-8x8", "fabric to degrade, e.g. torus-8x8, dragonfly:8,16,4, fattree:8")
 )
 
 func scheduler(name string) (schedule.Scheduler, error) {
@@ -61,8 +65,9 @@ func main() {
 	alg, err := scheduler(*algFlag)
 	usage(err)
 
-	torus := topology.NewTorus(8, 8)
-	res, err := experiments.FaultTable(torus, experiments.FaultConfig{
+	topo, err := topology.Parse(*topoFlag)
+	usage(err)
+	res, err := experiments.FaultTable(topo, experiments.FaultConfig{
 		FaultCounts: counts,
 		Trials:      *trialsFlag,
 		Seed:        *seedFlag,
@@ -81,8 +86,8 @@ func main() {
 	})
 	check(err)
 
-	fmt.Printf("fault degradation on the 8x8 torus: shift-by-%d, %d flits, %d trials/row, scheduler %s\n",
-		*strideFlag, *flitsFlag, *trialsFlag, *algFlag)
+	fmt.Printf("fault degradation on %s: shift-by-%d, %d flits, %d trials/row, scheduler %s\n",
+		topo.Name(), *strideFlag, *flitsFlag, *trialsFlag, *algFlag)
 	fmt.Print(experiments.FormatFaultTable(res))
 }
 

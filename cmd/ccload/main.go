@@ -69,6 +69,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/network"
 	"repro/internal/patterns"
 	"repro/internal/schedule"
 	"repro/internal/service"
@@ -86,6 +87,7 @@ var (
 	gapsFlag     = flag.String("gaps", "3200,1600,800,400,200", "mean inter-arrival gaps (slots), heaviest last")
 	seedFlag     = flag.Int64("seed", 2026, "workload seed")
 	jsonFlag     = flag.Bool("json", false, "emit results as JSON instead of a table")
+	topoFlag     = flag.String("topology", "torus-8x8", "sweep mode: fabric to load, e.g. torus-8x8, dragonfly:8,16,4, fattree:8")
 
 	serverFlag   = flag.String("server", "", "stress mode: base URL of a ccserved daemon")
 	serversFlag  = flag.String("servers", "", "cluster stress mode: comma-separated base URLs of ccserved cluster members; rotates with retry-on-next-replica")
@@ -127,8 +129,10 @@ type sweepPoint struct {
 }
 
 func sweep() {
-	torus := topology.NewTorus(8, 8)
-	fallback, err := schedule.OrderedAAPC{}.Schedule(torus, patterns.AllToAll(64))
+	topo, err := topology.Parse(*topoFlag)
+	check(err)
+	nodes := network.TerminalCount(topo)
+	fallback, err := schedule.OrderedAAPC{}.Schedule(topo, patterns.AllToAll(nodes))
 	check(err)
 
 	gaps, err := cliutil.ParseIntList(*gapsFlag)
@@ -137,7 +141,7 @@ func sweep() {
 	for _, gap := range gaps {
 		rng := rand.New(rand.NewSource(*seedFlag))
 		msgs, err := sim.OpenLoop(rng, sim.OpenLoopConfig{
-			Nodes: 64, MessagesPerNode: *messagesFlag, Flits: *flitsFlag, MeanGap: gap,
+			Nodes: nodes, MessagesPerNode: *messagesFlag, Flits: *flitsFlag, MeanGap: gap,
 		})
 		check(err)
 
@@ -149,7 +153,7 @@ func sweep() {
 		lat := func(scheme sim.ReservationScheme) float64 {
 			p := sim.DefaultParams(*degreeFlag)
 			p.Reservation = scheme
-			out, err := sim.Dynamic{Topology: torus, Params: p}.Run(msgs)
+			out, err := sim.Dynamic{Topology: topo, Params: p}.Run(msgs)
 			check(err)
 			if out.TimedOut {
 				return -1
@@ -179,7 +183,7 @@ func sweep() {
 			Points          []sweepPoint `json:"points"`
 			SaturatedMarker float64      `json:"saturated_marker"`
 		}{
-			Topology: torus.Name(), MessagesPerPE: *messagesFlag, Flits: *flitsFlag,
+			Topology: topo.Name(), MessagesPerPE: *messagesFlag, Flits: *flitsFlag,
 			FallbackDegree: fallback.Degree(), DynamicDegree: *degreeFlag, Seed: *seedFlag,
 			Points: points, SaturatedMarker: -1,
 		}
@@ -189,8 +193,8 @@ func sweep() {
 		return
 	}
 
-	fmt.Printf("open-loop uniform traffic on the 8x8 torus: %d msgs/PE, %d flits each\n",
-		*messagesFlag, *flitsFlag)
+	fmt.Printf("open-loop uniform traffic on %s: %d msgs/PE, %d flits each\n",
+		topo.Name(), *messagesFlag, *flitsFlag)
 	fmt.Printf("compiled fallback degree %d; dynamic control fixed degree %d\n\n",
 		fallback.Degree(), *degreeFlag)
 	w := tabwriter.NewWriter(os.Stdout, 4, 0, 2, ' ', tabwriter.AlignRight)

@@ -26,7 +26,7 @@ import (
 )
 
 var (
-	topoFlag    = flag.String("topology", "torus", "topology: torus, torus3d, mesh, ring, linear, hypercube")
+	topoFlag    = flag.String("topology", "torus", "topology: torus, torus3d, mesh, ring, linear, hypercube, or a full spec like dragonfly:8,16,4, fattree:8, torus-16x16")
 	wFlag       = flag.Int("w", 8, "torus/mesh width")
 	hFlag       = flag.Int("h", 8, "torus/mesh height")
 	nodesFlag   = flag.Int("nodes", 0, "node count for ring/linear/hypercube-dim (default: w*h)")
@@ -41,11 +41,9 @@ var (
 func main() {
 	flag.Parse()
 	topo := buildTopology()
-	pes := topo.NumNodes()
-	if o, ok := topo.(*topology.Omega); ok {
-		pes = o.N // patterns address PEs, not internal MIN switches
-	}
-	set := buildPattern(pes)
+	// Patterns address PEs, not internal fabric switches (omega, dragonfly,
+	// fat-tree).
+	set := buildPattern(network.TerminalCount(topo))
 	sched := buildScheduler()
 
 	res, err := sched.Schedule(topo, set)
@@ -104,9 +102,14 @@ func buildTopology() network.Topology {
 		}
 		return topology.NewHypercube(dim)
 	default:
-		fmt.Fprintf(os.Stderr, "ccsched: unknown topology %q\n", *topoFlag)
-		os.Exit(2)
-		return nil
+		// Full specs — "dragonfly:8,16,4", "fattree:8", "torus-16x16" —
+		// resolve through the shared parser.
+		topo, err := topology.Parse(*topoFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccsched: %v\n", err)
+			os.Exit(2)
+		}
+		return topo
 	}
 }
 

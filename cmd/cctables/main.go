@@ -2,8 +2,10 @@
 // (Tables 1-4): multiplexing degrees of the greedy, coloring, ordered-AAPC
 // and combined algorithms on random patterns, random data-redistribution
 // patterns, and the frequently used patterns, plus the application pattern
-// inventory. The data comes from internal/experiments; this command only
-// renders it.
+// inventory. It also hosts the post-paper experiment sweeps that extend
+// those tables to modern fabrics, currently the compiled-vs-dynamic
+// crossover atlas. The data comes from internal/experiments; this command
+// only renders it.
 //
 // Usage:
 //
@@ -12,31 +14,54 @@
 //	cctables -table 3
 //	cctables -table 4
 //	cctables -table all
+//	cctables -experiment crossover
+//	cctables -experiment crossover -topologies torus-8x8,dragonfly:4,8,2 -topk 2,4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	ccomm "repro"
 	"repro/internal/apps"
+	"repro/internal/cliutil"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/topology"
 )
 
 var (
-	tableFlag   = flag.String("table", "all", "table to regenerate: 1, 2, 3, 4 or all")
-	trialsFlag  = flag.Int("trials", 100, "random patterns per row in Table 1")
-	redistsFlag = flag.Int("redists", 500, "random redistributions in Table 2")
-	seedFlag    = flag.Int64("seed", 1996, "random seed")
-	spreadFlag  = flag.Bool("spread", false, "show mean±stddev in Table 1")
-	workersFlag = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the numbers are identical for any value")
+	tableFlag      = flag.String("table", "all", "table to regenerate: 1, 2, 3, 4 or all")
+	trialsFlag     = flag.Int("trials", 100, "random patterns per row in Table 1")
+	redistsFlag    = flag.Int("redists", 500, "random redistributions in Table 2")
+	seedFlag       = flag.Int64("seed", 1996, "random seed")
+	spreadFlag     = flag.Bool("spread", false, "show mean±stddev in Table 1")
+	workersFlag    = flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); the numbers are identical for any value")
+	experimentFlag = flag.String("experiment", "", "post-paper experiment to run instead of the tables: crossover")
+
+	// Crossover-atlas knobs, used only with -experiment crossover.
+	topologiesFlag = flag.String("topologies", "", "comma-separated topology specs for the atlas (default: the built-in 3-family grid)")
+	topkFlag       = flag.String("topk", "", "comma-separated MoE top-k sparsity levels (default: 2,8)")
+	flitsFlag      = flag.Int("flits", 0, "flits per selected expert in the MoE exchange (0 = default 4)")
+	perSlotFlag    = flag.Int("reconfig-perslot", experiments.CrossoverReconfig.PerSlot, "compiled side's reconfiguration cost per TDM slot")
+	barrierFlag    = flag.Int("reconfig-barrier", experiments.CrossoverReconfig.Barrier, "compiled side's reconfiguration barrier (slots)")
 )
 
 func main() {
 	flag.Parse()
+	if *experimentFlag != "" {
+		switch *experimentFlag {
+		case "crossover":
+			crossover()
+		default:
+			fmt.Fprintf(os.Stderr, "cctables: unknown experiment %q (supported: crossover)\n", *experimentFlag)
+			os.Exit(2)
+		}
+		return
+	}
 	torus := topology.NewTorus(8, 8)
 	switch *tableFlag {
 	case "1":
@@ -180,6 +205,40 @@ func table4() {
 		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t\n", ph.Name, kinds[i], len(ph.Messages), ph.Description)
 	}
 	check(w.Flush())
+}
+
+// crossover renders the compiled-vs-dynamic crossover atlas over modern
+// fabrics (see internal/experiments/crossover.go for the economics).
+func crossover() {
+	cfg := experiments.CrossoverConfig{
+		Flits:   *flitsFlag,
+		Seed:    uint64(*seedFlag),
+		Workers: *workersFlag,
+	}
+	if *topologiesFlag != "" {
+		cfg.Topologies = strings.Split(*topologiesFlag, ",")
+	}
+	if *topkFlag != "" {
+		topks, err := cliutil.ParseIntList(*topkFlag)
+		usage(err)
+		cfg.TopKs = topks
+	}
+	rc := core.ReconfigCost{PerSlot: *perSlotFlag, Barrier: *barrierFlag}
+	cfg.Reconfig = &rc
+
+	rows, err := experiments.Crossover(cfg)
+	check(err)
+	fmt.Printf("Crossover atlas: compiled vs dynamic slot totals for the MoE exchange (seed %d)\n", *seedFlag)
+	fmt.Printf("reconfiguration cost: %d/slot + %d barrier; dynamic cut off at 2x the compiled total\n",
+		rc.PerSlot, rc.Barrier)
+	fmt.Print(experiments.FormatCrossoverTable(rows))
+}
+
+func usage(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cctables:", err)
+		os.Exit(2)
+	}
 }
 
 func check(err error) {

@@ -1,12 +1,15 @@
 // Command ccviz renders a compiled schedule as text: per-slot occupancy
 // bars, a per-slot map of the torus showing which switches carry circuits,
 // and the schedule's utilization metrics. Useful for eyeballing what the
-// heuristics actually produce.
+// heuristics actually produce. Any -topology spec works; the per-slot
+// switch map is drawn only for 2D tori, other fabrics get the occupancy
+// bars and metrics.
 //
 // Usage:
 //
 //	ccviz -pattern hypercube
 //	ccviz -pattern random -n 300 -alg coloring -slots 0,1,2
+//	ccviz -topology dragonfly:8,16,4 -pattern ring
 package main
 
 import (
@@ -30,19 +33,24 @@ var (
 	seedFlag    = flag.Int64("seed", 1996, "seed for -pattern random")
 	algFlag     = flag.String("alg", "combined", "algorithm: greedy, coloring, aapc, combined")
 	slotsFlag   = flag.String("slots", "", "comma-separated slot indices to map on the torus (default: first 2)")
+	topoFlag    = flag.String("topology", "torus-8x8", "fabric to schedule on, e.g. torus-8x8, dragonfly:8,16,4, fattree:8")
 )
 
 func main() {
 	flag.Parse()
-	torus := topology.NewTorus(8, 8)
-	set := buildPattern()
+	topo, err := topology.Parse(*topoFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccviz: %v\n", err)
+		os.Exit(2)
+	}
+	set := buildPattern(network.TerminalCount(topo))
 	sched := buildScheduler()
-	res, err := sched.Schedule(torus, set)
+	res, err := sched.Schedule(topo, set)
 	check(err)
 	m, err := schedule.ComputeMetrics(res)
 	check(err)
 
-	fmt.Printf("%s on %s via %s\n", *patternFlag, torus.Name(), res.Algorithm)
+	fmt.Printf("%s on %s via %s\n", *patternFlag, topo.Name(), res.Algorithm)
 	fmt.Println(m)
 	fmt.Println()
 
@@ -59,7 +67,13 @@ func main() {
 		fmt.Printf("  %2d |%-60s| %d\n", k, bar, o)
 	}
 
-	// Torus maps for the selected slots.
+	// Per-slot switch maps are a 2D-grid rendering; other fabrics stop at
+	// the occupancy bars.
+	torus, isTorus := topo.(*topology.Torus)
+	if !isTorus {
+		fmt.Printf("\n(per-slot switch maps are drawn for 2D tori only; %s has no grid rendering)\n", topo.Name())
+		return
+	}
 	var slots []int
 	if *slotsFlag == "" {
 		slots = []int{0}
@@ -123,24 +137,28 @@ func printSlotMap(torus *topology.Torus, res *schedule.Result, slot int) {
 	}
 }
 
-func buildPattern() request.Set {
+func buildPattern(nodes int) request.Set {
 	switch *patternFlag {
 	case "ring":
-		return patterns.Ring(64)
+		return patterns.Ring(nodes)
 	case "nn2d":
-		return patterns.NearestNeighbor2D(8, 8)
+		side := 1
+		for side*side < nodes {
+			side++
+		}
+		return patterns.NearestNeighbor2D(side, nodes/side)
 	case "hypercube":
-		set, err := patterns.Hypercube(64)
+		set, err := patterns.Hypercube(nodes)
 		check(err)
 		return set
 	case "shuffle":
-		set, err := patterns.ShuffleExchange(64)
+		set, err := patterns.ShuffleExchange(nodes)
 		check(err)
 		return set
 	case "alltoall":
-		return patterns.AllToAll(64)
+		return patterns.AllToAll(nodes)
 	case "random":
-		set, err := patterns.Random(rand.New(rand.NewSource(*seedFlag)), 64, *nFlag)
+		set, err := patterns.Random(rand.New(rand.NewSource(*seedFlag)), nodes, *nFlag)
 		check(err)
 		return set
 	default:

@@ -1,0 +1,151 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+	"repro/internal/request"
+)
+
+// This file adds the collective shapes that dominate modern large-model
+// training — tree allreduce, MoE-style sparse all-to-all, and
+// pipeline-parallel point-to-point — alongside the classic generators.
+// They are the workloads the crossover atlas (internal/experiments) sweeps
+// over the dragonfly and fat-tree fabrics: the MoE fan-out parameter is a
+// direct sparsity dial, and the pipeline's repeated identical rounds are
+// the keep-vs-reconfigure best case.
+
+// TreeAllReduce is the latency-optimal binomial-tree allreduce: partial
+// results flow down the tree to rank 0 (a Reduce), then the combined result
+// flows back up (a Broadcast) — 2*ceil(log2 n) rounds total, versus the
+// ring's 2(n-1) bandwidth-optimal rounds. Small n or small vectors favor
+// the tree; the crossover between the two is itself topology-dependent.
+func TreeAllReduce(n, elements int) (Collective, error) {
+	red, err := Reduce(0, n, elements)
+	if err != nil {
+		return Collective{}, fmt.Errorf("collective: tree-all-reduce: %w", err)
+	}
+	bc, err := Broadcast(0, n, elements)
+	if err != nil {
+		return Collective{}, fmt.Errorf("collective: tree-all-reduce: %w", err)
+	}
+	c := Collective{Name: "tree-all-reduce", Nodes: n}
+	for _, part := range []Collective{red, bc} {
+		for r := range part.Rounds {
+			c.Rounds = append(c.Rounds, part.Rounds[r].Clone())
+			vol := make(map[request.Request]int, len(part.Rounds[r]))
+			for req, v := range part.Volumes[r] {
+				vol[req] = v
+			}
+			c.Volumes = append(c.Volumes, vol)
+		}
+	}
+	return c, nil
+}
+
+// MoEAllToAll is the sparse expert-parallel exchange of Mixture-of-Experts
+// layers: every rank hosts one expert, and every rank's token batch is
+// routed to the topk experts its gate selected. The result is two rounds —
+// a dispatch (rank -> its topk experts) and the mirrored combine (experts
+// -> rank) — whose density is topk/(n-1): topk is the sparsity dial the
+// crossover atlas sweeps.
+//
+// Expert choices are drawn per source rank from a SplitMix64 stream seeded
+// with (seed, rank), so the pattern is a pure function of (n, topk, seed):
+// byte-identical across processes and worker counts, yet irregular like a
+// real learned gate (a rank never selects itself). `elements` is the token
+// payload sent to each selected expert.
+func MoEAllToAll(n, topk, elements int, seed uint64) (Collective, error) {
+	if err := checkArgs(0, n, elements); err != nil {
+		return Collective{}, err
+	}
+	if topk < 1 || topk > n-1 {
+		return Collective{}, fmt.Errorf("collective: moe top-k %d outside [1, %d]", topk, n-1)
+	}
+	dispatch := make(request.Set, 0, n*topk)
+	for i := 0; i < n; i++ {
+		rng := moeRNG{state: seed ^ (0x9e3779b97f4a7c15 * (uint64(i) + 1))}
+		chosen := make(map[int]bool, topk)
+		for len(chosen) < topk {
+			e := int(rng.next() % uint64(n))
+			if e == i || chosen[e] {
+				continue
+			}
+			chosen[e] = true
+		}
+		experts := make([]int, 0, topk)
+		for e := range chosen {
+			experts = append(experts, e)
+		}
+		sort.Ints(experts)
+		for _, e := range experts {
+			dispatch = append(dispatch, request.Request{Src: network.NodeID(i), Dst: network.NodeID(e)})
+		}
+	}
+	combine := make(request.Set, len(dispatch))
+	for i, req := range dispatch {
+		combine[i] = request.Request{Src: req.Dst, Dst: req.Src}
+	}
+	combine = combine.Sorted()
+
+	c := Collective{Name: fmt.Sprintf("moe-alltoall-k%d", topk), Nodes: n}
+	for _, set := range []request.Set{dispatch, combine} {
+		vol := make(map[request.Request]int, len(set))
+		for _, req := range set {
+			vol[req] = elements
+		}
+		c.Rounds = append(c.Rounds, set)
+		c.Volumes = append(c.Volumes, vol)
+	}
+	return c, nil
+}
+
+// PipelineP2P is the steady-state traffic of pipeline parallelism: stages
+// 0..stages-1 in a chain, `microbatches` forward rounds each sending
+// activations from stage i to stage i+1, then `microbatches` backward
+// rounds sending gradients from stage i to stage i-1. Every forward round
+// shares one circuit set and every backward round another, so — like the
+// ring — a keep-aware scheduler pays reconfiguration only twice however
+// many microbatches flow.
+func PipelineP2P(stages, microbatches, elements int) (Collective, error) {
+	if err := checkArgs(0, stages, elements); err != nil {
+		return Collective{}, err
+	}
+	if microbatches < 1 {
+		return Collective{}, fmt.Errorf("collective: pipeline needs >= 1 microbatches, got %d", microbatches)
+	}
+	fwd := make(request.Set, 0, stages-1)
+	bwd := make(request.Set, 0, stages-1)
+	for i := 0; i < stages-1; i++ {
+		fwd = append(fwd, request.Request{Src: network.NodeID(i), Dst: network.NodeID(i + 1)})
+		bwd = append(bwd, request.Request{Src: network.NodeID(i + 1), Dst: network.NodeID(i)})
+	}
+	c := Collective{Name: "pipeline-p2p", Nodes: stages}
+	addRounds := func(set request.Set) {
+		for m := 0; m < microbatches; m++ {
+			vol := make(map[request.Request]int, len(set))
+			for _, req := range set {
+				vol[req] = elements
+			}
+			c.Rounds = append(c.Rounds, set.Clone())
+			c.Volumes = append(c.Volumes, vol)
+		}
+	}
+	addRounds(fwd)
+	addRounds(bwd)
+	return c, nil
+}
+
+// moeRNG is a SplitMix64 stream — the same generator the scheduler's
+// differential tests and the fault planner use for deterministic
+// irregularity.
+type moeRNG struct{ state uint64 }
+
+func (r *moeRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

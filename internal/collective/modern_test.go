@@ -1,0 +1,179 @@
+package collective_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/request"
+	"repro/internal/trace"
+)
+
+func TestTreeAllReduceStructure(t *testing.T) {
+	for _, n := range []int{2, 5, 8, 64} {
+		c, err := collective.TreeAllReduce(n, 16)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		depth := 0
+		for 1<<depth < n {
+			depth++
+		}
+		if c.NumRounds() != 2*depth {
+			t.Fatalf("n=%d: %d rounds, want %d", n, c.NumRounds(), 2*depth)
+		}
+		// The reduce half must gather everything at rank 0 by its midpoint
+		// and the broadcast half must then reach every rank.
+		red := collective.Collective{Rounds: c.Rounds[:depth]}
+		all := make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			all[i] = true
+		}
+		if has := propagate(red, all); !has[0] {
+			t.Fatalf("n=%d: reduce half never reaches rank 0", n)
+		}
+		bc := collective.Collective{Rounds: c.Rounds[depth:]}
+		if has := propagate(bc, map[int]bool{0: true}); len(has) != n {
+			t.Fatalf("n=%d: broadcast half reached only %d ranks", n, len(has))
+		}
+	}
+	if _, err := collective.TreeAllReduce(1, 16); err == nil {
+		t.Error("TreeAllReduce(1) accepted")
+	}
+}
+
+func TestMoEAllToAllShape(t *testing.T) {
+	const n, topk = 64, 4
+	c, err := collective.MoEAllToAll(n, topk, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRounds() != 2 {
+		t.Fatalf("%d rounds, want 2 (dispatch + combine)", c.NumRounds())
+	}
+	if len(c.Rounds[0]) != n*topk || len(c.Rounds[1]) != n*topk {
+		t.Fatalf("round sizes %d/%d, want %d each", len(c.Rounds[0]), len(c.Rounds[1]), n*topk)
+	}
+	// Dispatch: every source fans out to exactly topk distinct experts,
+	// never itself; combine is the exact mirror.
+	fanout := make(map[request.Request]bool)
+	perSrc := make(map[int]map[int]bool)
+	for _, req := range c.Rounds[0] {
+		if req.Src == req.Dst {
+			t.Fatalf("self-send %v", req)
+		}
+		if fanout[req] {
+			t.Fatalf("duplicate dispatch %v", req)
+		}
+		fanout[req] = true
+		s := int(req.Src)
+		if perSrc[s] == nil {
+			perSrc[s] = make(map[int]bool)
+		}
+		perSrc[s][int(req.Dst)] = true
+	}
+	for s, experts := range perSrc {
+		if len(experts) != topk {
+			t.Fatalf("rank %d selected %d experts, want %d", s, len(experts), topk)
+		}
+	}
+	for _, req := range c.Rounds[1] {
+		if !fanout[request.Request{Src: req.Dst, Dst: req.Src}] {
+			t.Fatalf("combine %v has no matching dispatch", req)
+		}
+	}
+	// Different seeds should give different gates (overwhelmingly likely).
+	c2, err := collective.MoEAllToAll(n, topk, 8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, req := range c.Rounds[0] {
+		if c2.Rounds[0][i] != req {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical gates")
+	}
+
+	if _, err := collective.MoEAllToAll(4, 0, 8, 1); err == nil {
+		t.Error("topk=0 accepted")
+	}
+	if _, err := collective.MoEAllToAll(4, 4, 8, 1); err == nil {
+		t.Error("topk=n accepted")
+	}
+}
+
+func TestPipelineP2PStructure(t *testing.T) {
+	const stages, micro = 8, 4
+	c, err := collective.PipelineP2P(stages, micro, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRounds() != 2*micro {
+		t.Fatalf("%d rounds, want %d", c.NumRounds(), 2*micro)
+	}
+	for r := 0; r < micro; r++ {
+		for i, req := range c.Rounds[r] {
+			if int(req.Src) != i || int(req.Dst) != i+1 {
+				t.Fatalf("forward round %d request %d is %v", r, i, req)
+			}
+		}
+	}
+	for r := micro; r < 2*micro; r++ {
+		for i, req := range c.Rounds[r] {
+			if int(req.Src) != i+1 || int(req.Dst) != i {
+				t.Fatalf("backward round %d request %d is %v", r, i, req)
+			}
+		}
+	}
+	// All forward rounds share one circuit set: the keep-friendly property.
+	for r := 1; r < micro; r++ {
+		for i := range c.Rounds[0] {
+			if c.Rounds[r][i] != c.Rounds[0][i] {
+				t.Fatalf("forward rounds 0 and %d differ", r)
+			}
+		}
+	}
+	if _, err := collective.PipelineP2P(4, 0, 32); err == nil {
+		t.Error("microbatches=0 accepted")
+	}
+}
+
+// TestModernTracesDeterministic asserts the generators are pure functions
+// of their arguments: the serialized trace documents (the bytes /session
+// replays and PatternKey hashes) are identical across repeated generation.
+func TestModernTracesDeterministic(t *testing.T) {
+	gen := func() [][]byte {
+		var out [][]byte
+		moe, err := collective.MoEAllToAll(128, 4, 16, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := collective.TreeAllReduce(32, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := collective.PipelineP2P(16, 4, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []collective.Collective{moe, tree, pipe} {
+			doc := trace.FromProgram(c.Program(1), c.Nodes)
+			b, err := json.Marshal(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b)
+		}
+		return out
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("trace %d not byte-identical across generations", i)
+		}
+	}
+}

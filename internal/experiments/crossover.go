@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The crossover atlas maps where compiled communication beats dynamic
+// control — and where it does not — across {topology family, scale,
+// pattern sparsity}. The workload is the MoE-style sparse all-to-all
+// (dispatch + combine), whose top-k fan-out is a direct sparsity dial: at
+// top-k 2 on a torus the pattern is nearly contention-free and the
+// compiled side's per-phase reconfiguration barrier dominates, while at
+// top-k 8 on a dragonfly every group pair funnels through one global link
+// and the dynamic protocol collapses into retries. Per "To Reconfigure or
+// Not to Reconfigure", the switch-programming cost is what moves the
+// crossover, so it is a first-class knob here (CrossoverReconfig) rather
+// than the paper's register-write default.
+
+// CrossoverConfig parameterizes the atlas sweep.
+type CrossoverConfig struct {
+	// Topologies lists topology.Parse specs, one table block each; nil
+	// means DefaultCrossoverTopologies.
+	Topologies []string
+	// TopKs lists the MoE fan-outs (sparsity levels); nil means {2, 8}.
+	TopKs []int
+	// Flits is the token payload per selected expert, in flits; zero
+	// means 4.
+	Flits int
+	// Seed drives the MoE gate draw.
+	Seed uint64
+	// Reconfig is the compiled side's phase-switch cost; nil means
+	// CrossoverReconfig.
+	Reconfig *core.ReconfigCost
+	// Workers bounds the row worker pool; zero means GOMAXPROCS. The
+	// table is byte-identical for any value.
+	Workers int
+}
+
+// DefaultCrossoverTopologies spans three families at three scales each,
+// 256 to 2116 PEs.
+var DefaultCrossoverTopologies = []string{
+	"torus-16x16", "torus-32x32", "torus-46x46",
+	"fattree-8", "fattree-16", "fattree-20",
+	"dragonfly-8x16x4", "dragonfly-8x33x4", "dragonfly-16x32x4",
+}
+
+// CrossoverReconfig is the atlas default phase-switch cost: an
+// optical-circuit-switch-style reconfiguration (4 slots per register entry
+// plus a 2048-slot settling barrier) rather than DefaultReconfigCost's
+// cheap register rewrite. Modern OCS hardware settles milliseconds against
+// nanosecond flit times — a ratio of 10^3 and up — and it is exactly this
+// cost that creates the regime where dynamic control wins: a sparse
+// exchange finishes under the reservation protocol before the compiled
+// side's switches have even settled, while on a dense exchange the
+// protocol's retry storms dwarf any settling time.
+var CrossoverReconfig = core.ReconfigCost{PerSlot: 4, Barrier: 2048}
+
+// CrossoverRow is one (topology, sparsity) cell of the atlas.
+type CrossoverRow struct {
+	Topology string // canonical Name() of the fabric
+	Nodes    int    // terminal count
+	TopK     int
+	Conns    int // connections per phase (nodes * topk)
+
+	Degree    int // max compiled phase degree
+	Compiled  int // slots for dispatch+combine incl. reconfiguration
+	DynDegree int // fixed degree the dynamic run used
+	Dynamic   int // slots for dispatch+combine under dynamic control
+	TimedOut  bool
+
+	Winner string // "compiled", "dynamic" or "tie"
+}
+
+// Crossover runs the atlas: for every topology × top-k cell it generates
+// the seeded MoE exchange, compiles it (paying Reconfig per phase) and
+// runs the same messages under the dynamic reservation protocol at the
+// matching multiplexing degree (capped at the 64-slot register model).
+// Rows derive only from (spec, topk, Seed), so the result is
+// byte-identical across worker counts.
+func Crossover(cfg CrossoverConfig) ([]CrossoverRow, error) {
+	specs := cfg.Topologies
+	if specs == nil {
+		specs = DefaultCrossoverTopologies
+	}
+	topks := cfg.TopKs
+	if topks == nil {
+		topks = []int{2, 8}
+	}
+	flits := cfg.Flits
+	if flits == 0 {
+		flits = 4
+	}
+	rc := CrossoverReconfig
+	if cfg.Reconfig != nil {
+		rc = *cfg.Reconfig
+	}
+
+	type cell struct {
+		spec string
+		topk int
+	}
+	var grid []cell
+	for _, spec := range specs {
+		for _, k := range topks {
+			grid = append(grid, cell{spec, k})
+		}
+	}
+	return RunSweep(len(grid), cfg.Workers, 0, func(i int, _ *rand.Rand) (CrossoverRow, error) {
+		c := grid[i]
+		t, err := topology.Parse(c.spec)
+		if err != nil {
+			return CrossoverRow{}, fmt.Errorf("experiments: crossover: %w", err)
+		}
+		nodes := network.TerminalCount(t)
+		moe, err := collective.MoEAllToAll(nodes, c.topk, flits, cfg.Seed)
+		if err != nil {
+			return CrossoverRow{}, fmt.Errorf("experiments: crossover %s top-%d: %w", t.Name(), c.topk, err)
+		}
+		prog := moe.Program(1)
+
+		cp, err := core.Compiler{Topology: t}.Compile(prog)
+		if err != nil {
+			return CrossoverRow{}, fmt.Errorf("experiments: crossover %s top-%d: %w", t.Name(), c.topk, err)
+		}
+		compiled, _, err := cp.IterationTime(rc)
+		if err != nil {
+			return CrossoverRow{}, fmt.Errorf("experiments: crossover %s top-%d: %w", t.Name(), c.topk, err)
+		}
+
+		// The dynamic side multiplexes like the compiled schedule, as in
+		// the fault table, but within the 64-slot register model.
+		degree := cp.MaxDegree()
+		dynDegree := degree
+		if dynDegree > 64 {
+			dynDegree = 64
+		}
+		// The atlas only needs to know which side wins, so the dynamic run
+		// is cut off once it has lost by 2x: past that point the simulator
+		// would grind through retry storms for minutes (its default guard is
+		// 50M slots) just to report a larger losing number.
+		params := sim.DefaultParams(dynDegree)
+		params.MaxTime = 2*compiled + 4096
+		dynamic := 0
+		timedOut := false
+		for _, ph := range prog.Phases {
+			res, err := sim.Dynamic{Topology: t, Params: params}.Run(ph.Messages)
+			if err != nil {
+				return CrossoverRow{}, fmt.Errorf("experiments: crossover %s top-%d: %w", t.Name(), c.topk, err)
+			}
+			dynamic += res.Time
+			timedOut = timedOut || res.TimedOut
+		}
+
+		row := CrossoverRow{
+			Topology: t.Name(), Nodes: nodes, TopK: c.topk,
+			Conns:  len(prog.Phases[0].Messages),
+			Degree: degree, Compiled: compiled,
+			DynDegree: dynDegree, Dynamic: dynamic, TimedOut: timedOut,
+		}
+		switch {
+		case timedOut || compiled < dynamic:
+			row.Winner = "compiled"
+		case dynamic < compiled:
+			row.Winner = "dynamic"
+		default:
+			row.Winner = "tie"
+		}
+		return row, nil
+	})
+}
+
+// FormatCrossoverTable renders the atlas the way cmd/cctables prints it.
+// Rendering lives next to the sweep so the byte-identical-across-workers
+// guarantee can be asserted on the exact user-visible output.
+func FormatCrossoverTable(rows []CrossoverRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "topology\tnodes\ttop-k\tconns\tdegree\tcompiled\tdyn degree\tdynamic\twinner")
+	for _, r := range rows {
+		dyn := fmt.Sprintf("%d", r.Dynamic)
+		if r.TimedOut {
+			dyn = "timeout"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			r.Topology, r.Nodes, r.TopK, r.Conns, r.Degree, r.Compiled,
+			r.DynDegree, dyn, r.Winner)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCrossoverGrid is a small atlas — one fabric per family at modest
+// scale, one sparse and one dense top-k — that still exhibits both win
+// regimes under the default OCS-style reconfiguration cost.
+var quickCrossoverGrid = CrossoverConfig{
+	Topologies: []string{"torus-8x8", "fattree-8", "dragonfly-4x8x2"},
+	TopKs:      []int{2, 8},
+	Seed:       1,
+}
+
+// TestCrossoverDeterministicAcrossWorkers pins the atlas's central
+// guarantee: the rendered table is byte-identical whatever the worker
+// count (and, under -race, that the parallel sweep is clean).
+func TestCrossoverDeterministicAcrossWorkers(t *testing.T) {
+	var tables []string
+	for _, workers := range []int{1, 4} {
+		cfg := quickCrossoverGrid
+		cfg.Workers = workers
+		rows, err := Crossover(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, FormatCrossoverTable(rows))
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("crossover table depends on the worker count:\n--- workers=1\n%s--- workers=4\n%s", tables[0], tables[1])
+	}
+}
+
+// TestCrossoverExhibitsBothRegimes is the atlas's reason to exist: under
+// the OCS-style reconfiguration cost there must be at least one cell where
+// dynamic control wins (sparse exchange, barrier dominates) and one where
+// compiled communication wins (dense exchange, retry storms dominate).
+func TestCrossoverExhibitsBothRegimes(t *testing.T) {
+	rows, err := Crossover(quickCrossoverGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := map[string]int{}
+	for _, r := range rows {
+		wins[r.Winner]++
+	}
+	if wins["compiled"] == 0 || wins["dynamic"] == 0 {
+		t.Fatalf("atlas lost a regime: wins = %v\n%s", wins, FormatCrossoverTable(rows))
+	}
+}
+
+func TestCrossoverRowShape(t *testing.T) {
+	rows, err := Crossover(quickCrossoverGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(quickCrossoverGrid.Topologies)*len(quickCrossoverGrid.TopKs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(quickCrossoverGrid.Topologies)*len(quickCrossoverGrid.TopKs))
+	}
+	for _, r := range rows {
+		if r.Nodes <= 0 || r.TopK <= 0 {
+			t.Fatalf("row missing dimensions: %+v", r)
+		}
+		// Dispatch sends top-k messages per rank.
+		if r.Conns != r.Nodes*r.TopK {
+			t.Fatalf("row %s top-%d: conns %d != nodes*topk %d", r.Topology, r.TopK, r.Conns, r.Nodes*r.TopK)
+		}
+		if r.Degree < 1 || r.DynDegree < 1 || r.DynDegree > 64 || r.DynDegree > r.Degree {
+			t.Fatalf("row degrees inconsistent: %+v", r)
+		}
+		if r.Compiled <= 0 {
+			t.Fatalf("row has no compiled time: %+v", r)
+		}
+		if !r.TimedOut && r.Dynamic <= 0 {
+			t.Fatalf("row has no dynamic time: %+v", r)
+		}
+		switch {
+		case r.TimedOut && r.Winner != "compiled":
+			t.Fatalf("timed-out row must go to compiled: %+v", r)
+		case !r.TimedOut && r.Compiled < r.Dynamic && r.Winner != "compiled",
+			!r.TimedOut && r.Dynamic < r.Compiled && r.Winner != "dynamic":
+			t.Fatalf("row winner inconsistent: %+v", r)
+		}
+	}
+}
+
+func TestCrossoverTableRendering(t *testing.T) {
+	rows := []CrossoverRow{
+		{Topology: "torus-8x8", Nodes: 64, TopK: 2, Conns: 128, Degree: 5,
+			Compiled: 4192, DynDegree: 5, Dynamic: 1292, Winner: "dynamic"},
+		{Topology: "dragonfly-8x16x4", Nodes: 512, TopK: 8, Conns: 4096, Degree: 70,
+			Compiled: 5000, DynDegree: 64, TimedOut: true, Winner: "compiled"},
+	}
+	out := FormatCrossoverTable(rows)
+	for _, want := range []string{"topology", "torus-8x8", "dragonfly-8x16x4", "timeout", "dynamic", "compiled"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

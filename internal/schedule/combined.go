@@ -45,6 +45,19 @@ const (
 	combinedAAPCName     = "combined(aapc)"
 )
 
+// AAPCTerminalCutoff is the largest terminal count at which Combined still
+// runs its ordered-AAPC member. The AAPC scheduler needs a one-time
+// all-to-all decomposition of the topology — an O(N^2 x phases) first-fit
+// packing that takes minutes past a few hundred terminals and hours at a
+// few thousand — and its dense-pattern degree bound (~N^3/8 phases on a
+// torus) never beats coloring at those scales anyway. Above the cutoff
+// Combined is its coloring member alone; OracleCombined applies the same
+// rule so the differential suite's byte-identity holds at every size. The
+// paper's own workloads (the 8x8 torus, 64 terminals) sit far below the
+// cutoff. Exported as a variable for tests and for callers who want the
+// full race on mid-sized fabrics regardless of compile time.
+var AAPCTerminalCutoff = 256
+
 // Schedule implements Scheduler.
 func (c Combined) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
 	return pooledSchedule(c, t, reqs)
@@ -53,6 +66,14 @@ func (c Combined) Schedule(t network.Topology, reqs request.Set) (*Result, error
 func (c Combined) scheduleInto(st *CompileState, t network.Topology, reqs request.Set) (*Result, error) {
 	if st.aux == nil {
 		st.aux = NewCompileState()
+	}
+	if network.TerminalCount(t) > AAPCTerminalCutoff {
+		col, err := c.coloring.scheduleInto(st, t, reqs)
+		if err != nil {
+			return nil, err
+		}
+		col.Algorithm = combinedColoringName
+		return col, nil
 	}
 	var col, ap *Result
 	var colErr, apErr error

@@ -14,7 +14,7 @@ import (
 
 // This file is the differential-oracle suite for the bitset scheduler core:
 // every production scheduler is run against its retained map-based original
-// (oracle.go) over five topology families, on table-driven patterns and on
+// (oracle.go) over the topology families, on table-driven patterns and on
 // SplitMix64-generated random multisets, and the two Results must be
 // byte-identical under a canonical encoding. The suite runs under -race in
 // CI with varied conflict-graph worker counts, so it also proves the
@@ -62,10 +62,14 @@ func canonicalResult(r *schedule.Result) string {
 	return b.String()
 }
 
-// differentialTopologies spans the five supported families at sizes small
-// enough to keep the full cross product fast.
+// differentialTopologies spans the supported families at sizes small
+// enough to keep the full cross product fast. The dragonfly and fat-tree
+// entries route PE traffic through internal switches and detour links, so
+// they exercise conflict detection on paths the direct families never
+// produce.
 var differentialTopologies = []string{
 	"torus-4x4", "mesh-4x4", "ring-16", "hypercube-4", "omega-16",
+	"dragonfly-4x4x1", "dragonfly-2x4x2", "fattree-4",
 }
 
 // schedulerPair couples a production scheduler with its map-based oracle.
@@ -218,6 +222,28 @@ func TestDifferentialTable(t *testing.T) {
 					})
 				})
 			}
+		}
+	}
+}
+
+// TestDifferentialAAPCCutoff pins that the two Combined cores apply the
+// AAPC terminal-count gate identically: above the cutoff both reduce to
+// their coloring member and still agree byte-for-byte, including the
+// winner name.
+func TestDifferentialAAPCCutoff(t *testing.T) {
+	old := schedule.AAPCTerminalCutoff
+	defer func() { schedule.AAPCTerminalCutoff = old }()
+	schedule.AAPCTerminalCutoff = 4
+	for _, topoName := range []string{"torus-4x4", "dragonfly-2x4x2"} {
+		topo, err := topology.Parse(topoName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for patName, reqs := range tablePatterns(network.TerminalCount(topo)) {
+			reqs := reqs
+			t.Run(fmt.Sprintf("%s/%s", topoName, patName), func(t *testing.T) {
+				runDifferential(t, schedule.Combined{}, schedule.OracleCombined{}, topo, reqs)
+			})
 		}
 	}
 }

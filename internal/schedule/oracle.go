@@ -243,6 +243,18 @@ func (OracleCombined) Name() string { return "combined" }
 
 // Schedule implements Scheduler.
 func (c OracleCombined) Schedule(t network.Topology, reqs request.Set) (*Result, error) {
+	if network.TerminalCount(t) > AAPCTerminalCutoff {
+		col, err := OracleColoring{}.Schedule(t, reqs)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algorithm: "combined(" + col.Algorithm + ")",
+			Topology:  col.Topology,
+			Configs:   col.Configs,
+			Slot:      col.Slot,
+		}, nil
+	}
 	var col, ap *Result
 	var colErr, apErr error
 	if c.Sequential {

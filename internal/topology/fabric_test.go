@@ -1,0 +1,276 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+// TestFabricInvariantsAcrossSizes runs the shared invariant checker over
+// dragonfly and fat-tree instances from 16 to 4096 PEs — the 512-4096 range
+// the fabrics are specified for plus the tiny instances the exhaustive
+// tests use.
+func TestFabricInvariantsAcrossSizes(t *testing.T) {
+	cases := []struct {
+		topo  network.Topology
+		terms int
+	}{
+		{NewDragonfly(4, 4, 1), 16},
+		{NewDragonfly(2, 4, 2), 16},
+		{NewDragonfly(8, 16, 4), 512},
+		{NewDragonfly(8, 33, 4), 1056},
+		{NewDragonfly(16, 32, 4), 2048},
+		{NewDragonfly(16, 32, 8), 4096},
+		{NewFatTree(4), 16},
+		{NewFatTree(8), 128},
+		{NewFatTree(16), 1024},
+		{NewFatTree(22), 2662},
+	}
+	for _, tc := range cases {
+		if got := network.TerminalCount(tc.topo); got != tc.terms {
+			t.Errorf("%s: TerminalCount = %d, want %d", tc.topo.Name(), got, tc.terms)
+		}
+		if err := CheckInvariants(tc.topo, 4096); err != nil {
+			t.Errorf("%s: %v", tc.topo.Name(), err)
+		}
+	}
+}
+
+// TestFabricRoutesExhaustive validates every terminal pair on small
+// instances and checks the families' diameter bounds: a dragonfly circuit
+// needs at most 5 links (inject, local, global, local, eject) and a
+// fat-tree circuit at most 6 (inject, up, up, down, down, eject).
+func TestFabricRoutesExhaustive(t *testing.T) {
+	cases := []struct {
+		topo   network.Topology
+		maxLen int
+	}{
+		{NewDragonfly(4, 4, 1), 5},
+		{NewDragonfly(2, 4, 2), 5},
+		{NewDragonfly(4, 8, 2), 5},
+		{NewFatTree(4), 6},
+		{NewFatTree(8), 6},
+	}
+	for _, tc := range cases {
+		checkLinkTable(t, tc.topo)
+		checkPortUniqueness(t, tc.topo)
+		n := network.TerminalCount(tc.topo)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				p, err := tc.topo.Route(network.NodeID(s), network.NodeID(d))
+				if err != nil {
+					t.Fatalf("%s: Route(%d,%d): %v", tc.topo.Name(), s, d, err)
+				}
+				if err := network.Validate(tc.topo, p); err != nil {
+					t.Fatalf("%s: %v", tc.topo.Name(), err)
+				}
+				if p.Len() < 2 || p.Len() > tc.maxLen {
+					t.Fatalf("%s: route %d->%d has %d links, want 2..%d", tc.topo.Name(), s, d, p.Len(), tc.maxLen)
+				}
+			}
+		}
+	}
+}
+
+// TestFabricRejectsSwitchEndpoints mirrors the omega contract: only
+// terminal nodes originate or terminate circuits.
+func TestFabricRejectsSwitchEndpoints(t *testing.T) {
+	for _, topo := range []network.Topology{NewDragonfly(4, 4, 1), NewFatTree(4)} {
+		terms := network.TerminalCount(topo)
+		if _, err := topo.Route(network.NodeID(terms), 0); err == nil {
+			t.Errorf("%s: route from switch node accepted", topo.Name())
+		}
+		if _, err := topo.Route(0, network.NodeID(terms)); err == nil {
+			t.Errorf("%s: route to switch node accepted", topo.Name())
+		}
+		if _, err := topo.Route(0, network.NodeID(topo.NumNodes())); err == nil {
+			t.Errorf("%s: out-of-range destination accepted", topo.Name())
+		}
+		if _, err := topo.Route(3, 3); err == nil {
+			t.Errorf("%s: self-loop accepted", topo.Name())
+		}
+	}
+}
+
+// TestDragonflyLayoutGolden pins hand-derived link-table and route values
+// for dragonfly-4x4x1. These are the layout contract: if any of them
+// changes, PatternKey/store/cluster hashes of compiled schedules change
+// too, which is a breaking change that must be called out in DESIGN.md §15.
+func TestDragonflyLayoutGolden(t *testing.T) {
+	d := NewDragonfly(4, 4, 1)
+	if d.NumNodes() != 32 || d.NumLinks() != 92 {
+		t.Fatalf("dragonfly-4x4x1: %d nodes, %d links; want 32, 92", d.NumNodes(), d.NumLinks())
+	}
+	goldens := map[network.LinkID]network.LinkInfo{
+		// Injection: PE 0 enters router 16 (group 0, router 0).
+		0: {ID: 0, From: 0, To: 16, OutPort: 1, InPort: 1},
+		// First local link: router (0,0) -> router (0,1).
+		16: {ID: 16, From: 16, To: 17, OutPort: 2, InPort: 2},
+		// First global link: group 0 slot 0 -> group 1, routers 16 -> 20.
+		64: {ID: 64, From: 16, To: 20, OutPort: 5, InPort: 5},
+		// Ejection: router 16 returns PE 0.
+		76: {ID: 76, From: 16, To: 0, OutPort: 1, InPort: 1},
+	}
+	for id, want := range goldens {
+		if got := d.Link(id); got != want {
+			t.Errorf("Link(%d) = %+v, want %+v", id, got, want)
+		}
+	}
+	// Cross-group route 0 -> 15: inject, local detour to gateway router 2,
+	// global slot 2 toward group 3, local hop to router 3, eject.
+	p, err := d.Route(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []network.LinkID{0, 17, 66, 54, 91}
+	if len(p.Links) != len(want) {
+		t.Fatalf("route 0->15 links = %v, want %v", p.Links, want)
+	}
+	for i := range want {
+		if p.Links[i] != want[i] {
+			t.Fatalf("route 0->15 links = %v, want %v", p.Links, want)
+		}
+	}
+}
+
+// TestFatTreeLayoutGolden pins hand-derived values for fattree-4, the same
+// layout-stability contract as the dragonfly golden.
+func TestFatTreeLayoutGolden(t *testing.T) {
+	f := NewFatTree(4)
+	if f.NumNodes() != 36 || f.NumLinks() != 96 {
+		t.Fatalf("fattree-4: %d nodes, %d links; want 36, 96", f.NumNodes(), f.NumLinks())
+	}
+	goldens := map[network.LinkID]network.LinkInfo{
+		// Injection: PE 0 -> edge switch (pod 0, 0).
+		0: {ID: 0, From: 0, To: 16, OutPort: 1, InPort: 1},
+		// Edge up: edge (0,0) -> agg (0,0).
+		16: {ID: 16, From: 16, To: 24, OutPort: 3, InPort: 1},
+		// Core down: core 0 -> agg (0,0).
+		64: {ID: 64, From: 32, To: 24, OutPort: 1, InPort: 3},
+		// Ejection: edge (0,0) -> PE 0.
+		80: {ID: 80, From: 16, To: 0, OutPort: 1, InPort: 1},
+	}
+	for id, want := range goldens {
+		if got := f.Link(id); got != want {
+			t.Errorf("Link(%d) = %+v, want %+v", id, got, want)
+		}
+	}
+	// Cross-pod route 0 -> 15 climbs to core 3 (the destination-selected
+	// spine) and descends into pod 3.
+	p, err := f.Route(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []network.LinkID{0, 17, 51, 79, 47, 95}
+	if len(p.Links) != len(want) {
+		t.Fatalf("route 0->15 links = %v, want %v", p.Links, want)
+	}
+	for i := range want {
+		if p.Links[i] != want[i] {
+			t.Fatalf("route 0->15 links = %v, want %v", p.Links, want)
+		}
+	}
+}
+
+// TestDragonflyGlobalFunnel checks the property that makes dragonfly
+// interesting for the crossover atlas: all traffic between an ordered pair
+// of groups crosses exactly one global link, whichever PEs communicate.
+func TestDragonflyGlobalFunnel(t *testing.T) {
+	d := NewDragonfly(4, 4, 2)
+	globalBase := d.globalBase()
+	ejectBase := d.ejectBase()
+	perGroup := d.A * d.H
+	seen := make(map[[2]int]map[network.LinkID]bool)
+	for s := 0; s < d.N; s++ {
+		for dst := 0; dst < d.N; dst++ {
+			gi, gj := s/perGroup, dst/perGroup
+			if gi == gj {
+				continue
+			}
+			p, err := d.Route(network.NodeID(s), network.NodeID(dst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var globals []network.LinkID
+			for _, l := range p.Links {
+				if int(l) >= globalBase && int(l) < ejectBase {
+					globals = append(globals, l)
+				}
+			}
+			if len(globals) != 1 {
+				t.Fatalf("route %d->%d crosses %d global links, want 1", s, dst, len(globals))
+			}
+			key := [2]int{gi, gj}
+			if seen[key] == nil {
+				seen[key] = make(map[network.LinkID]bool)
+			}
+			seen[key][globals[0]] = true
+		}
+	}
+	for key, ids := range seen {
+		if len(ids) != 1 {
+			t.Errorf("group pair %v uses %d distinct global links, want 1", key, len(ids))
+		}
+	}
+}
+
+func TestFabricConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewDragonfly(0, 4, 1) },
+		func() { NewDragonfly(4, 1, 1) },
+		func() { NewDragonfly(4, 4, 0) },
+		func() { NewDragonfly(2, 8, 2) }, // a*h < g-1
+		func() { NewFatTree(3) },
+		func() { NewFatTree(5) },
+		func() { NewFatTree(66) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: constructor did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFabricNames(t *testing.T) {
+	if got := NewDragonfly(8, 16, 4).Name(); got != "dragonfly-8x16x4" {
+		t.Errorf("dragonfly Name() = %q", got)
+	}
+	if got := NewFatTree(8).Name(); got != "fattree-8" {
+		t.Errorf("fattree Name() = %q", got)
+	}
+	if got := (&Dragonfly{A: 2, G: 4, H: 2, N: 16}).Name(); got != "dragonfly-2x4x2" {
+		t.Errorf("zero-value dragonfly Name() = %q", got)
+	}
+	if got := (&FatTree{K: 4, N: 16}).Name(); got != "fattree-4" {
+		t.Errorf("zero-value fattree Name() = %q", got)
+	}
+}
+
+// TestCheckInvariantsCatchesViolations feeds the checker a topology with a
+// broken link table to prove it actually fails on bad wiring.
+func TestCheckInvariantsCatchesViolations(t *testing.T) {
+	if err := CheckInvariants(brokenTopology{NewTorus(4, 4)}, 0); err == nil {
+		t.Fatal("CheckInvariants accepted a duplicated output port")
+	}
+}
+
+// brokenTopology wraps a torus but reports the same LinkInfo for links 0
+// and 1, violating port uniqueness.
+type brokenTopology struct{ *Torus }
+
+func (b brokenTopology) Link(id network.LinkID) network.LinkInfo {
+	if id == 1 {
+		li := b.Torus.Link(0)
+		li.ID = 1
+		return li
+	}
+	return b.Torus.Link(id)
+}

@@ -11,17 +11,30 @@ import (
 
 // Parse resolves a topology name of the form every
 // network.Topology.Name() produces — "torus-8x8", "mesh-4x4",
-// "torus3d-4x4x4", "ring-16", "linear-8", "hypercube-6", "omega-64" — back
-// to a topology value, validating dimensions before construction so bad
-// input yields an error, never a panic. (Moved here from internal/cliutil
-// so that low-level packages can share cliutil without importing the
-// topology constructors.)
+// "torus3d-4x4x4", "ring-16", "linear-8", "hypercube-6", "omega-64",
+// "dragonfly-8x16x4", "fattree-8" — back to a topology value, validating
+// dimensions before construction so bad input yields an error, never a
+// panic. (Moved here from internal/cliutil so that low-level packages can
+// share cliutil without importing the topology constructors.)
+//
+// A colon spec form is also accepted for the fabric families —
+// "dragonfly:a,g,h" and "fattree:k" — so shell users can write dimensions
+// as a comma list; both forms construct the identical topology.
 func Parse(name string) (network.Topology, error) {
-	family, arg, ok := strings.Cut(name, "-")
-	if !ok || arg == "" {
-		return nil, fmt.Errorf("topology: %q not of the form family-dims (e.g. torus-8x8)", name)
+	var family, arg string
+	var dims []int
+	var err error
+	if f, a, ok := strings.Cut(name, ":"); ok {
+		family, arg = f, a
+		dims, err = parseList(arg, ",")
+	} else {
+		var ok bool
+		family, arg, ok = strings.Cut(name, "-")
+		if !ok || arg == "" {
+			return nil, fmt.Errorf("topology: %q not of the form family-dims (e.g. torus-8x8, dragonfly-8x16x4) or family:dims (e.g. dragonfly:8,16,4)", name)
+		}
+		dims, err = parseDims(arg)
 	}
-	dims, err := parseDims(arg)
 	if err != nil {
 		return nil, fmt.Errorf("topology: %q: %w", name, err)
 	}
@@ -64,14 +77,35 @@ func Parse(name string) (network.Topology, error) {
 			return bad("want omega-N with N a power of two >= 4")
 		}
 		return NewOmega(dims[0]), nil
+	case "dragonfly":
+		if len(dims) != 3 || dims[0] < 1 || dims[1] < 2 || dims[2] < 1 {
+			return bad("want dragonfly-AxGxH (or dragonfly:a,g,h) with a routers/group >= 1, g groups >= 2, h PEs/router >= 1")
+		}
+		if a, g, h := dims[0], dims[1], dims[2]; a*h < g-1 {
+			return bad(fmt.Sprintf("a*h = %d global channels per group cannot reach the other %d groups (need a*h >= g-1)", a*h, g-1))
+		}
+		if dims[0]*dims[1]*dims[2] > 1<<20 {
+			return bad("dragonfly too large (a*g*h PEs must be <= 2^20)")
+		}
+		return NewDragonfly(dims[0], dims[1], dims[2]), nil
+	case "fattree":
+		if len(dims) != 1 || dims[0] < 4 || dims[0]%2 != 0 || dims[0] > 64 {
+			return bad("want fattree-K (or fattree:k) with even switch radix 4 <= k <= 64")
+		}
+		return NewFatTree(dims[0]), nil
 	default:
-		return bad("unknown family (want torus, mesh, torus3d, ring, linear, hypercube or omega)")
+		return bad("unknown family (want torus, mesh, torus3d, ring, linear, hypercube, omega, dragonfly or fattree)")
 	}
 }
 
 // parseDims splits an "8x8"-style dimension list.
 func parseDims(s string) ([]int, error) {
-	parts := strings.Split(s, "x")
+	return parseList(s, "x")
+}
+
+// parseList splits a sep-separated dimension list ("8x8", "8,16,4").
+func parseList(s, sep string) ([]int, error) {
+	parts := strings.Split(s, sep)
 	dims := make([]int, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.Atoi(p)

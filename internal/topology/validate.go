@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// invariantSample is the number of (src, dst) pairs the constructors
+// spot-check for route validity. Small fabrics are checked exhaustively;
+// larger ones are sampled with a deterministic stride so construction stays
+// cheap even at 4096 nodes.
+const invariantSample = 2048
+
+// CheckInvariants verifies the structural contract every topology in this
+// package promises:
+//
+//   - node and link counts are positive and the terminal count is in range;
+//   - every link id round-trips through Link (Link(id).ID == id), connects
+//     two distinct in-range nodes, and never uses the reserved PE port 0;
+//   - no two links share a (switch, output port) or (switch, input port)
+//     pair — each crossbar port drives exactly one fiber;
+//   - Route succeeds between sampled terminal pairs (exhaustive below
+//     `sample` pairs) and every returned path passes network.Validate.
+//
+// New-family constructors run this after parameter validation and panic on
+// violation; tests call it directly table-driven across sizes.
+func CheckInvariants(t network.Topology, sample int) error {
+	nodes, links := t.NumNodes(), t.NumLinks()
+	if nodes <= 0 || links <= 0 {
+		return fmt.Errorf("%s: empty topology (%d nodes, %d links)", t.Name(), nodes, links)
+	}
+	terms := network.TerminalCount(t)
+	if terms <= 0 || terms > nodes {
+		return fmt.Errorf("%s: terminal count %d out of range (1..%d)", t.Name(), terms, nodes)
+	}
+
+	type portKey struct {
+		node network.NodeID
+		port int
+	}
+	outSeen := make(map[portKey]network.LinkID, links)
+	inSeen := make(map[portKey]network.LinkID, links)
+	for id := 0; id < links; id++ {
+		li := t.Link(network.LinkID(id))
+		if li.ID != network.LinkID(id) {
+			return fmt.Errorf("%s: link %d reports id %d", t.Name(), id, li.ID)
+		}
+		if int(li.From) < 0 || int(li.From) >= nodes || int(li.To) < 0 || int(li.To) >= nodes {
+			return fmt.Errorf("%s: link %d endpoints %d->%d out of range", t.Name(), id, li.From, li.To)
+		}
+		if li.From == li.To {
+			return fmt.Errorf("%s: link %d is a self-loop at node %d", t.Name(), id, li.From)
+		}
+		if li.OutPort == network.PEPort || li.InPort == network.PEPort {
+			return fmt.Errorf("%s: link %d uses reserved PE port 0", t.Name(), id)
+		}
+		if prev, dup := outSeen[portKey{li.From, li.OutPort}]; dup {
+			return fmt.Errorf("%s: links %d and %d share output port %d of node %d", t.Name(), prev, id, li.OutPort, li.From)
+		}
+		outSeen[portKey{li.From, li.OutPort}] = network.LinkID(id)
+		if prev, dup := inSeen[portKey{li.To, li.InPort}]; dup {
+			return fmt.Errorf("%s: links %d and %d share input port %d of node %d", t.Name(), prev, id, li.InPort, li.To)
+		}
+		inSeen[portKey{li.To, li.InPort}] = network.LinkID(id)
+	}
+
+	if sample <= 0 {
+		sample = invariantSample
+	}
+	pairs := terms * terms
+	step := 1
+	if pairs > sample {
+		step = pairs / sample
+	}
+	for p := 0; p < pairs; p += step {
+		src, dst := network.NodeID(p/terms), network.NodeID(p%terms)
+		if src == dst {
+			continue
+		}
+		path, err := t.Route(src, dst)
+		if err != nil {
+			return fmt.Errorf("%s: route %d->%d: %w", t.Name(), src, dst, err)
+		}
+		if err := network.Validate(t, path); err != nil {
+			return fmt.Errorf("%s: route %d->%d: %w", t.Name(), src, dst, err)
+		}
+	}
+	return nil
+}
